@@ -1,0 +1,171 @@
+//! Ablations beyond the paper's figures — the design-choice sensitivities
+//! DESIGN.md calls out:
+//!
+//! 1. Hybrid threshold sweep (where does the §4.2 switch belong?).
+//! 2. Reassembly-mode tax (the §3.3.2 extension's header overhead).
+//! 3. Max-Payload-Size sensitivity (TLP segmentation granularity).
+//! 4. PCIe generation sensitivity (§5: "higher-bandwidth PCIe generations
+//!    could influence the relative impact of data movement optimizations").
+//! 5. SGL threshold (§5: Linux's 32 KB default vs reconfigured).
+//!
+//! `cargo run -p bx-bench --release --bin ablation [-- n_ops]`
+
+use bx_bench::{fmt_bytes, ops_arg, section};
+use byteexpress::{Device, FetchPolicy, LinkConfig, TransferMethod};
+
+fn main() {
+    let n = ops_arg(5_000);
+
+    // --- 1. hybrid threshold ---
+    section("Ablation 1: hybrid threshold sweep (mixed 64 B..4 KB payloads)");
+    let sizes: Vec<usize> = (0..n)
+        .map(|i| [64, 64, 64, 128, 128, 256, 512, 1024, 2048, 4096][i % 10])
+        .collect();
+    println!("{:>11} {:>14} {:>14}", "threshold", "mean latency", "traffic");
+    for threshold in [64usize, 128, 256, 512, 1024, 4096] {
+        let mut dev = Device::builder().nand_io(false).build();
+        let mut total = byteexpress::Nanos::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            let c = dev
+                .write(
+                    (i % 256) as u64 * 16,
+                    &vec![1; size],
+                    TransferMethod::Hybrid { threshold },
+                )
+                .unwrap();
+            total += c.latency();
+        }
+        println!(
+            "{:>10}B {:>14} {:>12} B",
+            threshold,
+            total / n as u64,
+            fmt_bytes(dev.traffic().total_bytes())
+        );
+    }
+
+    // --- 2. reassembly tax ---
+    section("Ablation 2: queue-local vs out-of-order reassembly (ByteExpress, 200 B payloads)");
+    println!(
+        "{:>12} {:>10} {:>14} {:>14}",
+        "policy", "chunks/op", "traffic/op", "mean latency"
+    );
+    for policy in [FetchPolicy::QueueLocal, FetchPolicy::Reassembly] {
+        let mut dev = Device::builder().nand_io(false).fetch_policy(policy).build();
+        let r = dev.measure_writes(n, 200, TransferMethod::ByteExpress).unwrap();
+        let chunks = dev.controller().stats().chunks_fetched as f64 / n as f64;
+        println!(
+            "{:>12} {:>10.1} {:>12} B {:>14}",
+            format!("{policy:?}"),
+            chunks,
+            fmt_bytes(r.traffic.total_bytes() / n as u64),
+            r.mean_latency()
+        );
+    }
+    println!("(8-byte chunk headers -> 56 payload bytes/chunk -> slightly more chunks)");
+
+    // --- 3. MPS sensitivity ---
+    section("Ablation 3: Max Payload Size sensitivity (PRP 4 KB writes)");
+    println!("{:>6} {:>14} {:>14}", "MPS", "traffic/op", "mean latency");
+    for mps in [128usize, 256, 512, 1024] {
+        let link = LinkConfig::gen2_x8().with_max_payload_size(mps);
+        let mut dev = Device::builder().nand_io(false).link(link).build();
+        let r = dev.measure_writes(n, 4096, TransferMethod::Prp).unwrap();
+        println!(
+            "{:>5}B {:>12} B {:>14}",
+            mps,
+            fmt_bytes(r.traffic.total_bytes() / n as u64),
+            r.mean_latency()
+        );
+    }
+    println!("(larger TLP payloads amortize the 20-24 B per-TLP overhead)");
+
+    // --- 4. PCIe generation ---
+    section("Ablation 4: PCIe generation (64 B and 4 KB writes, BX vs PRP)");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "link", "BX 64B lat", "PRP 64B lat", "BX 4KB lat", "PRP 4KB lat"
+    );
+    for (name, link) in [
+        ("gen2 x8", LinkConfig::gen2_x8()),
+        ("gen4 x4", LinkConfig::gen4_x4()),
+        ("gen5 x4", LinkConfig::gen5_x4()),
+    ] {
+        let mut dev = Device::builder().nand_io(false).link(link).build();
+        let bx64 = dev.measure_writes(n, 64, TransferMethod::ByteExpress).unwrap();
+        dev.reset_measurements();
+        let prp64 = dev.measure_writes(n, 64, TransferMethod::Prp).unwrap();
+        dev.reset_measurements();
+        let bx4k = dev.measure_writes(n, 4096, TransferMethod::ByteExpress).unwrap();
+        dev.reset_measurements();
+        let prp4k = dev.measure_writes(n, 4096, TransferMethod::Prp).unwrap();
+        println!(
+            "{:>10} {:>14} {:>14} {:>14} {:>14}",
+            name,
+            bx64.mean_latency(),
+            prp64.mean_latency(),
+            bx4k.mean_latency(),
+            prp4k.mean_latency()
+        );
+    }
+    println!(
+        "(faster links shrink PRP's serialization share, narrowing — not \
+         erasing — the small-payload gap:\nthe per-entry protocol costs \
+         ByteExpress removes are link-speed independent)"
+    );
+
+    // --- 5. SGL threshold ---
+    section("Ablation 5: SGL threshold (64 B writes via TransferMethod::Sgl)");
+    println!("{:>11} {:>14} {:>16}", "threshold", "traffic/op", "engaged path");
+    for threshold in [0usize, 4096, 32 * 1024] {
+        let mut dev = Device::builder().nand_io(false).build();
+        dev.driver_mut().set_sgl_threshold(threshold);
+        let r = dev.measure_writes(n, 64, TransferMethod::Sgl).unwrap();
+        let engaged = if dev.controller().stats().sgl_payload_bytes > 0 {
+            "SGL (fine-grained)"
+        } else {
+            "PRP (fallback)"
+        };
+        println!(
+            "{:>10}B {:>12} B {:>16}",
+            threshold,
+            fmt_bytes(r.traffic.total_bytes() / n as u64),
+            engaged
+        );
+    }
+    println!(
+        "(the Linux default of 32 KB routes every small payload over PRP — \
+         the configuration the paper optimizes)"
+    );
+
+    // --- 6. MMIO byte-interface baseline ---
+    section("Ablation 6: the §3.1 MMIO byte-interface baseline (2B-SSD style)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} | {:>12} {:>12} {:>12}",
+        "payload", "MMIO lat", "BX lat", "PRP lat", "MMIO traffic", "BX traffic", "PRP traffic"
+    );
+    let mut dev = Device::builder().nand_io(false).build();
+    for size in [64usize, 256, 1024, 4096] {
+        let mut lat = Vec::new();
+        let mut tra = Vec::new();
+        for method in [
+            TransferMethod::MmioByte,
+            TransferMethod::ByteExpress,
+            TransferMethod::Prp,
+        ] {
+            let r = dev.measure_writes(n, size, method).unwrap();
+            dev.reset_measurements();
+            lat.push(r.mean_latency());
+            tra.push(r.traffic.total_bytes() / n as u64);
+        }
+        println!(
+            "{:>7}B {:>14} {:>14} {:>14} | {:>10} B {:>10} B {:>10} B",
+            size, lat[0], lat[1], lat[2], tra[0], tra[1], tra[2]
+        );
+    }
+    println!(
+        "(the MMIO byte interface is the latency/traffic floor at every \
+         size — but it abandons the NVMe\ncommand model: dedicated buffers, \
+         a new host API, and device-side transactional coordination,\nwhich \
+         is exactly why the paper pursues the SQ-inline design instead)"
+    );
+}

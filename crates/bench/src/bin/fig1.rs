@@ -1,0 +1,69 @@
+//! Fig 1 — motivation: (a) MixGraph value sizes, (b) PRP traffic/latency
+//! staircase, (c) sub-1 KB traffic amplification.
+//!
+//! `cargo run -p bx-bench --release --bin fig1 [-- n_ops]`
+
+use bx_bench::{fmt_bytes, ops_arg, section};
+use bx_workloads::{amplification_sweep_sizes, latency_staircase_sizes, MixGraph};
+use byteexpress::{Device, TransferMethod};
+
+fn main() {
+    let n = ops_arg(20_000);
+
+    // --- (a) value-size distribution ---
+    section("Fig 1(a): MixGraph value-size distribution (GPD k=0.2615, sigma=25.45)");
+    let mut gen = MixGraph::with_defaults();
+    let samples: Vec<usize> = (0..1_000_000).map(|_| gen.sample_value_size()).collect();
+    let buckets = [8usize, 16, 32, 64, 128, 256, 512, 1024];
+    println!("{:>10} {:>10} {:>8}", "size <=", "count", "cdf");
+    let mut cum = 0usize;
+    let mut prev = 0usize;
+    for b in buckets {
+        let count = samples.iter().filter(|&&s| s > prev && s <= b).count();
+        cum += count;
+        println!(
+            "{:>9}B {:>10} {:>7.1}%",
+            b,
+            fmt_bytes(count as u64),
+            100.0 * cum as f64 / samples.len() as f64
+        );
+        prev = b;
+    }
+    let under32 = samples.iter().filter(|&&s| s <= 32).count() as f64 / samples.len() as f64;
+    println!("fraction <= 32 B: {:.1}% (paper: \"over 60%\")", under32 * 100.0);
+
+    // --- (b) PRP staircase ---
+    section("Fig 1(b): PRP-based writes, PCIe traffic & transfer latency (NAND off)");
+    let mut dev = Device::builder().nand_io(false).build();
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "payload", "traffic/op", "pages", "avg latency"
+    );
+    for size in latency_staircase_sizes() {
+        let r = dev.measure_writes(n, size, TransferMethod::Prp).unwrap();
+        dev.reset_measurements();
+        println!(
+            "{:>7}B {:>12} B {:>12} {:>12}",
+            size,
+            fmt_bytes(r.traffic.total_bytes() / n as u64),
+            size.div_ceil(4096),
+            r.mean_latency()
+        );
+    }
+    println!("(traffic and latency step at 4 KB page boundaries)");
+
+    // --- (c) amplification ---
+    section("Fig 1(c): traffic amplification for sub-1 KB PRP payloads");
+    println!("{:>8} {:>14} {:>14}", "payload", "traffic/op", "amplification");
+    for size in amplification_sweep_sizes() {
+        let r = dev.measure_writes(n, size, TransferMethod::Prp).unwrap();
+        dev.reset_measurements();
+        println!(
+            "{:>7}B {:>12} B {:>13.1}x",
+            size,
+            fmt_bytes(r.traffic.total_bytes() / n as u64),
+            r.amplification()
+        );
+    }
+    println!("(paper: a 32-byte request generates >130x its size in traffic)");
+}

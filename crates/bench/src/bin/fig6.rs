@@ -1,0 +1,88 @@
+//! Fig 6 — KV-SSD evaluation with NAND I/O enabled: (a) MixGraph PUTs,
+//! (b) FillRandom with 128-byte values. PCIe traffic and average write
+//! throughput, with 1st–99th percentile bars.
+//!
+//! `cargo run -p bx-bench --release --bin fig6 [-- n_ops]`
+
+use bx_bench::{fmt_bytes, ops_arg, paper_methods, section};
+use bx_kvssd::{KvStore, KvStoreConfig};
+use bx_workloads::{FillRandom, KvOp, MixGraph};
+use byteexpress::{LatencySamples, TransferMethod};
+
+struct Outcome {
+    traffic: u64,
+    kops: f64,
+    p1_kops: f64,
+    p99_kops: f64,
+}
+
+fn run(method: TransferMethod, ops: &[KvOp]) -> Outcome {
+    let mut store = KvStore::open(KvStoreConfig {
+        method,
+        nand_io: true,
+        ..Default::default()
+    });
+    let before = store.device().traffic();
+    let t0 = store.now();
+    let mut samples = LatencySamples::with_capacity(ops.len());
+    for op in ops {
+        let completion = store.put(&op.key, &op.value).expect("put");
+        samples.record(completion.latency());
+    }
+    let traffic = store.device().traffic().since(&before).total_bytes();
+    let elapsed = store.now() - t0;
+    Outcome {
+        traffic,
+        kops: ops.len() as f64 / elapsed.as_secs_f64() / 1e3,
+        // Error bars: throughput at the 99th/1st percentile per-op latency
+        // (fast ops bound the top whisker, slow ops the bottom).
+        p1_kops: samples.throughput_at_percentile(99.0) / 1e3,
+        p99_kops: samples.throughput_at_percentile(1.0) / 1e3,
+    }
+}
+
+fn report(title: &str, ops: &[KvOp]) {
+    section(title);
+    println!(
+        "{:>12} {:>16} {:>12} {:>14} {:>22}",
+        "method", "PCIe traffic", "bytes/op", "throughput", "p1..p99 range"
+    );
+    let mut rows = Vec::new();
+    for method in paper_methods() {
+        let o = run(method, ops);
+        println!(
+            "{:>12} {:>14} B {:>10.0} B {:>9.1} Kops/s {:>9.1}..{:.1} Kops/s",
+            method.to_string(),
+            fmt_bytes(o.traffic),
+            o.traffic as f64 / ops.len() as f64,
+            o.kops,
+            o.p1_kops,
+            o.p99_kops
+        );
+        rows.push(o);
+    }
+    let (prp, bs, bx) = (&rows[0], &rows[1], &rows[2]);
+    println!(
+        "BX traffic cut vs PRP: {:.1}%   BX/BandSlim traffic ratio: {:.2}x   \
+         BX throughput vs BandSlim: {:+.1}%",
+        100.0 * (1.0 - bx.traffic as f64 / prp.traffic as f64),
+        bx.traffic as f64 / bs.traffic as f64,
+        100.0 * (bx.kops / bs.kops - 1.0)
+    );
+}
+
+fn main() {
+    let n = ops_arg(50_000);
+
+    let mixgraph: Vec<KvOp> = MixGraph::with_defaults().take(n).collect();
+    report(
+        &format!("Fig 6(a): MixGraph, {n} PUTs, NAND on (paper: BX traffic ~1.75x BandSlim, throughput ~+8%)"),
+        &mixgraph,
+    );
+
+    let fillrandom: Vec<KvOp> = FillRandom::paper_default().take(n).collect();
+    report(
+        &format!("Fig 6(b): FillRandom 128 B values, {n} PUTs, NAND on (paper: BX lowest traffic, ~+1 Kops/s)"),
+        &fillrandom,
+    );
+}

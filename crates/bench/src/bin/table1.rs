@@ -1,0 +1,81 @@
+//! Table 1 — the overheads introduced by ByteExpress: driver SQ submit and
+//! controller SQ fetch, for PRP and ByteExpress at 64/128/256 B.
+//!
+//! The driver column comes from the driver timing model (what the paper
+//! measured with host-side instrumentation); the controller column is
+//! measured end-to-end by differencing virtual-time latencies so the figure
+//! reflects the composed system, not just configuration constants.
+//!
+//! `cargo run -p bx-bench --release --bin table1`
+
+use byteexpress::{
+    Device, DriverTiming, LinkConfig, Nanos, TrafficClass, TransferMethod,
+};
+
+fn end_to_end_latency(dev: &mut Device, size: usize, method: TransferMethod) -> Nanos {
+    let r = dev.measure_writes(500, size, method).unwrap();
+    dev.reset_measurements();
+    r.mean_latency()
+}
+
+fn main() {
+    let timing = DriverTiming::default();
+    let mut dev = Device::builder().nand_io(false).build();
+
+    // Controller fetch base: the link model's 64-byte DMA + dispatch overhead.
+    let mut link = byteexpress::pcie::PcieLink::new(LinkConfig::gen2_x8());
+    let sqe_dma = link.device_read(TrafficClass::SqeFetch, 64);
+    let ctrl_timing = byteexpress::ControllerTiming::default();
+    let fetch_base = ctrl_timing.fetch_dispatch_overhead + sqe_dma;
+
+    // End-to-end marginal chunk cost (controller side + driver side), from
+    // measured latency slopes.
+    let l64 = end_to_end_latency(&mut dev, 64, TransferMethod::ByteExpress);
+    let l128 = end_to_end_latency(&mut dev, 128, TransferMethod::ByteExpress);
+    let marginal = l128 - l64;
+    let driver_marginal = timing.per_chunk_insert;
+    let ctrl_marginal = marginal - driver_marginal;
+
+    println!("Table 1: The overheads introduced by ByteExpress\n");
+    println!(
+        "{:<22} {:>18} {:>22}",
+        "System", "Driver SQ Submit", "Controller SQ Fetch"
+    );
+    println!(
+        "{:<22} {:>16}ns {:>20}ns",
+        "NVMe PRP (ALL)",
+        timing.sqe_insert.as_ns(),
+        fetch_base.as_ns()
+    );
+    for chunks in [1u64, 2, 4] {
+        let size = chunks * 64;
+        let submit = timing.bx_cmd_insert + timing.per_chunk_insert * chunks;
+        let fetch = fetch_base + ctrl_marginal * chunks;
+        println!(
+            "{:<22} {:>16}ns {:>20}ns",
+            format!("ByteExpress ({size}B)"),
+            submit.as_ns(),
+            fetch.as_ns()
+        );
+    }
+
+    println!(
+        "\npaper reference:      PRP ~60ns / ~2400ns;  BX 64B ~100/~2800; \
+         128B ~130/~3200; 256B ~180/~4000"
+    );
+    println!(
+        "measured marginal cost per extra 64-byte SQ entry: {} \
+         (driver {} + controller {})",
+        marginal, driver_marginal, ctrl_marginal
+    );
+    println!(
+        "per-chunk insert ~{}ns on the host (paper: \"inserting one chunk \
+         takes ~30ns\"),",
+        timing.per_chunk_insert.as_ns()
+    );
+    println!(
+        "per-entry fetch ~{}ns on the device (paper: \"fetching an SQ entry \
+         takes ~400ns\")",
+        ctrl_timing.per_chunk_fetch.as_ns()
+    );
+}

@@ -1,0 +1,78 @@
+//! # bx-bench — the figure/table regeneration harness
+//!
+//! One binary per evaluation artifact in the paper:
+//!
+//! | Binary   | Regenerates                                                      |
+//! |----------|------------------------------------------------------------------|
+//! | `fig1`   | Fig 1(a) value-size distribution, (b) PRP staircase, (c) amplification |
+//! | `fig4`   | Fig 4 query/segment lengths                                       |
+//! | `fig5`   | Fig 5 traffic + latency across payload sizes and methods          |
+//! | `table1` | Table 1 driver-submit / controller-fetch overheads                |
+//! | `fig6`   | Fig 6 KV-SSD MixGraph + FillRandom (traffic, throughput, p1–p99)  |
+//! | `fig7`   | Fig 7 CSD pushdown traffic + throughput                           |
+//! | `ablation` | Hybrid threshold, reassembly tax, MPS/PCIe-gen/SGL sweeps, MMIO baseline |
+//! | `energy` | Link energy per op / per payload byte (§1's power motivation)   |
+//!
+//! Run each with `cargo run -p bx-bench --release --bin <name> [-- n_ops]`.
+//! Op counts default to fast-but-stable values; pass a count to match the
+//! paper's 1 M-op runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use byteexpress::TransferMethod;
+
+/// Parses the optional op-count CLI argument, with a default.
+pub fn ops_arg(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The three methods every figure compares, in paper order.
+pub fn paper_methods() -> [TransferMethod; 3] {
+    [
+        TransferMethod::Prp,
+        TransferMethod::BandSlim { embed_first: true },
+        TransferMethod::ByteExpress,
+    ]
+}
+
+/// Formats a byte count with thousands separators.
+pub fn fmt_bytes(b: u64) -> String {
+    let s = b.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(0), "0");
+        assert_eq!(fmt_bytes(999), "999");
+        assert_eq!(fmt_bytes(1000), "1,000");
+        assert_eq!(fmt_bytes(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn methods_in_paper_order() {
+        let m = paper_methods();
+        assert_eq!(m[0], TransferMethod::Prp);
+        assert_eq!(m[2], TransferMethod::ByteExpress);
+    }
+}

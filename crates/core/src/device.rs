@@ -1,0 +1,519 @@
+//! The high-level device handle: a driver + controller pair on one bus,
+//! wired and ready for I/O.
+
+use crate::stats::LatencySamples;
+use bx_driver::{Completion, DriverError, InlineMode, NvmeDriver, TransferMethod};
+use bx_hostsim::Nanos;
+use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status};
+use bx_pcie::{LinkConfig, TrafficCounters};
+use bx_ssd::{
+    BlockFirmware, Controller, ControllerConfig, ControllerTiming, DeviceDram, FetchPolicy,
+    FirmwareHandler, NandConfig, SystemBus,
+};
+use std::fmt;
+
+/// Errors surfaced by the device facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The driver rejected the operation.
+    Driver(DriverError),
+    /// The device completed the command with a failure status.
+    Command(Status),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Driver(e) => write!(f, "driver error: {e}"),
+            DeviceError::Command(s) => write!(f, "command failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<DriverError> for DeviceError {
+    fn from(e: DriverError) -> Self {
+        DeviceError::Driver(e)
+    }
+}
+
+/// Configures and builds a [`Device`].
+///
+/// # Example
+///
+/// ```
+/// use byteexpress::{Device, TransferMethod};
+///
+/// # fn main() -> Result<(), byteexpress::DeviceError> {
+/// let mut dev = Device::builder()
+///     .nand_io(false) // the paper's transfer-latency mode
+///     .build();
+/// let report = dev.write(0, &[0xAB; 64], TransferMethod::ByteExpress)?;
+/// assert!(report.latency() > byteexpress::Nanos::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DeviceBuilder {
+    link: LinkConfig,
+    nand: NandConfig,
+    queue_depth: u16,
+    queue_count: usize,
+    fetch_policy: FetchPolicy,
+    dram_capacity: usize,
+    host_mem_capacity: usize,
+    controller_timing: ControllerTiming,
+    firmware: Option<Box<dyn FnOnce(&mut DeviceDram) -> Box<dyn FirmwareHandler>>>,
+}
+
+impl fmt::Debug for DeviceBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceBuilder")
+            .field("queue_depth", &self.queue_depth)
+            .field("queue_count", &self.queue_count)
+            .field("fetch_policy", &self.fetch_policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for DeviceBuilder {
+    fn default() -> Self {
+        DeviceBuilder {
+            link: LinkConfig::gen2_x8(),
+            nand: NandConfig::small(),
+            queue_depth: 1024,
+            queue_count: 1,
+            fetch_policy: FetchPolicy::QueueLocal,
+            dram_capacity: 64 << 20,
+            host_mem_capacity: 256 << 20,
+            controller_timing: ControllerTiming::default(),
+            firmware: None,
+        }
+    }
+}
+
+impl DeviceBuilder {
+    /// Starts from defaults (Gen2 ×8, NAND on, one 1024-deep queue pair).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the PCIe link configuration.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Enables or disables NAND I/O (the paper's two measurement modes).
+    pub fn nand_io(mut self, enabled: bool) -> Self {
+        self.nand = if enabled {
+            NandConfig::small()
+        } else {
+            NandConfig::disabled()
+        };
+        self
+    }
+
+    /// Uses a custom NAND configuration.
+    pub fn nand_config(mut self, cfg: NandConfig) -> Self {
+        self.nand = cfg;
+        self
+    }
+
+    /// Sets queue depth (entries per SQ/CQ).
+    pub fn queue_depth(mut self, depth: u16) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the number of I/O queue pairs.
+    pub fn queue_count(mut self, count: usize) -> Self {
+        assert!(count >= 1, "at least one queue pair required");
+        self.queue_count = count;
+        self
+    }
+
+    /// Selects the chunk-fetch policy (queue-local vs out-of-order
+    /// reassembly); the driver's framing mode is matched automatically.
+    pub fn fetch_policy(mut self, policy: FetchPolicy) -> Self {
+        self.fetch_policy = policy;
+        self
+    }
+
+    /// Overrides controller timing constants.
+    pub fn controller_timing(mut self, timing: ControllerTiming) -> Self {
+        self.controller_timing = timing;
+        self
+    }
+
+    /// Installs custom firmware (KV-SSD, CSD). Defaults to block firmware
+    /// with NAND I/O matching [`DeviceBuilder::nand_io`].
+    pub fn firmware(
+        mut self,
+        f: impl FnOnce(&mut DeviceDram) -> Box<dyn FirmwareHandler> + 'static,
+    ) -> Self {
+        self.firmware = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the device, performing the full NVMe bring-up: admin queue
+    /// registers, controller enable, Identify, and admin-command queue
+    /// creation.
+    pub fn build(self) -> Device {
+        // One doorbell pair per I/O queue plus the admin queue.
+        let bus = SystemBus::new(self.link, self.host_mem_capacity, self.queue_count + 1);
+        let nand_enabled = self.nand.enabled;
+        let cfg = ControllerConfig {
+            timing: self.controller_timing,
+            nand: self.nand,
+            dram_capacity: self.dram_capacity,
+            over_provision: 0.25,
+            fetch_policy: self.fetch_policy,
+            reassembly_sram: 64 << 10,
+            identify: bx_nvme::IdentifyController {
+                vendor: bx_nvme::VendorCaps {
+                    byteexpress: true,
+                    reassembly: true,
+                    bandslim: true,
+                    key_value: true,
+                    csd: true,
+                },
+                ..Default::default()
+            },
+        };
+        let firmware = self.firmware.unwrap_or_else(|| {
+            Box::new(move |dram: &mut DeviceDram| {
+                Box::new(BlockFirmware::new(dram, nand_enabled)) as Box<dyn FirmwareHandler>
+            })
+        });
+        let mut ctrl = Controller::new(bus.clone(), cfg, firmware);
+        let mut driver = NvmeDriver::new(bus.clone());
+        if self.fetch_policy == FetchPolicy::Reassembly {
+            driver.set_inline_mode(InlineMode::Reassembly);
+        }
+        let identify = driver
+            .initialize(&mut ctrl)
+            .expect("controller bring-up must succeed");
+        let mut qids = Vec::with_capacity(self.queue_count);
+        for _ in 0..self.queue_count {
+            qids.push(
+                driver
+                    .create_io_queue(&mut ctrl, self.queue_depth)
+                    .expect("host memory must fit the configured queues"),
+            );
+        }
+        Device {
+            bus,
+            driver,
+            ctrl,
+            qids,
+            identify,
+        }
+    }
+}
+
+/// A ready-to-use simulated NVMe device with its host driver.
+///
+/// `Device` is the entry point for everything downstream: block I/O here,
+/// key-value and SQL-pushdown sessions in `bx-kvssd`/`bx-csd` (which wrap a
+/// `Device` built with their firmware).
+pub struct Device {
+    bus: SystemBus,
+    driver: NvmeDriver,
+    ctrl: Controller,
+    qids: Vec<QueueId>,
+    identify: bx_nvme::IdentifyController,
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Device")
+            .field("queues", &self.qids.len())
+            .field("driver", &self.driver)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Device {
+    /// Starts building a device.
+    pub fn builder() -> DeviceBuilder {
+        DeviceBuilder::new()
+    }
+
+    /// A device with all defaults.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// The shared bus (traffic counters, clock, memory).
+    pub fn bus(&self) -> &SystemBus {
+        &self.bus
+    }
+
+    /// The I/O queue ids, in creation order.
+    pub fn queues(&self) -> &[QueueId] {
+        &self.qids
+    }
+
+    /// The controller's Identify data, captured during bring-up.
+    pub fn identify(&self) -> &bx_nvme::IdentifyController {
+        &self.identify
+    }
+
+    /// Adds an I/O queue pair at runtime (admin Create-IO-CQ/SQ commands).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Driver`] if creation fails.
+    pub fn add_io_queue(&mut self, depth: u16) -> Result<QueueId, DeviceError> {
+        let qid = self.driver.create_io_queue(&mut self.ctrl, depth)?;
+        self.qids.push(qid);
+        Ok(qid)
+    }
+
+    /// Deletes an I/O queue pair at runtime (admin commands, SQ then CQ).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Driver`] if the controller rejects deletion.
+    pub fn delete_io_queue(&mut self, qid: QueueId) -> Result<(), DeviceError> {
+        self.driver.delete_io_queue(&mut self.ctrl, qid)?;
+        self.qids.retain(|&q| q != qid);
+        Ok(())
+    }
+
+    /// Mutable access to the driver (threshold/mode reconfiguration).
+    pub fn driver_mut(&mut self) -> &mut NvmeDriver {
+        &mut self.driver
+    }
+
+    /// The controller (stats inspection).
+    pub fn controller(&self) -> &Controller {
+        &self.ctrl
+    }
+
+    /// Driver + controller + link counters in one snapshot.
+    pub fn traffic(&self) -> TrafficCounters {
+        self.bus.traffic()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.bus.clock.now()
+    }
+
+    /// Resets traffic counters and the clock between measurement runs.
+    pub fn reset_measurements(&mut self) {
+        self.bus.reset_measurements();
+    }
+
+    /// Executes a passthrough command on queue 0.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Driver`] on submit failure; completions (including
+    /// error statuses) are returned as `Ok`.
+    pub fn passthru(
+        &mut self,
+        cmd: &PassthruCmd,
+        method: TransferMethod,
+    ) -> Result<Completion, DeviceError> {
+        self.passthru_on(self.qids[0], cmd, method)
+    }
+
+    /// Executes a passthrough command on a specific queue.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Driver`] on submit failure.
+    pub fn passthru_on(
+        &mut self,
+        qid: QueueId,
+        cmd: &PassthruCmd,
+        method: TransferMethod,
+    ) -> Result<Completion, DeviceError> {
+        Ok(self.driver.execute(qid, &mut self.ctrl, cmd, method)?)
+    }
+
+    /// Writes `data` at logical block `lba` using `method`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`] on submit failure or device-reported error status.
+    pub fn write(
+        &mut self,
+        lba: u64,
+        data: &[u8],
+        method: TransferMethod,
+    ) -> Result<Completion, DeviceError> {
+        let mut cmd = PassthruCmd::to_device(IoOpcode::Write, 1, data.to_vec());
+        cmd.cdw10_15[0] = lba as u32;
+        cmd.cdw10_15[1] = (lba >> 32) as u32;
+        let completion = self.passthru(&cmd, method)?;
+        if !completion.status.is_success() {
+            return Err(DeviceError::Command(completion.status));
+        }
+        Ok(completion)
+    }
+
+    /// Reads `len` bytes from logical block `lba`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`] on submit failure or device-reported error status.
+    pub fn read(&mut self, lba: u64, len: usize) -> Result<Vec<u8>, DeviceError> {
+        let mut cmd = PassthruCmd::from_device(IoOpcode::Read, 1, len);
+        cmd.cdw10_15[0] = lba as u32;
+        cmd.cdw10_15[1] = (lba >> 32) as u32;
+        let completion = self.passthru(&cmd, TransferMethod::Prp)?;
+        if !completion.status.is_success() {
+            return Err(DeviceError::Command(completion.status));
+        }
+        Ok(completion.data.unwrap_or_default())
+    }
+
+    /// Runs `n` writes of `size` bytes through `method` and summarizes
+    /// latency + traffic — the measurement loop behind Fig 1(b), Fig 5 and
+    /// the microbench examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failed write.
+    pub fn measure_writes(
+        &mut self,
+        n: usize,
+        size: usize,
+        method: TransferMethod,
+    ) -> Result<RunReport, DeviceError> {
+        let traffic_before = self.traffic();
+        let t0 = self.now();
+        let mut latencies = LatencySamples::with_capacity(n);
+        let data = vec![0xA5u8; size];
+        for i in 0..n {
+            let completion = self.write((i % 1024) as u64 * 16, &data, method)?;
+            latencies.record(completion.latency());
+        }
+        let traffic = self.traffic().since(&traffic_before);
+        Ok(RunReport {
+            ops: n,
+            payload_bytes: (n * size) as u64,
+            elapsed: self.now() - t0,
+            latencies,
+            traffic,
+        })
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary of one measurement run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Operations performed.
+    pub ops: usize,
+    /// Application payload bytes moved.
+    pub payload_bytes: u64,
+    /// Virtual time elapsed.
+    pub elapsed: Nanos,
+    /// Per-op latency samples.
+    pub latencies: LatencySamples,
+    /// PCIe traffic for the run.
+    pub traffic: bx_pcie::TrafficCounters,
+}
+
+impl RunReport {
+    /// Average wire bytes per operation.
+    pub fn wire_bytes_per_op(&self) -> f64 {
+        self.traffic.total_bytes() as f64 / self.ops as f64
+    }
+
+    /// Traffic amplification: wire bytes / payload bytes (Fig 1c).
+    pub fn amplification(&self) -> f64 {
+        self.traffic.total_bytes() as f64 / self.payload_bytes as f64
+    }
+
+    /// Mean per-op latency.
+    pub fn mean_latency(&self) -> Nanos {
+        self.latencies.mean()
+    }
+
+    /// Ops per second over the serialized run.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_write_read_round_trip() {
+        let mut dev = Device::builder().build();
+        let data: Vec<u8> = (0..300).map(|i| (i % 256) as u8).collect();
+        dev.write(8, &data, TransferMethod::ByteExpress).unwrap();
+        assert_eq!(dev.read(8, 300).unwrap(), data);
+    }
+
+    #[test]
+    fn measure_writes_report_sane() {
+        let mut dev = Device::builder().nand_io(false).build();
+        let report = dev
+            .measure_writes(100, 64, TransferMethod::ByteExpress)
+            .unwrap();
+        assert_eq!(report.ops, 100);
+        assert_eq!(report.payload_bytes, 6400);
+        assert!(report.amplification() > 1.0);
+        assert!(report.throughput_ops_per_sec() > 0.0);
+        assert!(report.mean_latency() > Nanos::ZERO);
+        assert_eq!(report.latencies.len(), 100);
+    }
+
+    #[test]
+    fn reset_between_runs_isolates_traffic() {
+        let mut dev = Device::builder().nand_io(false).build();
+        dev.measure_writes(10, 64, TransferMethod::Prp).unwrap();
+        dev.reset_measurements();
+        assert_eq!(dev.traffic().total_bytes(), 0);
+        assert_eq!(dev.now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn reassembly_device_round_trips() {
+        let mut dev = Device::builder()
+            .fetch_policy(FetchPolicy::Reassembly)
+            .build();
+        let data = vec![0x3C; 500];
+        dev.write(0, &data, TransferMethod::ByteExpress).unwrap();
+        assert_eq!(dev.read(0, 500).unwrap(), data);
+        assert_eq!(dev.controller().reassembly().completed_count(), 1);
+    }
+
+    #[test]
+    fn multi_queue_device() {
+        let mut dev = Device::builder().queue_count(4).build();
+        assert_eq!(dev.queues().len(), 4);
+        let q3 = dev.queues()[3];
+        let mut cmd = PassthruCmd::to_device(IoOpcode::Write, 1, vec![1; 64]);
+        cmd.cdw10_15[0] = 0;
+        let c = dev
+            .passthru_on(q3, &cmd, TransferMethod::ByteExpress)
+            .unwrap();
+        assert!(c.status.is_success());
+    }
+
+    #[test]
+    fn failed_command_surfaces_status() {
+        let mut dev = Device::builder().build();
+        // Reading an unwritten LBA fails with LbaOutOfRange.
+        let err = dev.read(999, 100).unwrap_err();
+        assert_eq!(err, DeviceError::Command(Status::LbaOutOfRange));
+    }
+}

@@ -1,0 +1,179 @@
+//! Latency sample collection and summary statistics.
+//!
+//! The paper reports average latency (Fig 1, Fig 5), average throughput, and
+//! 1st–99th percentile ranges (Fig 6's error bars); this module provides
+//! exactly those summaries over virtual-time samples.
+
+use bx_hostsim::Nanos;
+
+/// A collection of per-operation latency samples.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySamples {
+    samples: Vec<Nanos>,
+    sorted: bool,
+}
+
+impl LatencySamples {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a collection with capacity reserved for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        LatencySamples {
+            samples: Vec::with_capacity(n),
+            sorted: false,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Nanos) {
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> Nanos {
+        if self.samples.is_empty() {
+            return Nanos::ZERO;
+        }
+        let total: u64 = self.samples.iter().map(|n| n.as_ns()).sum();
+        Nanos::from_ns(total / self.samples.len() as u64)
+    }
+
+    /// The `p`-th percentile (0.0–100.0) by nearest-rank; zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside 0.0..=100.0.
+    pub fn percentile(&mut self, p: f64) -> Nanos {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return Nanos::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Smallest sample; zero when empty.
+    pub fn min(&self) -> Nanos {
+        self.samples.iter().copied().min().unwrap_or(Nanos::ZERO)
+    }
+
+    /// Largest sample; zero when empty.
+    pub fn max(&self) -> Nanos {
+        self.samples.iter().copied().max().unwrap_or(Nanos::ZERO)
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> Nanos {
+        Nanos::from_ns(self.samples.iter().map(|n| n.as_ns()).sum())
+    }
+
+    /// Operations per second if the samples ran back to back (the
+    /// serialized-pipeline throughput the simulation measures).
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        let total = self.total();
+        if total.is_zero() {
+            return 0.0;
+        }
+        self.samples.len() as f64 / total.as_secs_f64()
+    }
+
+    /// Throughput computed from a percentile latency — used for Fig 6-style
+    /// percentile error bars (ops/s at the p-th percentile per-op latency).
+    pub fn throughput_at_percentile(&mut self, p: f64) -> f64 {
+        let lat = self.percentile(p);
+        if lat.is_zero() {
+            return 0.0;
+        }
+        1.0 / lat.as_secs_f64()
+    }
+}
+
+impl Extend<Nanos> for LatencySamples {
+    fn extend<T: IntoIterator<Item = Nanos>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<Nanos> for LatencySamples {
+    fn from_iter<T: IntoIterator<Item = Nanos>>(iter: T) -> Self {
+        let mut s = LatencySamples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(ns: &[u64]) -> LatencySamples {
+        ns.iter().copied().map(Nanos::from_ns).collect()
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let s = samples(&[10, 20, 30, 40]);
+        assert_eq!(s.mean(), Nanos::from_ns(25));
+        assert_eq!(s.min(), Nanos::from_ns(10));
+        assert_eq!(s.max(), Nanos::from_ns(40));
+        assert_eq!(s.total(), Nanos::from_ns(100));
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = samples(&(1..=100).collect::<Vec<_>>());
+        assert_eq!(s.percentile(0.0), Nanos::from_ns(1));
+        assert_eq!(s.percentile(50.0), Nanos::from_ns(51)); // nearest rank
+        assert_eq!(s.percentile(100.0), Nanos::from_ns(100));
+        assert_eq!(s.percentile(99.0), Nanos::from_ns(99));
+        assert_eq!(s.percentile(1.0), Nanos::from_ns(2));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let mut s = samples(&[5, 1, 9, 3, 7]);
+        assert_eq!(s.percentile(0.0), Nanos::from_ns(1));
+        assert_eq!(s.percentile(100.0), Nanos::from_ns(9));
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let mut s = LatencySamples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), Nanos::ZERO);
+        assert_eq!(s.percentile(50.0), Nanos::ZERO);
+        assert_eq!(s.throughput_ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn throughput() {
+        // 4 ops, 1 ms each → 4000 ops/s... actually 1/0.001 = 1000 ops/s avg.
+        let s = samples(&[1_000_000; 4]);
+        assert!((s.throughput_ops_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_percentile_panics() {
+        samples(&[1]).percentile(101.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The Fig 4 query corpus.
+//!
+//! The paper analyzes example queries from prior CSD studies — the VPIC,
+//! Laghos and Asteroid scientific datasets (LANL) and TPC-H Q1/Q2 — and
+//! measures the lengths of (a) the full SQL string and (b) just the
+//! table-identifier + predicate segment. Scientific-workload payloads stay
+//! under 100 bytes even as full strings; TPC-H full strings run to a couple
+//! hundred bytes while their single-table filter segments stay under 100
+//! (§2.2.2, Fig 4). The corpus reconstructs queries with those length
+//! characteristics plus synthetic tables they execute against.
+
+use crate::row::{Row, Value};
+use crate::schema::{Column, ColumnType, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One corpus entry: the query in both encodings plus a matching table
+/// generator.
+#[derive(Debug, Clone)]
+pub struct CorpusQuery {
+    /// Display name (the Fig 4 x-axis label).
+    pub name: &'static str,
+    /// The complete SQL text.
+    pub full_sql: String,
+    /// The pushdown table.
+    pub table: &'static str,
+    /// The predicate segment (the part after WHERE, single-table filter).
+    pub predicate: String,
+    /// Schema of the pushdown table.
+    pub schema: Schema,
+}
+
+impl CorpusQuery {
+    /// The segment-mode task payload (`table\0predicate`), whose length is
+    /// the Fig 4 "table/predicate segment" bar.
+    pub fn segment_payload(&self) -> String {
+        format!("{}\0{}", self.table, self.predicate)
+    }
+
+    /// Generates `n` synthetic rows for the pushdown table, seeded.
+    pub fn generate_rows(&self, n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let values = self
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| match (self.table, c.name.as_str(), c.ty) {
+                        // Value ranges chosen so the corpus predicates have
+                        // meaningful (non-0, non-100%) selectivity.
+                        (_, "energy", _) => Value::Float(rng.gen_range(0.0..3.0)),
+                        (_, "internal_energy", _) => Value::Float(rng.gen_range(0.0..500.0)),
+                        (_, "density", _) => Value::Float(rng.gen_range(0.0..16.0)),
+                        (_, "v02", _) => Value::Float(rng.gen_range(0.0..1.0)),
+                        (_, "prs", _) => Value::Float(rng.gen_range(0.0..6.1e8)),
+                        (_, "l_shipdate", _) => Value::Str(format!(
+                            "199{}-{:02}-{:02}",
+                            rng.gen_range(2..9),
+                            rng.gen_range(1..13),
+                            rng.gen_range(1..29)
+                        )),
+                        (_, "l_returnflag", _) => {
+                            Value::Str(["A", "N", "R"][rng.gen_range(0..3)].to_string())
+                        }
+                        (_, "l_linestatus", _) => {
+                            Value::Str(["O", "F"][rng.gen_range(0..2)].to_string())
+                        }
+                        (_, "r_name", _) => Value::Str(
+                            ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+                                [rng.gen_range(0..5)]
+                            .to_string(),
+                        ),
+                        (_, _, ColumnType::Int) => Value::Int(i as i64),
+                        (_, _, ColumnType::Float) => Value::Float(rng.gen_range(0.0..100.0)),
+                        (_, _, ColumnType::Str) => {
+                            Value::Str(format!("row-{i}-{}", rng.gen_range(0..100)))
+                        }
+                    })
+                    .collect();
+                Row::new(values)
+            })
+            .collect()
+    }
+}
+
+/// The five Fig 4 queries.
+pub fn corpus() -> Vec<CorpusQuery> {
+    vec![
+        CorpusQuery {
+            name: "VPIC",
+            full_sql: "SELECT * FROM particles WHERE energy > 1.3".to_string(),
+            table: "particles",
+            predicate: "energy > 1.3".to_string(),
+            schema: Schema::new(
+                "particles",
+                vec![
+                    Column::new("pid", ColumnType::Int),
+                    Column::new("energy", ColumnType::Float),
+                ],
+            ),
+        },
+        CorpusQuery {
+            name: "Laghos",
+            full_sql: "SELECT * FROM zones WHERE internal_energy >= 250.0 AND density < 8.0"
+                .to_string(),
+            table: "zones",
+            predicate: "internal_energy >= 250.0 AND density < 8.0".to_string(),
+            schema: Schema::new(
+                "zones",
+                vec![
+                    Column::new("zid", ColumnType::Int),
+                    Column::new("internal_energy", ColumnType::Float),
+                    Column::new("density", ColumnType::Float),
+                ],
+            ),
+        },
+        CorpusQuery {
+            name: "Asteroid",
+            full_sql: "SELECT * FROM waterimpact WHERE v02 > 0.85 AND prs > 305000000.0"
+                .to_string(),
+            table: "waterimpact",
+            predicate: "v02 > 0.85 AND prs > 305000000.0".to_string(),
+            schema: Schema::new(
+                "waterimpact",
+                vec![
+                    Column::new("cid", ColumnType::Int),
+                    Column::new("v02", ColumnType::Float),
+                    Column::new("prs", ColumnType::Float),
+                ],
+            ),
+        },
+        CorpusQuery {
+            name: "TPC-H Q1",
+            full_sql: "SELECT l_returnflag, l_linestatus, sum(l_quantity), \
+                       sum(l_extendedprice), avg(l_discount), count(*) FROM lineitem \
+                       WHERE l_shipdate <= '1998-09-02' \
+                       GROUP BY l_returnflag, l_linestatus \
+                       ORDER BY l_returnflag, l_linestatus"
+                .to_string(),
+            table: "lineitem",
+            predicate: "l_shipdate <= '1998-09-02'".to_string(),
+            schema: Schema::new(
+                "lineitem",
+                vec![
+                    Column::new("l_orderkey", ColumnType::Int),
+                    Column::new("l_quantity", ColumnType::Float),
+                    Column::new("l_extendedprice", ColumnType::Float),
+                    Column::new("l_discount", ColumnType::Float),
+                    Column::new("l_shipdate", ColumnType::Str),
+                    Column::new("l_returnflag", ColumnType::Str),
+                    Column::new("l_linestatus", ColumnType::Str),
+                ],
+            ),
+        },
+        CorpusQuery {
+            name: "TPC-H Q2",
+            full_sql: "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr FROM part, \
+                       supplier, partsupp, nation, region WHERE p_partkey = ps_partkey \
+                       AND s_suppkey = ps_suppkey AND p_size = 15 AND r_name = 'EUROPE' \
+                       ORDER BY s_acctbal"
+                .to_string(),
+            table: "region",
+            predicate: "r_name = 'EUROPE'".to_string(),
+            schema: Schema::new(
+                "region",
+                vec![
+                    Column::new("r_regionkey", ColumnType::Int),
+                    Column::new("r_name", ColumnType::Str),
+                ],
+            ),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::{parse_predicate, parse_query};
+
+    /// The corpus reproduces Fig 4's length characteristics.
+    #[test]
+    fn fig4_length_bands() {
+        let corpus = corpus();
+        assert_eq!(corpus.len(), 5);
+        for q in &corpus {
+            let seg = q.segment_payload();
+            assert!(
+                seg.len() < 100,
+                "{}: segment {} bytes should be < 100 (Fig 4)",
+                q.name,
+                seg.len()
+            );
+            assert!(
+                q.full_sql.len() < 4096,
+                "{}: full strings stay well under 4 KB",
+                q.name
+            );
+        }
+        // Scientific workloads: full string < 100 bytes (paper §4.3: "where
+        // the full SQL string is under 100 bytes").
+        for name in ["VPIC", "Laghos", "Asteroid"] {
+            let q = corpus.iter().find(|q| q.name == name).unwrap();
+            assert!(
+                q.full_sql.len() < 100,
+                "{name}: full SQL is {} bytes",
+                q.full_sql.len()
+            );
+        }
+        // TPC-H full strings are moderately sized (> 100 bytes).
+        for name in ["TPC-H Q1", "TPC-H Q2"] {
+            let q = corpus.iter().find(|q| q.name == name).unwrap();
+            assert!(q.full_sql.len() > 100, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        for q in corpus() {
+            let parsed = parse_query(&q.full_sql).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            assert!(parsed.tables.contains(&q.table.to_string()), "{}", q.name);
+            parse_predicate(&q.predicate).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn generated_rows_match_schema() {
+        for q in corpus() {
+            let rows = q.generate_rows(50, 7);
+            assert_eq!(rows.len(), 50);
+            assert!(
+                rows.iter().all(|r| r.matches_schema(&q.schema)),
+                "{}",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn row_generation_is_seeded() {
+        let q = &corpus()[0];
+        assert_eq!(q.generate_rows(10, 1), q.generate_rows(10, 1));
+        assert_ne!(q.generate_rows(10, 1), q.generate_rows(10, 2));
+    }
+
+    #[test]
+    fn predicates_have_sane_selectivity() {
+        use crate::eval::{eval, UnknownColumn};
+        for q in corpus() {
+            let rows = q.generate_rows(2000, 11);
+            let pred = parse_predicate(&q.predicate).unwrap();
+            let matched = rows
+                .iter()
+                .filter(|r| eval(&pred, &q.schema, r, UnknownColumn::Error).unwrap())
+                .count();
+            let sel = matched as f64 / rows.len() as f64;
+            assert!(
+                sel > 0.01 && sel < 0.99,
+                "{}: selectivity {sel:.3} is degenerate",
+                q.name
+            );
+        }
+    }
+}

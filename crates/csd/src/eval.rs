@@ -1,0 +1,227 @@
+//! Device-side predicate evaluation.
+//!
+//! The executor evaluates the pushed-down predicate against each row. Two
+//! policies for columns the table does not have:
+//!
+//! * [`UnknownColumn::Error`] — strict mode for segment tasks, where the
+//!   predicate is supposed to reference only the named table.
+//! * [`UnknownColumn::Neutral`] — full-SQL mode: comparisons touching other
+//!   tables' columns (join conditions in TPC-H text) evaluate to `true`, so
+//!   the device applies exactly the single-table filter portion — the same
+//!   isolation the paper describes for Q1/Q2 ("isolating the filter
+//!   condition on a single table").
+
+use crate::row::{Row, Value};
+use crate::schema::Schema;
+use crate::sql::{CmpOp, Expr, Operand};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Policy for predicate columns absent from the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownColumn {
+    /// Fail evaluation.
+    Error,
+    /// Treat the enclosing comparison as `true` (join-condition skipping).
+    Neutral,
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A referenced column is not in the schema (strict mode).
+    UnknownColumn(String),
+    /// Operands cannot be compared (e.g. string vs number).
+    TypeMismatch {
+        /// Textual description of the comparison.
+        cmp: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            EvalError::TypeMismatch { cmp } => write!(f, "type mismatch in {cmp}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `expr` against `row` under `schema`.
+///
+/// # Errors
+///
+/// [`EvalError`] for unknown columns (strict mode) or uncomparable operand
+/// types.
+pub fn eval(
+    expr: &Expr,
+    schema: &Schema,
+    row: &Row,
+    unknown: UnknownColumn,
+) -> Result<bool, EvalError> {
+    match expr {
+        Expr::And(a, b) => Ok(eval(a, schema, row, unknown)? && eval(b, schema, row, unknown)?),
+        Expr::Or(a, b) => Ok(eval(a, schema, row, unknown)? || eval(b, schema, row, unknown)?),
+        Expr::Not(e) => Ok(!eval(e, schema, row, unknown)?),
+        Expr::Cmp { left, op, right } => {
+            let lv = resolve(left, schema, row);
+            let rv = resolve(right, schema, row);
+            match (lv, rv) {
+                (Some(l), Some(r)) => compare(&l, *op, &r, expr),
+                _ => match unknown {
+                    UnknownColumn::Neutral => Ok(true),
+                    UnknownColumn::Error => {
+                        let missing = [left, right]
+                            .into_iter()
+                            .find_map(|o| match o {
+                                Operand::Col(c) if !schema.has_column(c) => Some(c.clone()),
+                                _ => None,
+                            })
+                            .unwrap_or_default();
+                        Err(EvalError::UnknownColumn(missing))
+                    }
+                },
+            }
+        }
+    }
+}
+
+fn resolve(op: &Operand, schema: &Schema, row: &Row) -> Option<Value> {
+    match op {
+        Operand::Lit(v) => Some(v.clone()),
+        Operand::Col(name) => schema.column_index(name).map(|i| row.values[i].clone()),
+    }
+}
+
+fn compare(l: &Value, op: CmpOp, r: &Value, expr: &Expr) -> Result<bool, EvalError> {
+    let ord = match (l, r) {
+        (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(EvalError::TypeMismatch {
+                    cmp: expr.to_string(),
+                });
+            };
+            a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+        }
+    };
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use crate::sql::parse_predicate;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("score", ColumnType::Float),
+                Column::new("name", ColumnType::Str),
+            ],
+        )
+    }
+
+    fn row(id: i64, score: f64, name: &str) -> Row {
+        Row::new(vec![
+            Value::Int(id),
+            Value::Float(score),
+            Value::Str(name.to_string()),
+        ])
+    }
+
+    fn check(pred: &str, r: &Row) -> bool {
+        eval(
+            &parse_predicate(pred).unwrap(),
+            &schema(),
+            r,
+            UnknownColumn::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let r = row(5, 2.5, "x");
+        assert!(check("id = 5", &r));
+        assert!(check("id >= 5", &r));
+        assert!(!check("id > 5", &r));
+        assert!(check("score < 3", &r)); // int literal vs float column
+        assert!(check("score <= 2.5", &r));
+        assert!(check("id != 4", &r));
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let r = row(1, 0.0, "europe");
+        assert!(check("name = 'europe'", &r));
+        assert!(!check("name = 'asia'", &r));
+        // Lexicographic date-style comparison.
+        let dated = Row::new(vec![
+            Value::Int(1),
+            Value::Float(0.0),
+            Value::Str("1998-06-15".into()),
+        ]);
+        assert!(check("name <= '1998-09-02'", &dated));
+        assert!(!check("name <= '1998-01-01'", &dated));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let r = row(5, 2.5, "x");
+        assert!(check("id = 5 AND score > 2", &r));
+        assert!(!check("id = 5 AND score > 3", &r));
+        assert!(check("id = 9 OR score > 2", &r));
+        assert!(check("NOT id = 9", &r));
+    }
+
+    #[test]
+    fn column_to_column() {
+        let r = row(2, 2.0, "x");
+        assert!(check("id = score", &r));
+        assert!(!check("id < score", &r));
+    }
+
+    #[test]
+    fn unknown_column_strict_errors() {
+        let r = row(1, 1.0, "x");
+        let e = parse_predicate("ghost > 1").unwrap();
+        assert_eq!(
+            eval(&e, &schema(), &r, UnknownColumn::Error).unwrap_err(),
+            EvalError::UnknownColumn("ghost".into())
+        );
+    }
+
+    #[test]
+    fn unknown_column_neutral_skips_join_conditions() {
+        // TPC-H Q2-style: join conditions reference other tables; the
+        // device applies only the local filter.
+        let r = row(1, 1.0, "EUROPE");
+        let e = parse_predicate("p_partkey = ps_partkey AND name = 'EUROPE'").unwrap();
+        assert!(eval(&e, &schema(), &r, UnknownColumn::Neutral).unwrap());
+        let e2 = parse_predicate("p_partkey = ps_partkey AND name = 'ASIA'").unwrap();
+        assert!(!eval(&e2, &schema(), &r, UnknownColumn::Neutral).unwrap());
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let r = row(1, 1.0, "x");
+        let e = parse_predicate("name > 5").unwrap();
+        assert!(matches!(
+            eval(&e, &schema(), &r, UnknownColumn::Error).unwrap_err(),
+            EvalError::TypeMismatch { .. }
+        ));
+    }
+}

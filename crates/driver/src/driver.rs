@@ -1,0 +1,1005 @@
+//! The driver proper: queue pairs, submit engines, completion polling.
+
+use crate::method::{InlineMode, TransferMethod};
+use crate::timing::DriverTiming;
+use bx_hostsim::{MemError, Nanos, PageRef, PhysAddr, PAGE_SIZE};
+use bx_nvme::passthru::DataDirection;
+use bx_nvme::prp::{pages_spanned, PrpError, PrpSegments};
+use bx_nvme::sqe::DataPointerKind;
+use bx_nvme::{
+    admin, bandslim, inline, sgl, CompletionEntry, CqRing, IdentifyController, PassthruCmd,
+    QueueId, SqRing, Status, SubmissionEntry, CQE_BYTES, SQE_BYTES,
+};
+use bx_ssd::registers::{Register, RegisterFile, CC_ENABLE};
+use bx_pcie::TrafficClass;
+use bx_ssd::{Controller, SystemBus};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Errors from driver operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The submission queue lacks room for the command (+ chunks/fragments).
+    QueueFull {
+        /// Slots needed.
+        needed: u16,
+        /// Slots free.
+        free: u16,
+    },
+    /// Payload exceeds what the method can carry on this queue.
+    PayloadTooLarge {
+        /// Payload length.
+        len: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A to-device command with an empty payload.
+    EmptyPayload,
+    /// Unknown queue id.
+    UnknownQueue(QueueId),
+    /// Host memory exhaustion or bad access.
+    Mem(MemError),
+    /// PRP construction failure.
+    Prp(PrpError),
+    /// The controller failed to become ready during bring-up.
+    NotReady,
+    /// An admin command completed with an error status.
+    AdminFailed(Status),
+    /// The controller does not advertise the capability this submission
+    /// needs (per its Identify data).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::QueueFull { needed, free } => {
+                write!(f, "submission queue full: need {needed} slots, {free} free")
+            }
+            DriverError::PayloadTooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds method limit {max}")
+            }
+            DriverError::EmptyPayload => write!(f, "to-device command with empty payload"),
+            DriverError::UnknownQueue(q) => write!(f, "unknown queue {q}"),
+            DriverError::Mem(e) => write!(f, "host memory error: {e}"),
+            DriverError::Prp(e) => write!(f, "prp error: {e}"),
+            DriverError::NotReady => write!(f, "controller did not become ready"),
+            DriverError::AdminFailed(s) => write!(f, "admin command failed: {s}"),
+            DriverError::Unsupported(what) => {
+                write!(f, "controller does not support {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<MemError> for DriverError {
+    fn from(e: MemError) -> Self {
+        DriverError::Mem(e)
+    }
+}
+
+impl From<PrpError> for DriverError {
+    fn from(e: PrpError) -> Self {
+        DriverError::Prp(e)
+    }
+}
+
+/// Counters describing driver activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Logical commands submitted.
+    pub submissions: u64,
+    /// Doorbell register writes.
+    pub doorbells: u64,
+    /// ByteExpress chunks appended to SQs.
+    pub chunks_written: u64,
+    /// BandSlim fragment commands issued.
+    pub frags_issued: u64,
+    /// Data pages mapped for PRP/SGL transfers.
+    pub pages_mapped: u64,
+    /// SGL requests that fell back to PRP below the threshold (§5).
+    pub sgl_fallbacks: u64,
+}
+
+/// Handle returned by [`NvmeDriver::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmittedCmd {
+    /// The queue the command went to.
+    pub queue: QueueId,
+    /// Command identifier, matched against completions.
+    pub cid: u16,
+    /// Virtual time at submission start.
+    pub submitted_at: Nanos,
+}
+
+/// A consumed completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Command identifier.
+    pub cid: u16,
+    /// Completion status.
+    pub status: Status,
+    /// CQE DW0 (command-specific result).
+    pub result: u32,
+    /// Response payload for from-device commands.
+    pub data: Option<Vec<u8>>,
+    /// Virtual time at submission start.
+    pub submitted_at: Nanos,
+    /// Virtual time when the driver consumed the CQE.
+    pub completed_at: Nanos,
+}
+
+impl Completion {
+    /// End-to-end latency: submit start → completion consumed.
+    pub fn latency(&self) -> Nanos {
+        self.completed_at - self.submitted_at
+    }
+}
+
+struct ResponseBuf {
+    pages: Vec<PageRef>,
+    list_pages: Vec<PageRef>,
+    len: usize,
+}
+
+struct Inflight {
+    submitted_at: Nanos,
+    data_pages: Vec<PageRef>,
+    list_pages: Vec<PageRef>,
+    response: Option<ResponseBuf>,
+}
+
+struct QueuePair {
+    sq: SqRing,
+    cq: CqRing,
+    /// The per-SQ lock the kernel driver already holds across submission —
+    /// ByteExpress leans on it to keep command + chunks contiguous (§3.3.2).
+    /// The virtual-time simulation is single-threaded, so the lock is
+    /// uncontended here; the multi-threaded ordering property is exercised by
+    /// `tests/ordering_stress.rs`.
+    lock: Mutex<()>,
+    next_cid: u16,
+    inflight: HashMap<u16, Inflight>,
+}
+
+/// The driver's admin queue pair.
+struct AdminQueue {
+    sq: SqRing,
+    cq: CqRing,
+    next_cid: u16,
+}
+
+/// The host NVMe driver.
+pub struct NvmeDriver {
+    bus: SystemBus,
+    timing: DriverTiming,
+    queues: BTreeMap<u16, QueuePair>,
+    admin: Option<AdminQueue>,
+    identify: Option<IdentifyController>,
+    next_io_qid: u16,
+    sgl_threshold: usize,
+    inline_mode: InlineMode,
+    next_payload_id: u32,
+    stats: DriverStats,
+}
+
+impl fmt::Debug for NvmeDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NvmeDriver")
+            .field("queues", &self.queues.len())
+            .field("sgl_threshold", &self.sgl_threshold)
+            .field("inline_mode", &self.inline_mode)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// The Linux default SGL threshold: PRP is used below 32 KB (§5).
+pub const DEFAULT_SGL_THRESHOLD: usize = 32 * 1024;
+
+impl NvmeDriver {
+    /// Creates a driver on `bus` with default timing.
+    pub fn new(bus: SystemBus) -> Self {
+        Self::with_timing(bus, DriverTiming::default())
+    }
+
+    /// Creates a driver with explicit timing constants.
+    pub fn with_timing(bus: SystemBus, timing: DriverTiming) -> Self {
+        NvmeDriver {
+            bus,
+            timing,
+            queues: BTreeMap::new(),
+            admin: None,
+            identify: None,
+            next_io_qid: 1,
+            sgl_threshold: DEFAULT_SGL_THRESHOLD,
+            inline_mode: InlineMode::QueueLocal,
+            next_payload_id: 1,
+            stats: DriverStats::default(),
+        }
+    }
+
+    /// Sets the SGL threshold (the kernel's `sgl_threshold` module param).
+    pub fn set_sgl_threshold(&mut self, bytes: usize) {
+        self.sgl_threshold = bytes;
+    }
+
+    /// Selects the ByteExpress framing mode (must match the controller's
+    /// fetch policy).
+    pub fn set_inline_mode(&mut self, mode: InlineMode) {
+        self.inline_mode = mode;
+    }
+
+    /// The framing mode in force.
+    pub fn inline_mode(&self) -> InlineMode {
+        self.inline_mode
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Brings the controller up the way the kernel does: program the admin
+    /// queue registers (ASQ/ACQ/AQA), set CC.EN, confirm CSTS.RDY, then
+    /// Identify the controller. Returns the identify data; thereafter
+    /// [`NvmeDriver::create_io_queue`] uses admin commands, and transfer
+    /// engines are gated on the advertised vendor capabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NotReady`] if the controller does not come up;
+    /// [`DriverError::AdminFailed`] if Identify fails.
+    pub fn initialize(
+        &mut self,
+        ctrl: &mut Controller,
+    ) -> Result<IdentifyController, DriverError> {
+        const ADMIN_DEPTH: u16 = 32;
+        let (sq_region, cq_region) = self.alloc_rings(ADMIN_DEPTH)?;
+        ctrl.mmio_write(
+            Register::Aqa,
+            RegisterFile::aqa_value(ADMIN_DEPTH, ADMIN_DEPTH),
+        );
+        ctrl.mmio_write(Register::Asq, sq_region.base().0);
+        ctrl.mmio_write(Register::Acq, cq_region.base().0);
+        ctrl.mmio_write(Register::Cc, CC_ENABLE);
+        if ctrl.mmio_read(Register::Csts) & bx_ssd::CSTS_READY == 0 {
+            return Err(DriverError::NotReady);
+        }
+        self.admin = Some(AdminQueue {
+            sq: SqRing::new(QueueId(0), sq_region, ADMIN_DEPTH),
+            cq: CqRing::new(QueueId(0), cq_region, ADMIN_DEPTH),
+            next_cid: 0,
+        });
+
+        // Identify controller.
+        let buf = self.bus.mem.borrow_mut().alloc_page()?;
+        let cid = self.admin_cid();
+        let sqe = admin::identify_controller(cid, buf.addr());
+        let cqe = self.admin_execute(ctrl, sqe)?;
+        if !cqe.status().is_success() {
+            return Err(DriverError::AdminFailed(cqe.status()));
+        }
+        let page = self
+            .bus
+            .mem
+            .borrow()
+            .read_vec(buf.addr(), bx_nvme::IDENTIFY_BYTES)?;
+        self.bus.mem.borrow_mut().free_page(buf)?;
+        let identify = IdentifyController::decode(&page)
+            .ok_or(DriverError::AdminFailed(Status::InternalError))?;
+        self.identify = Some(identify.clone());
+        Ok(identify)
+    }
+
+    /// The identify data captured during [`NvmeDriver::initialize`].
+    pub fn identify(&self) -> Option<&IdentifyController> {
+        self.identify.as_ref()
+    }
+
+    fn admin_cid(&mut self) -> u16 {
+        let a = self.admin.as_mut().expect("admin queue initialized");
+        let cid = a.next_cid;
+        a.next_cid = a.next_cid.wrapping_add(1);
+        cid
+    }
+
+    /// Synchronously executes one admin command.
+    fn admin_execute(
+        &mut self,
+        ctrl: &mut Controller,
+        sqe: SubmissionEntry,
+    ) -> Result<CompletionEntry, DriverError> {
+        let bus = self.bus.clone();
+        let timing = self.timing.clone();
+        let a = self.admin.as_mut().expect("admin queue initialized");
+        let slot = a.sq.push_slot();
+        bus.mem
+            .borrow_mut()
+            .write(a.sq.slot_addr(slot), &sqe.to_bytes())?;
+        bus.clock.advance(timing.sqe_insert);
+        let tail = a.sq.tail();
+        bus.doorbells.borrow_mut().ring_sq_tail(QueueId(0), tail);
+        let t = bus
+            .link
+            .borrow_mut()
+            .host_posted_write(TrafficClass::Doorbell, 4);
+        bus.clock.advance(t);
+        self.stats.doorbells += 1;
+
+        ctrl.process_available();
+
+        let a = self.admin.as_mut().expect("admin queue initialized");
+        let slot = a.cq.head();
+        let mut img = [0u8; CQE_BYTES];
+        bus.mem.borrow().read(a.cq.slot_addr(slot), &mut img)?;
+        let cqe = CompletionEntry::from_bytes(&img);
+        if cqe.phase() != a.cq.expected_phase() {
+            return Err(DriverError::AdminFailed(Status::InternalError));
+        }
+        a.cq.pop_slot();
+        a.sq.complete_up_to(cqe.sq_head());
+        bus.clock.advance(timing.completion_handling);
+        bus.doorbells
+            .borrow_mut()
+            .ring_cq_head(QueueId(0), a.cq.head());
+        let t = bus
+            .link
+            .borrow_mut()
+            .host_posted_write(TrafficClass::Doorbell, 4);
+        bus.clock.advance(t);
+        self.stats.doorbells += 1;
+        Ok(cqe)
+    }
+
+    fn alloc_rings(
+        &mut self,
+        depth: u16,
+    ) -> Result<(bx_hostsim::DmaRegion, bx_hostsim::DmaRegion), DriverError> {
+        let mut mem = self.bus.mem.borrow_mut();
+        let sq_pages = (depth as usize * SQE_BYTES).div_ceil(PAGE_SIZE);
+        let cq_pages = (depth as usize * CQE_BYTES).div_ceil(PAGE_SIZE);
+        let sq = mem.alloc_contiguous(sq_pages)?;
+        let cq = mem.alloc_contiguous(cq_pages)?;
+        Ok((
+            bx_hostsim::DmaRegion::new(sq.base(), depth as usize * SQE_BYTES),
+            bx_hostsim::DmaRegion::new(cq.base(), depth as usize * CQE_BYTES),
+        ))
+    }
+
+    /// Allocates queue rings in host memory and creates the pair on the
+    /// controller — via admin Create-IO-CQ/SQ commands when the driver has
+    /// been [`NvmeDriver::initialize`]d, or the direct registration shortcut
+    /// otherwise (handy for protocol-level tests).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Mem`] if host memory cannot hold the rings;
+    /// [`DriverError::AdminFailed`] if the controller rejects creation.
+    pub fn create_io_queue(
+        &mut self,
+        ctrl: &mut Controller,
+        depth: u16,
+    ) -> Result<QueueId, DriverError> {
+        let (sq_region, cq_region) = self.alloc_rings(depth)?;
+        let id = if self.admin.is_some() {
+            let qid = self.next_io_qid;
+            let cid = self.admin_cid();
+            let cqe = self.admin_execute(
+                ctrl,
+                admin::create_io_cq(cid, qid, depth, cq_region.base()),
+            )?;
+            if !cqe.status().is_success() {
+                return Err(DriverError::AdminFailed(cqe.status()));
+            }
+            let cid = self.admin_cid();
+            let cqe = self.admin_execute(
+                ctrl,
+                admin::create_io_sq(cid, qid, depth, sq_region.base(), qid),
+            )?;
+            if !cqe.status().is_success() {
+                return Err(DriverError::AdminFailed(cqe.status()));
+            }
+            QueueId(qid)
+        } else {
+            ctrl.register_io_queue(sq_region, cq_region, depth)
+        };
+        self.next_io_qid = id.0 + 1;
+        self.queues.insert(
+            id.0,
+            QueuePair {
+                sq: SqRing::new(id, sq_region, depth),
+                cq: CqRing::new(id, cq_region, depth),
+                lock: Mutex::new(()),
+                next_cid: 0,
+                inflight: HashMap::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Deletes an I/O queue pair via admin commands (SQ first, then CQ, per
+    /// spec ordering) and releases the driver-side state.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownQueue`] for a bad id; [`DriverError::AdminFailed`]
+    /// if the controller rejects deletion; requires an initialized driver.
+    pub fn delete_io_queue(
+        &mut self,
+        ctrl: &mut Controller,
+        qid: QueueId,
+    ) -> Result<(), DriverError> {
+        if self.admin.is_none() {
+            return Err(DriverError::Unsupported("admin queue (call initialize)"));
+        }
+        if !self.queues.contains_key(&qid.0) {
+            return Err(DriverError::UnknownQueue(qid));
+        }
+        let cid = self.admin_cid();
+        let cqe = self.admin_execute(ctrl, admin::delete_io_sq(cid, qid.0))?;
+        if !cqe.status().is_success() {
+            return Err(DriverError::AdminFailed(cqe.status()));
+        }
+        let cid = self.admin_cid();
+        let cqe = self.admin_execute(ctrl, admin::delete_io_cq(cid, qid.0))?;
+        if !cqe.status().is_success() {
+            return Err(DriverError::AdminFailed(cqe.status()));
+        }
+        self.queues.remove(&qid.0);
+        Ok(())
+    }
+
+    fn queue_mut(&mut self, qid: QueueId) -> Result<&mut QueuePair, DriverError> {
+        self.queues
+            .get_mut(&qid.0)
+            .ok_or(DriverError::UnknownQueue(qid))
+    }
+
+    /// Submits a passthrough command using `method` for its data phase.
+    ///
+    /// # Errors
+    ///
+    /// See [`DriverError`]. On error nothing was placed in the queue.
+    pub fn submit(
+        &mut self,
+        qid: QueueId,
+        cmd: &PassthruCmd,
+        method: TransferMethod,
+    ) -> Result<SubmittedCmd, DriverError> {
+        let submitted_at = self.bus.clock.now();
+        // Build the base SQE from the passthrough command.
+        let qp = self.queue_mut(qid)?;
+        let cid = qp.alloc_cid();
+        let mut sqe = SubmissionEntry::zeroed();
+        sqe.set_opcode_raw(cmd.opcode);
+        sqe.set_cid(cid);
+        sqe.set_nsid(cmd.nsid);
+        for (i, v) in cmd.cdw10_15.iter().enumerate() {
+            sqe.set_cdw(10 + i, *v);
+        }
+
+        let mut inflight = Inflight {
+            submitted_at,
+            data_pages: Vec::new(),
+            list_pages: Vec::new(),
+            response: None,
+        };
+
+        match cmd.direction {
+            DataDirection::ToDevice => {
+                if cmd.data.is_empty() {
+                    return Err(DriverError::EmptyPayload);
+                }
+                sqe.set_data_len(cmd.data.len() as u32);
+                match method.resolve(cmd.data.len()) {
+                    TransferMethod::Prp => {
+                        self.submit_prp(qid, sqe, &cmd.data, &mut inflight)?;
+                    }
+                    TransferMethod::Sgl => {
+                        if cmd.data.len() < self.sgl_threshold {
+                            // The kernel's default behaviour: SGL only above
+                            // the threshold; PRP otherwise (§5).
+                            self.stats.sgl_fallbacks += 1;
+                            self.submit_prp(qid, sqe, &cmd.data, &mut inflight)?;
+                        } else {
+                            self.submit_sgl(qid, sqe, &cmd.data, &mut inflight)?;
+                        }
+                    }
+                    TransferMethod::ByteExpress => {
+                        self.submit_byteexpress(qid, sqe, &cmd.data)?;
+                    }
+                    TransferMethod::BandSlim { embed_first } => {
+                        self.submit_bandslim(qid, sqe, &cmd.data, embed_first)?;
+                    }
+                    TransferMethod::MmioByte => {
+                        self.submit_mmio_byte(sqe, &cmd.data)?;
+                    }
+                    TransferMethod::Hybrid { .. } => unreachable!("resolved above"),
+                }
+            }
+            DataDirection::FromDevice => {
+                // Response rides a PRP-described host buffer regardless of
+                // the submit method (ByteExpress targets host→device small
+                // payloads; reads return over ordinary DMA).
+                let response = self.alloc_response_buf(cmd.response_len, &mut sqe)?;
+                inflight.response = Some(response);
+                sqe.set_data_len(cmd.response_len as u32);
+                self.insert_and_ring(qid, sqe, self.timing.sqe_insert)?;
+            }
+            DataDirection::None => {
+                self.insert_and_ring(qid, sqe, self.timing.sqe_insert)?;
+            }
+        }
+
+        self.stats.submissions += 1;
+        let qp = self.queue_mut(qid)?;
+        qp.inflight.insert(cid, inflight);
+        Ok(SubmittedCmd {
+            queue: qid,
+            cid,
+            submitted_at,
+        })
+    }
+
+    /// PRP path: allocate pages, copy the payload in (`copy_from_user` +
+    /// DMA map), point PRP1/PRP2 (+ list) at them.
+    fn submit_prp(
+        &mut self,
+        qid: QueueId,
+        mut sqe: SubmissionEntry,
+        data: &[u8],
+        inflight: &mut Inflight,
+    ) -> Result<(), DriverError> {
+        let pages = self.map_payload_pages(data, inflight)?;
+        let prp = {
+            let mut mem = self.bus.mem.borrow_mut();
+            PrpSegments::build(&mut mem, &pages, 0, data.len())?
+        };
+        sqe.set_prp1(prp.prp1);
+        sqe.set_prp2(prp.prp2);
+        inflight.list_pages.extend(prp.list_pages.iter().copied());
+        self.bus.clock.advance(
+            self.timing.prp_setup + self.timing.prp_per_page * pages.len() as u64,
+        );
+        self.insert_and_ring(qid, sqe, self.timing.sqe_insert)
+    }
+
+    /// SGL path: a data-block descriptor per page, chained through a
+    /// last-segment array when more than one.
+    fn submit_sgl(
+        &mut self,
+        qid: QueueId,
+        mut sqe: SubmissionEntry,
+        data: &[u8],
+        inflight: &mut Inflight,
+    ) -> Result<(), DriverError> {
+        let pages = self.map_payload_pages(data, inflight)?;
+        sqe.set_data_pointer_kind(DataPointerKind::Sgl);
+        if pages.len() == 1 {
+            let desc = sgl::SglDescriptor::data_block(pages[0], data.len() as u32);
+            sqe.set_sgl_bytes(&desc.to_bytes());
+        } else {
+            // Descriptor array in its own page; the command carries a
+            // last-segment pointer to it.
+            let seg_page = {
+                let mut mem = self.bus.mem.borrow_mut();
+                let page = mem.alloc_page()?;
+                let mut remaining = data.len();
+                for (i, p) in pages.iter().enumerate() {
+                    let chunk = remaining.min(PAGE_SIZE);
+                    let desc = sgl::SglDescriptor::data_block(*p, chunk as u32);
+                    mem.write(page.addr().offset((i * 16) as u64), &desc.to_bytes())?;
+                    remaining -= chunk;
+                }
+                page
+            };
+            inflight.list_pages.push(seg_page);
+            let first =
+                sgl::SglDescriptor::last_segment(seg_page.addr(), (pages.len() * 16) as u32);
+            sqe.set_sgl_bytes(&first.to_bytes());
+        }
+        self.bus.clock.advance(
+            self.timing.sgl_setup + self.timing.prp_per_page * pages.len() as u64,
+        );
+        self.insert_and_ring(qid, sqe, self.timing.sqe_insert)
+    }
+
+    /// ByteExpress path (§3.3): under the SQ lock, write the command with the
+    /// length stamped into the reserved field, append the payload as 64-byte
+    /// chunks in the following slots, and ring the doorbell once.
+    fn submit_byteexpress(
+        &mut self,
+        qid: QueueId,
+        mut sqe: SubmissionEntry,
+        data: &[u8],
+    ) -> Result<(), DriverError> {
+        let chunks = match self.inline_mode {
+            InlineMode::QueueLocal => inline::encode_chunks(data),
+            InlineMode::Reassembly => {
+                let id = self.next_payload_id;
+                self.next_payload_id = self.next_payload_id.wrapping_add(1).max(1);
+                sqe.set_cdw3(id);
+                inline::encode_reassembly_chunks(id, data)
+            }
+        };
+        if data.len() > inline::MAX_INLINE_LEN {
+            return Err(DriverError::PayloadTooLarge {
+                len: data.len(),
+                max: inline::MAX_INLINE_LEN,
+            });
+        }
+        if let Some(id) = &self.identify {
+            if !id.vendor.byteexpress {
+                return Err(DriverError::Unsupported("ByteExpress inline transfer"));
+            }
+            if self.inline_mode == InlineMode::Reassembly && !id.vendor.reassembly {
+                return Err(DriverError::Unsupported("out-of-order chunk reassembly"));
+            }
+        }
+        inline::set_inline_len(&mut sqe, data.len());
+
+        let needed = 1 + chunks.len() as u16;
+        let timing = self.timing.clone();
+        let bus = self.bus.clone();
+        let qp = self.queue_mut(qid)?;
+        let depth_limit = qp.sq.depth() - 1;
+        if needed > depth_limit {
+            let max_chunks = (depth_limit - 1) as usize;
+            let per_chunk = match self.inline_mode {
+                InlineMode::QueueLocal => inline::BYTEEXPRESS_CHUNK_SIZE,
+                InlineMode::Reassembly => inline::REASSEMBLY_CHUNK_PAYLOAD,
+            };
+            return Err(DriverError::PayloadTooLarge {
+                len: data.len(),
+                max: max_chunks * per_chunk,
+            });
+        }
+        if !qp.sq.can_push(needed) {
+            return Err(DriverError::QueueFull {
+                needed,
+                free: qp.sq.free_slots(),
+            });
+        }
+
+        // The critical section the paper leans on: command and chunks are
+        // placed contiguously while holding the SQ lock.
+        let _guard = qp.lock.lock();
+        let slot = qp.sq.push_slot();
+        bus.mem
+            .borrow_mut()
+            .write(qp.sq.slot_addr(slot), &sqe.to_bytes())?;
+        bus.clock.advance(timing.bx_cmd_insert);
+        for chunk in &chunks {
+            let slot = qp.sq.push_slot();
+            bus.mem.borrow_mut().write(qp.sq.slot_addr(slot), chunk)?;
+            bus.clock.advance(timing.per_chunk_insert);
+        }
+        let tail = qp.sq.tail();
+        drop(_guard);
+        self.stats.chunks_written += chunks.len() as u64;
+        self.ring_sq_doorbell(qid, tail);
+        Ok(())
+    }
+
+    /// BandSlim path (§3.2): payload embedded in the head command plus a
+    /// serialized train of fragment commands, each with its own doorbell.
+    fn submit_bandslim(
+        &mut self,
+        qid: QueueId,
+        mut sqe: SubmissionEntry,
+        data: &[u8],
+        embed_first: bool,
+    ) -> Result<(), DriverError> {
+        let embed_cap = if embed_first {
+            bandslim::HEAD_CAPACITY
+        } else {
+            0
+        };
+        let total_cmds = bandslim::commands_for_len(data.len(), embed_cap) as u16;
+        {
+            let qp = self.queue_mut(qid)?;
+            if total_cmds > qp.sq.depth() - 1 {
+                return Err(DriverError::PayloadTooLarge {
+                    len: data.len(),
+                    max: (qp.sq.depth() as usize - 2) * bandslim::FRAG_CAPACITY + embed_cap,
+                });
+            }
+            if !qp.sq.can_push(total_cmds) {
+                return Err(DriverError::QueueFull {
+                    needed: total_cmds,
+                    free: qp.sq.free_slots(),
+                });
+            }
+        }
+        let embedded = bandslim::encode_head(&mut sqe, data, embed_cap);
+        let cid = sqe.cid();
+        let nsid = sqe.nsid();
+        self.insert_and_ring(qid, sqe, self.timing.sqe_insert)?;
+
+        let mut off = embedded;
+        let mut frag_no = 0u32;
+        while off < data.len() {
+            let take = (data.len() - off).min(bandslim::FRAG_CAPACITY);
+            let frag = bandslim::encode_frag(cid, nsid, frag_no, &data[off..off + take]);
+            self.bus.clock.advance(self.timing.bandslim_frag_build);
+            self.insert_and_ring(qid, frag, self.timing.sqe_insert)?;
+            self.stats.frags_issued += 1;
+            off += take;
+            frag_no += 1;
+        }
+        Ok(())
+    }
+
+    /// PCIe-MMIO byte-interface path (§3.1, 2B-SSD/ByteFS style): the CPU
+    /// writes the 64-byte command image plus the payload directly into a
+    /// BAR-mapped device buffer as cacheline stores, then flushes the
+    /// write-combining buffer. No SQ slot, no doorbell, no SQE fetch — and
+    /// no NVMe completion either (the host polls a status word).
+    fn submit_mmio_byte(
+        &mut self,
+        sqe: SubmissionEntry,
+        data: &[u8],
+    ) -> Result<(), DriverError> {
+        let total = SQE_BYTES + data.len();
+        // Traffic: one posted MMIO write per 64-byte cacheline.
+        let lines = total.div_ceil(64);
+        {
+            let mut link = self.bus.link.borrow_mut();
+            for i in 0..lines {
+                let len = (total - i * 64).min(64);
+                link.host_posted_write(TrafficClass::Mmio, len);
+            }
+        }
+        // Latency: the cachelines stream through the WC buffer — pay the
+        // serialization once plus one propagation and the flush, not a
+        // round trip per line.
+        let wire = self.bus.link.borrow().config().wire_time(total + lines * 24);
+        let prop = self.bus.link.borrow().config().propagation;
+        self.bus.clock.advance(wire + prop + self.timing.wc_flush);
+        self.bus
+            .mmio_window
+            .borrow_mut()
+            .submissions
+            .push_back(bx_ssd::MmioSubmission {
+                sqe,
+                payload: data.to_vec(),
+            });
+        Ok(())
+    }
+
+    /// Copies a payload into freshly mapped host pages.
+    fn map_payload_pages(
+        &mut self,
+        data: &[u8],
+        inflight: &mut Inflight,
+    ) -> Result<Vec<PhysAddr>, DriverError> {
+        let n = pages_spanned(0, data.len());
+        let mut mem = self.bus.mem.borrow_mut();
+        let mut pages = Vec::with_capacity(n);
+        for chunk in data.chunks(PAGE_SIZE) {
+            let page = mem.alloc_page()?;
+            mem.write(page.addr(), chunk)?;
+            inflight.data_pages.push(page);
+            pages.push(page.addr());
+        }
+        self.stats.pages_mapped += n as u64;
+        Ok(pages)
+    }
+
+    /// Allocates a PRP-described response buffer and points the SQE at it.
+    fn alloc_response_buf(
+        &mut self,
+        len: usize,
+        sqe: &mut SubmissionEntry,
+    ) -> Result<ResponseBuf, DriverError> {
+        if len == 0 {
+            return Err(DriverError::EmptyPayload);
+        }
+        let n = pages_spanned(0, len);
+        let mut mem = self.bus.mem.borrow_mut();
+        let mut pages = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = mem.alloc_page()?;
+            addrs.push(p.addr());
+            pages.push(p);
+        }
+        let prp = PrpSegments::build(&mut mem, &addrs, 0, len)?;
+        sqe.set_prp1(prp.prp1);
+        sqe.set_prp2(prp.prp2);
+        Ok(ResponseBuf {
+            list_pages: prp.list_pages,
+            pages,
+            len,
+        })
+    }
+
+    fn insert_and_ring(
+        &mut self,
+        qid: QueueId,
+        sqe: SubmissionEntry,
+        insert_cost: Nanos,
+    ) -> Result<(), DriverError> {
+        let bus = self.bus.clone();
+        let qp = self.queue_mut(qid)?;
+        if !qp.sq.can_push(1) {
+            return Err(DriverError::QueueFull {
+                needed: 1,
+                free: 0,
+            });
+        }
+        let _guard = qp.lock.lock();
+        let slot = qp.sq.push_slot();
+        bus.mem
+            .borrow_mut()
+            .write(qp.sq.slot_addr(slot), &sqe.to_bytes())?;
+        bus.clock.advance(insert_cost);
+        let tail = qp.sq.tail();
+        drop(_guard);
+        self.ring_sq_doorbell(qid, tail);
+        Ok(())
+    }
+
+    fn ring_sq_doorbell(&mut self, qid: QueueId, tail: u16) {
+        self.bus.doorbells.borrow_mut().ring_sq_tail(qid, tail);
+        let t = self
+            .bus
+            .link
+            .borrow_mut()
+            .host_posted_write(TrafficClass::Doorbell, 4);
+        self.bus.clock.advance(t);
+        self.stats.doorbells += 1;
+    }
+
+    /// Consumes all ready completions on `qid`.
+    ///
+    /// Reads CQEs by phase bit, releases the command's mapped pages, copies
+    /// out any response data, updates SQ flow control, and rings the CQ head
+    /// doorbell once per batch.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownQueue`] for a bad queue id.
+    pub fn poll_completions(&mut self, qid: QueueId) -> Result<Vec<Completion>, DriverError> {
+        let bus = self.bus.clone();
+        let timing = self.timing.clone();
+        // Byte-interface completions are polled from the BAR status area
+        // (one synchronous MMIO read per poll sweep when any are pending).
+        let mmio: Vec<bx_ssd::MmioCompletion> = {
+            let mut window = bus.mmio_window.borrow_mut();
+            window.completions.drain(..).collect()
+        };
+        let qp = self.queue_mut(qid)?;
+        let mut out = Vec::new();
+        let mut consumed_cqe = false;
+        if !mmio.is_empty() {
+            let t = bus.link.borrow_mut().host_mmio_read(TrafficClass::Mmio, 8);
+            bus.clock.advance(t);
+            for c in mmio {
+                let submitted_at = qp
+                    .inflight
+                    .remove(&c.cid)
+                    .map(|i| i.submitted_at)
+                    .unwrap_or_else(|| bus.clock.now());
+                out.push(Completion {
+                    cid: c.cid,
+                    status: c.status,
+                    result: c.result,
+                    data: None,
+                    submitted_at,
+                    completed_at: bus.clock.now(),
+                });
+            }
+        }
+        loop {
+            let slot = qp.cq.head();
+            let addr = qp.cq.slot_addr(slot);
+            let mut img = [0u8; CQE_BYTES];
+            bus.mem.borrow().read(addr, &mut img)?;
+            let cqe = CompletionEntry::from_bytes(&img);
+            if cqe.phase() != qp.cq.expected_phase() {
+                break;
+            }
+            qp.cq.pop_slot();
+            qp.sq.complete_up_to(cqe.sq_head());
+            consumed_cqe = true;
+            bus.clock.advance(timing.completion_handling);
+
+            let inflight = qp.inflight.remove(&cqe.cid());
+            let mut data = None;
+            let mut submitted_at = bus.clock.now();
+            if let Some(inflight) = inflight {
+                submitted_at = inflight.submitted_at;
+                let mut mem = bus.mem.borrow_mut();
+                if let Some(resp) = inflight.response {
+                    if cqe.status().is_success() {
+                        // Response pages are not physically contiguous; read
+                        // them page by page, as the PRP list describes.
+                        let mut buf = Vec::with_capacity(resp.len);
+                        for page in &resp.pages {
+                            let take = (resp.len - buf.len()).min(PAGE_SIZE);
+                            buf.extend_from_slice(&mem.read_vec(page.addr(), take)?);
+                            if buf.len() == resp.len {
+                                break;
+                            }
+                        }
+                        data = Some(buf);
+                    }
+                    for p in resp.pages.into_iter().chain(resp.list_pages) {
+                        mem.free_page(p)?;
+                    }
+                }
+                for p in inflight
+                    .data_pages
+                    .into_iter()
+                    .chain(inflight.list_pages)
+                {
+                    mem.free_page(p)?;
+                }
+            }
+            out.push(Completion {
+                cid: cqe.cid(),
+                status: cqe.status(),
+                result: cqe.result(),
+                data,
+                submitted_at,
+                completed_at: bus.clock.now(),
+            });
+        }
+        if consumed_cqe {
+            let head = qp.cq.head();
+            bus.doorbells.borrow_mut().ring_cq_head(qid, head);
+            let t = bus
+                .link
+                .borrow_mut()
+                .host_posted_write(TrafficClass::Doorbell, 4);
+            bus.clock.advance(t);
+            self.stats.doorbells += 1;
+        }
+        Ok(out)
+    }
+
+    /// Submit + drive the controller + poll: the synchronous convenience the
+    /// examples and benchmarks use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submit/poll failures; a missing completion is a bug and
+    /// panics.
+    pub fn execute(
+        &mut self,
+        qid: QueueId,
+        ctrl: &mut Controller,
+        cmd: &PassthruCmd,
+        method: TransferMethod,
+    ) -> Result<Completion, DriverError> {
+        let submitted = self.submit(qid, cmd, method)?;
+        ctrl.process_available();
+        let mut completions = self.poll_completions(qid)?;
+        let idx = completions
+            .iter()
+            .position(|c| c.cid == submitted.cid)
+            .expect("controller must complete the submitted command");
+        let mut completion = completions.swap_remove(idx);
+        completion.submitted_at = submitted.submitted_at;
+        Ok(completion)
+    }
+}
+
+impl QueuePair {
+    fn alloc_cid(&mut self) -> u16 {
+        // Wrapping CID allocation, skipping ids still in flight.
+        for _ in 0..=u16::MAX {
+            let cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1);
+            if !self.inflight.contains_key(&cid) {
+                return cid;
+            }
+        }
+        panic!("no free command identifiers");
+    }
+}

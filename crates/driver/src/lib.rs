@@ -1,0 +1,31 @@
+//! # bx-driver — the host NVMe driver model
+//!
+//! The host-side half of the reproduction: queue-pair management, the
+//! `nvme_queue_rq`-equivalent submit path, and one engine per transfer
+//! method the paper evaluates:
+//!
+//! * [`TransferMethod::Prp`] — the conventional page-granular path (§2.3).
+//! * [`TransferMethod::Sgl`] — scatter-gather, used only above the Linux
+//!   default 32 KB threshold unless reconfigured (§5).
+//! * [`TransferMethod::BandSlim`] — the CMD-based state of the art (§3.2):
+//!   payload embedded in the head command plus serialized fragment commands.
+//! * [`TransferMethod::ByteExpress`] — the paper's contribution (§3.3): the
+//!   payload follows the command *inside the submission queue* as 64-byte
+//!   chunks, written under the SQ lock, with a single doorbell for the train.
+//! * [`TransferMethod::Hybrid`] — threshold switching (§4.2): ByteExpress
+//!   below the threshold, PRP above.
+//!
+//! The ByteExpress driver change is deliberately shaped like the paper's
+//! (<30 LoC inside `nvme_queue_rq`): mark the reserved field with the
+//! payload length, append the chunks, ring the doorbell once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod method;
+pub mod timing;
+
+pub use driver::{Completion, DriverError, DriverStats, NvmeDriver, SubmittedCmd};
+pub use method::{InlineMode, TransferMethod};
+pub use timing::DriverTiming;

@@ -1,0 +1,114 @@
+//! Transfer-method selection.
+
+use std::fmt;
+
+/// How the driver frames ByteExpress chunk trains. Must match the
+/// controller's [`bx_ssd::FetchPolicy`]: queue-local raw chunks, or
+/// self-describing chunks for the out-of-order reassembly extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InlineMode {
+    /// Raw 64-byte chunks; ordering from the SQ lock + queue-local fetch.
+    #[default]
+    QueueLocal,
+    /// 8-byte header + 56 payload bytes per chunk (§3.3.2 extension).
+    Reassembly,
+}
+
+/// The data-transfer engine used for a host→device payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMethod {
+    /// Conventional NVMe PRP: page-granular DMA (the paper's baseline).
+    Prp,
+    /// Scatter-Gather List: fine-grained DMA, but only engaged above the
+    /// driver's SGL threshold (Linux default 32 KB, §5); below it, PRP is
+    /// used, exactly like the kernel.
+    Sgl,
+    /// BandSlim (ICPP '24): payload embedded into command fields across a
+    /// serialized train of commands. `embed_first` controls whether the head
+    /// command itself carries payload (true for KV-style value transfer;
+    /// false for CSD-style task commands whose fields are spoken for).
+    BandSlim {
+        /// Embed up to 32 payload bytes in the head command.
+        embed_first: bool,
+    },
+    /// ByteExpress: inline 64-byte chunks in the submission queue.
+    ByteExpress,
+    /// PCIe-MMIO byte interface (§3.1's 2B-SSD/ByteFS approach): cacheline
+    /// writes straight into a BAR-mapped device buffer, bypassing the NVMe
+    /// queues entirely. Fast at every size, but requires the dedicated
+    /// buffer, a new host API, and device-side transactional coordination —
+    /// the compatibility costs the paper's §3.1 catalogues.
+    MmioByte,
+    /// Threshold switching: ByteExpress at or below `threshold` bytes, PRP
+    /// above (§4.2's proposed hybrid).
+    Hybrid {
+        /// Largest payload still sent inline.
+        threshold: usize,
+    },
+}
+
+impl TransferMethod {
+    /// The paper's suggested hybrid operating point (256 B, §4.2).
+    pub fn hybrid_default() -> Self {
+        TransferMethod::Hybrid { threshold: 256 }
+    }
+
+    /// Resolves threshold switching for a payload of `len` bytes; other
+    /// methods return themselves.
+    pub fn resolve(self, len: usize) -> TransferMethod {
+        match self {
+            TransferMethod::Hybrid { threshold } => {
+                if len <= threshold {
+                    TransferMethod::ByteExpress
+                } else {
+                    TransferMethod::Prp
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for TransferMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferMethod::Prp => write!(f, "PRP"),
+            TransferMethod::Sgl => write!(f, "SGL"),
+            TransferMethod::BandSlim { .. } => write!(f, "BandSlim"),
+            TransferMethod::ByteExpress => write!(f, "ByteExpress"),
+            TransferMethod::MmioByte => write!(f, "MMIO-byte"),
+            TransferMethod::Hybrid { threshold } => write!(f, "Hybrid({threshold}B)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_resolution() {
+        let h = TransferMethod::hybrid_default();
+        assert_eq!(h.resolve(256), TransferMethod::ByteExpress);
+        assert_eq!(h.resolve(257), TransferMethod::Prp);
+        assert_eq!(h.resolve(1), TransferMethod::ByteExpress);
+    }
+
+    #[test]
+    fn non_hybrid_resolve_is_identity() {
+        assert_eq!(TransferMethod::Prp.resolve(10), TransferMethod::Prp);
+        assert_eq!(
+            TransferMethod::ByteExpress.resolve(1 << 20),
+            TransferMethod::ByteExpress
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TransferMethod::Prp.to_string(), "PRP");
+        assert_eq!(
+            TransferMethod::Hybrid { threshold: 256 }.to_string(),
+            "Hybrid(256B)"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Property-based tests for the simulated host memory.
+
+use bx_hostsim::{HostMemory, MemError, PhysAddr, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any in-bounds write is read back verbatim.
+    #[test]
+    fn write_read_identity(offset in 0usize..(15 * PAGE_SIZE), data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut m = HostMemory::with_capacity(16 * PAGE_SIZE);
+        prop_assume!(offset + data.len() <= m.capacity());
+        m.write(PhysAddr(offset as u64), &data).unwrap();
+        prop_assert_eq!(m.read_vec(PhysAddr(offset as u64), data.len()).unwrap(), data);
+    }
+
+    /// Non-overlapping writes do not disturb each other.
+    #[test]
+    fn disjoint_writes_independent(a in 0usize..PAGE_SIZE, b in (2 * PAGE_SIZE)..(3 * PAGE_SIZE)) {
+        let mut m = HostMemory::with_capacity(4 * PAGE_SIZE);
+        m.write(PhysAddr(a as u64), &[0xAA; 64]).unwrap();
+        m.write(PhysAddr(b as u64), &[0x55; 64]).unwrap();
+        prop_assert!(m.read_vec(PhysAddr(a as u64), 64).unwrap().iter().all(|&x| x == 0xAA));
+        prop_assert!(m.read_vec(PhysAddr(b as u64), 64).unwrap().iter().all(|&x| x == 0x55));
+    }
+
+    /// The allocator never double-allocates a frame, and alloc/free sequences
+    /// conserve the total frame count.
+    #[test]
+    fn allocator_conserves_frames(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut m = HostMemory::with_capacity(32 * PAGE_SIZE);
+        let total = m.allocator().total_pages();
+        let mut held = Vec::new();
+        for op in ops {
+            if op {
+                match m.alloc_page() {
+                    Ok(p) => {
+                        prop_assert!(!held.contains(&p));
+                        held.push(p);
+                    }
+                    Err(MemError::OutOfPages) => prop_assert_eq!(held.len(), total),
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                }
+            } else if let Some(p) = held.pop() {
+                m.free_page(p).unwrap();
+            }
+            prop_assert_eq!(m.allocator().free_pages() + held.len(), total);
+        }
+    }
+}

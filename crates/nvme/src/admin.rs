@@ -1,0 +1,145 @@
+//! Admin command construction and field extraction.
+//!
+//! Builders the driver uses during bring-up and teardown, plus the
+//! controller-side accessors that pull the queue parameters back out of the
+//! command — both ends share this module so the field layout can't drift.
+
+use crate::opcode::AdminOpcode;
+use crate::sqe::SubmissionEntry;
+use bx_hostsim::PhysAddr;
+
+/// CNS value selecting the Identify Controller data structure.
+pub const CNS_CONTROLLER: u32 = 0x01;
+
+/// Builds an Identify (controller) command; the 4 KB response lands in the
+/// PRP-described buffer.
+pub fn identify_controller(cid: u16, buffer: PhysAddr) -> SubmissionEntry {
+    let mut sqe = SubmissionEntry::zeroed();
+    sqe.set_opcode_raw(AdminOpcode::Identify as u8);
+    sqe.set_cid(cid);
+    sqe.set_prp1(buffer);
+    sqe.set_data_len(crate::identify::IDENTIFY_BYTES as u32);
+    sqe.set_cdw(10, CNS_CONTROLLER);
+    sqe
+}
+
+/// Builds a Create I/O Completion Queue command.
+///
+/// Layout per spec: CDW10 = QID | (QSIZE−1)<<16; CDW11 bit 0 = physically
+/// contiguous, bit 1 = interrupts enabled.
+pub fn create_io_cq(cid: u16, qid: u16, depth: u16, base: PhysAddr) -> SubmissionEntry {
+    let mut sqe = SubmissionEntry::zeroed();
+    sqe.set_opcode_raw(AdminOpcode::CreateIoCq as u8);
+    sqe.set_cid(cid);
+    sqe.set_prp1(base);
+    sqe.set_cdw(10, qid as u32 | ((depth as u32 - 1) << 16));
+    sqe.set_cdw(11, 0b11); // contiguous + interrupts
+    sqe
+}
+
+/// Builds a Create I/O Submission Queue command.
+///
+/// CDW10 as for the CQ; CDW11 bit 0 = physically contiguous, bits 31:16 =
+/// the CQ this SQ completes into.
+pub fn create_io_sq(cid: u16, qid: u16, depth: u16, base: PhysAddr, cqid: u16) -> SubmissionEntry {
+    let mut sqe = SubmissionEntry::zeroed();
+    sqe.set_opcode_raw(AdminOpcode::CreateIoSq as u8);
+    sqe.set_cid(cid);
+    sqe.set_prp1(base);
+    sqe.set_cdw(10, qid as u32 | ((depth as u32 - 1) << 16));
+    sqe.set_cdw(11, 0b1 | ((cqid as u32) << 16));
+    sqe
+}
+
+/// Builds a Delete I/O Submission Queue command.
+pub fn delete_io_sq(cid: u16, qid: u16) -> SubmissionEntry {
+    let mut sqe = SubmissionEntry::zeroed();
+    sqe.set_opcode_raw(AdminOpcode::DeleteIoSq as u8);
+    sqe.set_cid(cid);
+    sqe.set_cdw(10, qid as u32);
+    sqe
+}
+
+/// Builds a Delete I/O Completion Queue command.
+pub fn delete_io_cq(cid: u16, qid: u16) -> SubmissionEntry {
+    let mut sqe = SubmissionEntry::zeroed();
+    sqe.set_opcode_raw(AdminOpcode::DeleteIoCq as u8);
+    sqe.set_cid(cid);
+    sqe.set_cdw(10, qid as u32);
+    sqe
+}
+
+/// Controller-side view of a queue-creation command's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueParams {
+    /// Queue id.
+    pub qid: u16,
+    /// Depth in entries.
+    pub depth: u16,
+    /// Ring base address.
+    pub base: PhysAddr,
+    /// Completion queue id (SQ creation only).
+    pub cqid: u16,
+}
+
+/// Extracts queue parameters from a create-queue command.
+pub fn queue_params(sqe: &SubmissionEntry) -> QueueParams {
+    let cdw10 = sqe.cdw(10);
+    QueueParams {
+        qid: (cdw10 & 0xFFFF) as u16,
+        depth: ((cdw10 >> 16) as u16).wrapping_add(1),
+        base: sqe.prp1(),
+        cqid: (sqe.cdw(11) >> 16) as u16,
+    }
+}
+
+/// Extracts the target queue id from a delete-queue command.
+pub fn delete_target(sqe: &SubmissionEntry) -> u16 {
+    (sqe.cdw(10) & 0xFFFF) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_sq_round_trip() {
+        let sqe = create_io_sq(3, 2, 256, PhysAddr(0x8000), 2);
+        assert_eq!(sqe.opcode_raw(), AdminOpcode::CreateIoSq as u8);
+        let p = queue_params(&sqe);
+        assert_eq!(p.qid, 2);
+        assert_eq!(p.depth, 256);
+        assert_eq!(p.base, PhysAddr(0x8000));
+        assert_eq!(p.cqid, 2);
+    }
+
+    #[test]
+    fn create_cq_round_trip() {
+        let sqe = create_io_cq(1, 5, 1024, PhysAddr(0x4000));
+        let p = queue_params(&sqe);
+        assert_eq!(p.qid, 5);
+        assert_eq!(p.depth, 1024);
+        assert_eq!(p.base, PhysAddr(0x4000));
+    }
+
+    #[test]
+    fn delete_round_trip() {
+        assert_eq!(delete_target(&delete_io_sq(1, 7)), 7);
+        assert_eq!(delete_target(&delete_io_cq(1, 9)), 9);
+    }
+
+    #[test]
+    fn identify_carries_buffer_and_cns() {
+        let sqe = identify_controller(1, PhysAddr(0x2000));
+        assert_eq!(sqe.prp1(), PhysAddr(0x2000));
+        assert_eq!(sqe.cdw(10), CNS_CONTROLLER);
+        assert_eq!(sqe.data_len(), 4096);
+    }
+
+    #[test]
+    fn max_depth_encodes_as_zero_based() {
+        // Depth 65536 would overflow; spec is 0-based, so u16::MAX + 1 caps.
+        let sqe = create_io_sq(0, 1, u16::MAX, PhysAddr(0), 1);
+        assert_eq!(queue_params(&sqe).depth, u16::MAX);
+    }
+}

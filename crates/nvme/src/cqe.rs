@@ -1,0 +1,145 @@
+//! The 16-byte completion queue entry.
+
+use crate::status::Status;
+use std::fmt;
+
+/// A 16-byte NVMe completion queue entry.
+///
+/// # Layout (dwords)
+///
+/// | DW | Contents                                              |
+/// |----|-------------------------------------------------------|
+/// | 0  | command-specific result (e.g. value length for KV GET)|
+/// | 1  | reserved                                              |
+/// | 2  | SQ head pointer (15:0), SQ identifier (31:16)         |
+/// | 3  | CID (15:0), phase tag (16), status (31:17)            |
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompletionEntry {
+    raw: [u32; 4],
+}
+
+impl CompletionEntry {
+    /// Size of the wire image in bytes.
+    pub const BYTES: usize = 16;
+
+    /// Builds a completion for command `cid` on submission queue `sq_id`.
+    pub fn new(cid: u16, sq_id: u16, sq_head: u16, status: Status, phase: bool) -> Self {
+        let mut e = CompletionEntry { raw: [0; 4] };
+        e.raw[2] = sq_head as u32 | ((sq_id as u32) << 16);
+        e.raw[3] = cid as u32
+            | ((phase as u32) << 16)
+            | ((status.to_wire() as u32 & 0x7FFF) << 17);
+        e
+    }
+
+    /// Command-specific result dword (DW0).
+    pub fn result(&self) -> u32 {
+        self.raw[0]
+    }
+
+    /// Sets the command-specific result dword.
+    pub fn set_result(&mut self, v: u32) {
+        self.raw[0] = v;
+    }
+
+    /// SQ head pointer at completion time (for SQ flow control).
+    pub fn sq_head(&self) -> u16 {
+        (self.raw[2] & 0xFFFF) as u16
+    }
+
+    /// The submission queue this completion belongs to.
+    pub fn sq_id(&self) -> u16 {
+        (self.raw[2] >> 16) as u16
+    }
+
+    /// The command identifier being completed.
+    pub fn cid(&self) -> u16 {
+        (self.raw[3] & 0xFFFF) as u16
+    }
+
+    /// The phase tag, which flips each time the ring wraps; the host uses it
+    /// to detect new entries without a head register read.
+    pub fn phase(&self) -> bool {
+        (self.raw[3] >> 16) & 1 == 1
+    }
+
+    /// The completion status.
+    pub fn status(&self) -> Status {
+        Status::from_wire(((self.raw[3] >> 17) & 0x7FFF) as u16)
+    }
+
+    /// Encodes to the 16-byte wire image.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, dw) in self.raw.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&dw.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes from a 16-byte wire image.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        let mut raw = [0u32; 4];
+        for (i, r) in raw.iter_mut().enumerate() {
+            *r = u32::from_le_bytes([
+                bytes[i * 4],
+                bytes[i * 4 + 1],
+                bytes[i * 4 + 2],
+                bytes[i * 4 + 3],
+            ]);
+        }
+        CompletionEntry { raw }
+    }
+}
+
+impl fmt::Debug for CompletionEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompletionEntry")
+            .field("cid", &self.cid())
+            .field("sq_id", &self.sq_id())
+            .field("sq_head", &self.sq_head())
+            .field("status", &self.status())
+            .field("phase", &self.phase())
+            .field("result", &self.result())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_round_trip() {
+        let mut e = CompletionEntry::new(0xABCD, 3, 17, Status::KvKeyNotFound, true);
+        e.set_result(0xDEAD_BEEF);
+        assert_eq!(e.cid(), 0xABCD);
+        assert_eq!(e.sq_id(), 3);
+        assert_eq!(e.sq_head(), 17);
+        assert_eq!(e.status(), Status::KvKeyNotFound);
+        assert!(e.phase());
+        assert_eq!(e.result(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let e = CompletionEntry::new(7, 1, 200, Status::Success, false);
+        assert_eq!(CompletionEntry::from_bytes(&e.to_bytes()), e);
+    }
+
+    #[test]
+    fn phase_bit_isolated() {
+        let t = CompletionEntry::new(0, 0, 0, Status::Success, true);
+        let f = CompletionEntry::new(0, 0, 0, Status::Success, false);
+        assert!(t.phase());
+        assert!(!f.phase());
+        assert_eq!(t.status(), f.status());
+        assert_eq!(t.cid(), f.cid());
+    }
+
+    #[test]
+    fn debug_contains_status() {
+        let s = format!("{:?}", CompletionEntry::new(1, 2, 3, Status::InvalidField, true));
+        assert!(s.contains("InvalidField"));
+    }
+}

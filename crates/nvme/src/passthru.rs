@@ -1,0 +1,131 @@
+//! The NVMe-passthrough command surface.
+//!
+//! Computational-storage stacks (KV-SSDs, CSDs) talk to their devices by
+//! encoding application operations into custom NVMe commands and handing
+//! them to the driver through the passthrough interface, bypassing the block
+//! layer (paper §2.1, Figure 2). [`PassthruCmd`] mirrors the relevant fields
+//! of Linux's `nvme_passthru_cmd`: the user supplies an opcode, the
+//! command-specific dwords, and a data buffer; the *driver* chooses how the
+//! data moves (PRP, SGL, BandSlim fragments, or inline ByteExpress chunks) —
+//! which is exactly the property that lets ByteExpress slot in "while
+//! preserving full compatibility with existing APIs".
+
+use crate::opcode::IoOpcode;
+
+/// Direction of the passthrough data buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataDirection {
+    /// No data transfer.
+    #[default]
+    None,
+    /// Host buffer is written to the device.
+    ToDevice,
+    /// Device fills the host buffer.
+    FromDevice,
+}
+
+/// A user-level passthrough command, before the driver turns it into a
+/// [`crate::SubmissionEntry`] plus a data-transfer plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PassthruCmd {
+    /// I/O opcode (typically vendor-specific).
+    pub opcode: u8,
+    /// Namespace id.
+    pub nsid: u32,
+    /// Command-specific dwords 10..=15.
+    pub cdw10_15: [u32; 6],
+    /// The data payload (to-device) or expected length (from-device).
+    pub data: Vec<u8>,
+    /// Expected response length for from-device transfers.
+    pub response_len: usize,
+    /// Buffer direction.
+    pub direction: DataDirection,
+}
+
+impl PassthruCmd {
+    /// A command carrying `data` to the device.
+    pub fn to_device(opcode: IoOpcode, nsid: u32, data: Vec<u8>) -> Self {
+        PassthruCmd {
+            opcode: opcode as u8,
+            nsid,
+            data,
+            direction: DataDirection::ToDevice,
+            ..Default::default()
+        }
+    }
+
+    /// A command expecting `response_len` bytes back from the device.
+    pub fn from_device(opcode: IoOpcode, nsid: u32, response_len: usize) -> Self {
+        PassthruCmd {
+            opcode: opcode as u8,
+            nsid,
+            response_len,
+            direction: DataDirection::FromDevice,
+            ..Default::default()
+        }
+    }
+
+    /// A command with no data phase.
+    pub fn no_data(opcode: IoOpcode, nsid: u32) -> Self {
+        PassthruCmd {
+            opcode: opcode as u8,
+            nsid,
+            direction: DataDirection::None,
+            ..Default::default()
+        }
+    }
+
+    /// Sets command-specific dword `n` (10..=15), builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside 10..=15.
+    pub fn with_cdw(mut self, n: usize, v: u32) -> Self {
+        assert!((10..=15).contains(&n), "cdw index {n} out of range");
+        self.cdw10_15[n - 10] = v;
+        self
+    }
+
+    /// The payload length for to-device commands, else 0.
+    pub fn data_len(&self) -> usize {
+        match self.direction {
+            DataDirection::ToDevice => self.data.len(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_device_carries_payload() {
+        let c = PassthruCmd::to_device(IoOpcode::KvPut, 1, vec![1, 2, 3]);
+        assert_eq!(c.opcode, 0xC1);
+        assert_eq!(c.data_len(), 3);
+        assert_eq!(c.direction, DataDirection::ToDevice);
+    }
+
+    #[test]
+    fn from_device_has_zero_data_len() {
+        let c = PassthruCmd::from_device(IoOpcode::KvGet, 1, 4096);
+        assert_eq!(c.data_len(), 0);
+        assert_eq!(c.response_len, 4096);
+    }
+
+    #[test]
+    fn cdw_builder() {
+        let c = PassthruCmd::no_data(IoOpcode::Flush, 1)
+            .with_cdw(10, 0xAAAA)
+            .with_cdw(15, 0xBBBB);
+        assert_eq!(c.cdw10_15[0], 0xAAAA);
+        assert_eq!(c.cdw10_15[5], 0xBBBB);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_cdw_panics() {
+        let _ = PassthruCmd::no_data(IoOpcode::Flush, 1).with_cdw(9, 0);
+    }
+}

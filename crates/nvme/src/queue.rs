@@ -1,0 +1,385 @@
+//! Queue-ring geometry and doorbell state.
+//!
+//! [`SqRing`]/[`CqRing`] are *views* of rings living in simulated host memory:
+//! they hold base address, depth and the producer/consumer indices owned by
+//! their side, and compute slot addresses and occupancy. The driver owns the
+//! SQ tail and CQ head; the controller owns the SQ head and CQ tail; each
+//! side learns the other's index through doorbells and CQE fields, exactly as
+//! in the spec.
+
+use crate::sqe::SubmissionEntry;
+use bx_hostsim::{DmaRegion, PhysAddr};
+use std::fmt;
+
+/// Size of one submission queue entry in bytes.
+pub const SQE_BYTES: usize = SubmissionEntry::BYTES;
+/// Size of one completion queue entry in bytes.
+pub const CQE_BYTES: usize = crate::cqe::CompletionEntry::BYTES;
+
+/// A submission/completion queue identifier (0 is the admin queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QueueId(pub u16);
+
+impl fmt::Display for QueueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Geometry and index state of one submission queue ring.
+#[derive(Debug, Clone)]
+pub struct SqRing {
+    id: QueueId,
+    region: DmaRegion,
+    depth: u16,
+    /// Producer index (next free slot). Owned by the driver.
+    tail: u16,
+    /// Consumer index, as last reported by the controller via CQE `sq_head`.
+    head: u16,
+}
+
+impl SqRing {
+    /// Creates a ring over `region`, which must hold exactly `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region size does not equal `depth * 64` or depth < 2.
+    pub fn new(id: QueueId, region: DmaRegion, depth: u16) -> Self {
+        assert!(depth >= 2, "queue depth must be >= 2");
+        assert_eq!(
+            region.len(),
+            depth as usize * SQE_BYTES,
+            "SQ region size must match depth"
+        );
+        SqRing {
+            id,
+            region,
+            depth,
+            tail: 0,
+            head: 0,
+        }
+    }
+
+    /// The queue identifier.
+    pub fn id(&self) -> QueueId {
+        self.id
+    }
+
+    /// Ring depth in entries.
+    pub fn depth(&self) -> u16 {
+        self.depth
+    }
+
+    /// Current producer (tail) index.
+    pub fn tail(&self) -> u16 {
+        self.tail
+    }
+
+    /// Last known consumer (head) index.
+    pub fn head(&self) -> u16 {
+        self.head
+    }
+
+    /// Host address of slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= depth`.
+    pub fn slot_addr(&self, idx: u16) -> PhysAddr {
+        assert!(idx < self.depth, "slot {idx} out of range");
+        self.region.at(idx as usize * SQE_BYTES)
+    }
+
+    /// Number of free slots (one slot is always kept open to distinguish
+    /// full from empty).
+    pub fn free_slots(&self) -> u16 {
+        self.depth - 1 - self.used_slots()
+    }
+
+    /// Number of occupied slots.
+    pub fn used_slots(&self) -> u16 {
+        self.tail.wrapping_sub(self.head) % self.depth
+    }
+
+    /// Whether `n` more entries can be placed.
+    pub fn can_push(&self, n: u16) -> bool {
+        self.free_slots() >= n
+    }
+
+    /// Claims the next slot, returning its index, and advances the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full — callers must check [`SqRing::can_push`];
+    /// a real driver blocks or fails the request instead of overrunning.
+    pub fn push_slot(&mut self) -> u16 {
+        assert!(self.can_push(1), "SQ overflow on {}", self.id);
+        let idx = self.tail;
+        self.tail = (self.tail + 1) % self.depth;
+        idx
+    }
+
+    /// Records the controller's reported head (from a CQE), freeing slots.
+    pub fn complete_up_to(&mut self, head: u16) {
+        assert!(head < self.depth, "reported head {head} out of range");
+        self.head = head;
+    }
+}
+
+/// Geometry and index state of one completion queue ring.
+#[derive(Debug, Clone)]
+pub struct CqRing {
+    id: QueueId,
+    region: DmaRegion,
+    depth: u16,
+    /// Consumer index. Owned by the driver.
+    head: u16,
+    /// The phase value the driver expects for a *new* entry.
+    expected_phase: bool,
+}
+
+impl CqRing {
+    /// Creates a ring over `region`, which must hold exactly `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region size does not equal `depth * 16` or depth < 2.
+    pub fn new(id: QueueId, region: DmaRegion, depth: u16) -> Self {
+        assert!(depth >= 2, "queue depth must be >= 2");
+        assert_eq!(
+            region.len(),
+            depth as usize * CQE_BYTES,
+            "CQ region size must match depth"
+        );
+        CqRing {
+            id,
+            region,
+            depth,
+            head: 0,
+            expected_phase: true,
+        }
+    }
+
+    /// The queue identifier.
+    pub fn id(&self) -> QueueId {
+        self.id
+    }
+
+    /// Ring depth in entries.
+    pub fn depth(&self) -> u16 {
+        self.depth
+    }
+
+    /// Current consumer (head) index.
+    pub fn head(&self) -> u16 {
+        self.head
+    }
+
+    /// The phase tag value that marks a fresh entry at the current head.
+    pub fn expected_phase(&self) -> bool {
+        self.expected_phase
+    }
+
+    /// Host address of slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= depth`.
+    pub fn slot_addr(&self, idx: u16) -> PhysAddr {
+        assert!(idx < self.depth, "slot {idx} out of range");
+        self.region.at(idx as usize * CQE_BYTES)
+    }
+
+    /// Advances the head after consuming one entry, flipping the expected
+    /// phase on wrap.
+    pub fn pop_slot(&mut self) -> u16 {
+        let idx = self.head;
+        self.head = (self.head + 1) % self.depth;
+        if self.head == 0 {
+            self.expected_phase = !self.expected_phase;
+        }
+        idx
+    }
+}
+
+/// The controller's private per-queue producer state for a CQ: tail index and
+/// current phase. Lives device-side.
+#[derive(Debug, Clone)]
+pub struct CqProducer {
+    depth: u16,
+    tail: u16,
+    phase: bool,
+}
+
+impl CqProducer {
+    /// Creates producer state for a CQ of `depth` entries.
+    pub fn new(depth: u16) -> Self {
+        CqProducer {
+            depth,
+            tail: 0,
+            phase: true,
+        }
+    }
+
+    /// The slot the next CQE goes to, and the phase to stamp it with.
+    /// Advances the tail.
+    pub fn produce(&mut self) -> (u16, bool) {
+        let out = (self.tail, self.phase);
+        self.tail = (self.tail + 1) % self.depth;
+        if self.tail == 0 {
+            self.phase = !self.phase;
+        }
+        out
+    }
+}
+
+/// The BAR-resident doorbell registers: one SQ-tail and one CQ-head doorbell
+/// per queue pair.
+///
+/// The driver writes these via posted MMIO writes; the controller polls them.
+#[derive(Debug, Clone)]
+pub struct DoorbellArray {
+    sq_tails: Vec<u16>,
+    cq_heads: Vec<u16>,
+}
+
+impl DoorbellArray {
+    /// Creates doorbells for `queues` queue pairs, all zero.
+    pub fn new(queues: usize) -> Self {
+        DoorbellArray {
+            sq_tails: vec![0; queues],
+            cq_heads: vec![0; queues],
+        }
+    }
+
+    /// Number of queue pairs.
+    pub fn queues(&self) -> usize {
+        self.sq_tails.len()
+    }
+
+    /// Writes the SQ tail doorbell for `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range queue id.
+    pub fn ring_sq_tail(&mut self, q: QueueId, tail: u16) {
+        self.sq_tails[q.0 as usize] = tail;
+    }
+
+    /// Reads the SQ tail doorbell for `q` (controller side).
+    pub fn sq_tail(&self, q: QueueId) -> u16 {
+        self.sq_tails[q.0 as usize]
+    }
+
+    /// Writes the CQ head doorbell for `q`.
+    pub fn ring_cq_head(&mut self, q: QueueId, head: u16) {
+        self.cq_heads[q.0 as usize] = head;
+    }
+
+    /// Reads the CQ head doorbell for `q` (controller side).
+    pub fn cq_head(&self, q: QueueId) -> u16 {
+        self.cq_heads[q.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_hostsim::PAGE_SIZE;
+
+    fn sq(depth: u16) -> SqRing {
+        let bytes = depth as usize * SQE_BYTES;
+        let region = DmaRegion::new(PhysAddr(PAGE_SIZE as u64), bytes);
+        SqRing::new(QueueId(1), region, depth)
+    }
+
+    #[test]
+    fn slot_addresses_are_64_byte_strided() {
+        let q = sq(64);
+        assert_eq!(q.slot_addr(0), PhysAddr(4096));
+        assert_eq!(q.slot_addr(1), PhysAddr(4096 + 64));
+        assert_eq!(q.slot_addr(63), PhysAddr(4096 + 63 * 64));
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut q = sq(8);
+        assert_eq!(q.free_slots(), 7);
+        for _ in 0..7 {
+            q.push_slot();
+        }
+        assert_eq!(q.free_slots(), 0);
+        assert!(!q.can_push(1));
+        q.complete_up_to(3);
+        assert_eq!(q.free_slots(), 3);
+        assert!(q.can_push(3));
+        assert!(!q.can_push(4));
+    }
+
+    #[test]
+    fn tail_wraps() {
+        let mut q = sq(4);
+        q.push_slot();
+        q.push_slot();
+        q.push_slot();
+        q.complete_up_to(3);
+        assert_eq!(q.push_slot(), 3);
+        assert_eq!(q.tail(), 0);
+        assert_eq!(q.push_slot(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SQ overflow")]
+    fn overflow_panics() {
+        let mut q = sq(2);
+        q.push_slot();
+        q.push_slot();
+    }
+
+    #[test]
+    fn cq_phase_flips_on_wrap() {
+        let region = DmaRegion::new(PhysAddr(0), 4 * CQE_BYTES);
+        let mut cq = CqRing::new(QueueId(1), region, 4);
+        assert!(cq.expected_phase());
+        for _ in 0..4 {
+            cq.pop_slot();
+        }
+        assert!(!cq.expected_phase());
+        for _ in 0..4 {
+            cq.pop_slot();
+        }
+        assert!(cq.expected_phase());
+    }
+
+    #[test]
+    fn cq_producer_matches_consumer_phase() {
+        let region = DmaRegion::new(PhysAddr(0), 4 * CQE_BYTES);
+        let mut cq = CqRing::new(QueueId(1), region, 4);
+        let mut prod = CqProducer::new(4);
+        for i in 0..10u16 {
+            let (slot, phase) = prod.produce();
+            assert_eq!(slot, cq.head(), "iteration {i}");
+            assert_eq!(phase, cq.expected_phase(), "iteration {i}");
+            cq.pop_slot();
+        }
+    }
+
+    #[test]
+    fn doorbells_store_per_queue() {
+        let mut db = DoorbellArray::new(3);
+        db.ring_sq_tail(QueueId(1), 5);
+        db.ring_sq_tail(QueueId(2), 9);
+        db.ring_cq_head(QueueId(1), 2);
+        assert_eq!(db.sq_tail(QueueId(1)), 5);
+        assert_eq!(db.sq_tail(QueueId(2)), 9);
+        assert_eq!(db.sq_tail(QueueId(0)), 0);
+        assert_eq!(db.cq_head(QueueId(1)), 2);
+        assert_eq!(db.queues(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_panics() {
+        sq(4).slot_addr(4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Completion status codes.
+
+use std::fmt;
+
+/// NVMe completion status (generic command set plus the vendor codes the
+/// computational-storage substrates return).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Status {
+    /// Successful completion.
+    #[default]
+    Success,
+    /// Invalid command opcode.
+    InvalidOpcode,
+    /// Invalid field in command.
+    InvalidField,
+    /// Data transfer error.
+    DataTransferError,
+    /// Internal device error.
+    InternalError,
+    /// LBA out of range.
+    LbaOutOfRange,
+    /// Capacity exceeded.
+    CapacityExceeded,
+    /// Vendor: key does not exist (KV-SSD GET/DELETE).
+    KvKeyNotFound,
+    /// Vendor: key or value exceeds device limits.
+    KvInvalidSize,
+    /// Vendor: CSD task failed to parse or reference a known table.
+    CsdBadTask,
+}
+
+impl Status {
+    /// Whether the command succeeded.
+    pub fn is_success(self) -> bool {
+        self == Status::Success
+    }
+
+    /// Encodes into the CQE status field layout: status code in bits 7:0,
+    /// status code type in bits 10:8 (0 = generic, 7 = vendor).
+    pub fn to_wire(self) -> u16 {
+        match self {
+            Status::Success => 0x00,
+            Status::InvalidOpcode => 0x01,
+            Status::InvalidField => 0x02,
+            Status::DataTransferError => 0x04,
+            Status::InternalError => 0x06,
+            Status::LbaOutOfRange => 0x80,
+            Status::CapacityExceeded => 0x81,
+            Status::KvKeyNotFound => (7 << 8) | 0x10,
+            Status::KvInvalidSize => (7 << 8) | 0x11,
+            Status::CsdBadTask => (7 << 8) | 0x20,
+        }
+    }
+
+    /// Decodes from the CQE status field. Unknown encodings map to
+    /// [`Status::InternalError`] (the driver treats them as fatal anyway).
+    pub fn from_wire(w: u16) -> Status {
+        match w {
+            0x00 => Status::Success,
+            0x01 => Status::InvalidOpcode,
+            0x02 => Status::InvalidField,
+            0x04 => Status::DataTransferError,
+            0x80 => Status::LbaOutOfRange,
+            0x81 => Status::CapacityExceeded,
+            w if w == (7 << 8) | 0x10 => Status::KvKeyNotFound,
+            w if w == (7 << 8) | 0x11 => Status::KvInvalidSize,
+            w if w == (7 << 8) | 0x20 => Status::CsdBadTask,
+            _ => Status::InternalError,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Success => "success",
+            Status::InvalidOpcode => "invalid opcode",
+            Status::InvalidField => "invalid field",
+            Status::DataTransferError => "data transfer error",
+            Status::InternalError => "internal error",
+            Status::LbaOutOfRange => "lba out of range",
+            Status::CapacityExceeded => "capacity exceeded",
+            Status::KvKeyNotFound => "key not found",
+            Status::KvInvalidSize => "invalid key/value size",
+            Status::CsdBadTask => "bad csd task",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for s in [
+            Status::Success,
+            Status::InvalidOpcode,
+            Status::InvalidField,
+            Status::DataTransferError,
+            Status::LbaOutOfRange,
+            Status::CapacityExceeded,
+            Status::KvKeyNotFound,
+            Status::KvInvalidSize,
+            Status::CsdBadTask,
+        ] {
+            assert_eq!(Status::from_wire(s.to_wire()), s);
+        }
+    }
+
+    #[test]
+    fn unknown_wire_maps_to_internal_error() {
+        assert_eq!(Status::from_wire(0x7777), Status::InternalError);
+    }
+
+    #[test]
+    fn success_predicate() {
+        assert!(Status::Success.is_success());
+        assert!(!Status::KvKeyNotFound.is_success());
+    }
+
+    #[test]
+    fn vendor_codes_use_vendor_type() {
+        assert_eq!(Status::KvKeyNotFound.to_wire() >> 8, 7);
+        assert_eq!(Status::CsdBadTask.to_wire() >> 8, 7);
+        assert_eq!(Status::Success.to_wire() >> 8, 0);
+    }
+}

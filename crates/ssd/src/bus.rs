@@ -1,0 +1,121 @@
+//! The shared host↔device fabric: memory, link, doorbells, clock.
+//!
+//! The driver and the controller each hold a clone of [`SystemBus`]; clones
+//! share state, so a doorbell the driver rings is visible to the controller
+//! on its next poll, and every DMA flows through one set of traffic counters.
+//! The simulation is single-threaded (deterministic virtual time), so shared
+//! ownership is `Rc<RefCell<_>>`; the multi-threaded ordering stress harness
+//! lives separately in the driver crate.
+
+use bx_hostsim::{HostMemory, SimClock};
+use bx_nvme::{DoorbellArray, Status, SubmissionEntry};
+use bx_pcie::{LinkConfig, PcieLink, TrafficCounters};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A BAR-window submission for the PCIe-MMIO byte-interface path (§3.1 of
+/// the paper — the 2B-SSD / ByteFS approach): the host writes the command
+/// image and payload straight into a device buffer with cacheline MMIO
+/// writes, bypassing the submission queue entirely.
+#[derive(Debug, Clone)]
+pub struct MmioSubmission {
+    /// The command image the host wrote into the window.
+    pub sqe: SubmissionEntry,
+    /// The payload bytes following it.
+    pub payload: Vec<u8>,
+}
+
+/// A completion the device posts into the BAR status area for the host to
+/// poll (no CQE, no interrupt — part of why the MMIO path is fast, and why
+/// it breaks the NVMe completion model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmioCompletion {
+    /// Command identifier.
+    pub cid: u16,
+    /// Completion status.
+    pub status: Status,
+    /// Command-specific result.
+    pub result: u32,
+}
+
+/// The shared BAR window state.
+#[derive(Debug, Default)]
+pub struct MmioWindow {
+    /// Host→device submissions awaiting the device's buffer monitor.
+    pub submissions: VecDeque<MmioSubmission>,
+    /// Device→host completions awaiting the host's status poll.
+    pub completions: VecDeque<MmioCompletion>,
+}
+
+/// Shared handles to the simulated platform.
+#[derive(Debug, Clone)]
+pub struct SystemBus {
+    /// Simulated host DRAM.
+    pub mem: Rc<RefCell<HostMemory>>,
+    /// The PCIe link (traffic + timing).
+    pub link: Rc<RefCell<PcieLink>>,
+    /// BAR doorbell registers.
+    pub doorbells: Rc<RefCell<DoorbellArray>>,
+    /// The byte-interface BAR window (the §3.1 MMIO baseline).
+    pub mmio_window: Rc<RefCell<MmioWindow>>,
+    /// The shared virtual clock.
+    pub clock: SimClock,
+}
+
+impl SystemBus {
+    /// Creates a platform with `mem_capacity` bytes of host memory,
+    /// `queue_pairs` doorbell pairs, and the given link configuration.
+    pub fn new(link: LinkConfig, mem_capacity: usize, queue_pairs: usize) -> Self {
+        SystemBus {
+            mem: Rc::new(RefCell::new(HostMemory::with_capacity(mem_capacity))),
+            link: Rc::new(RefCell::new(PcieLink::new(link))),
+            doorbells: Rc::new(RefCell::new(DoorbellArray::new(queue_pairs))),
+            mmio_window: Rc::new(RefCell::new(MmioWindow::default())),
+            clock: SimClock::new(),
+        }
+    }
+
+    /// A snapshot of the link's traffic counters.
+    pub fn traffic(&self) -> TrafficCounters {
+        self.link.borrow().counters().clone()
+    }
+
+    /// Resets traffic counters and the clock (for back-to-back benchmark
+    /// configurations on one platform).
+    pub fn reset_measurements(&self) {
+        self.link.borrow_mut().reset_counters();
+        self.clock.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_hostsim::Nanos;
+    use bx_pcie::TrafficClass;
+
+    #[test]
+    fn clones_share_state() {
+        let bus = SystemBus::new(LinkConfig::gen2_x8(), 1 << 20, 4);
+        let view = bus.clone();
+        bus.link
+            .borrow_mut()
+            .host_posted_write(TrafficClass::Doorbell, 4);
+        assert_eq!(view.traffic().total_bytes(), 28);
+        bus.clock.advance(Nanos::from_ns(10));
+        assert_eq!(view.clock.now(), Nanos::from_ns(10));
+    }
+
+    #[test]
+    fn reset_measurements_clears_both() {
+        let bus = SystemBus::new(LinkConfig::gen2_x8(), 1 << 20, 4);
+        bus.link
+            .borrow_mut()
+            .host_posted_write(TrafficClass::Doorbell, 4);
+        bus.clock.advance(Nanos::from_ns(100));
+        bus.reset_measurements();
+        assert_eq!(bus.traffic().total_bytes(), 0);
+        assert_eq!(bus.clock.now(), Nanos::ZERO);
+    }
+}

@@ -1,0 +1,216 @@
+//! Device-internal DRAM.
+//!
+//! The landing zone for inline payloads: "a key-value log of KV-SSDs, a
+//! workspace for filter processing in CSDs, or even a NAND page buffer entry
+//! of normal block SSDs" (§3.3.1). A simple bump-allocated byte store with
+//! named regions, sized like the OpenSSD's 1 GB DRAM by default (scaled down
+//! for tests).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from device DRAM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// Allocation exceeds remaining capacity.
+    OutOfMemory {
+        /// Requested bytes.
+        requested: usize,
+        /// Remaining bytes.
+        remaining: usize,
+    },
+    /// Access outside an allocated region.
+    OutOfBounds {
+        /// Offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Capacity of the store.
+        capacity: usize,
+    },
+    /// Duplicate region name.
+    RegionExists(String),
+    /// Unknown region name.
+    NoSuchRegion(String),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::OutOfMemory { requested, remaining } => {
+                write!(f, "device dram exhausted: requested {requested}, remaining {remaining}")
+            }
+            DramError::OutOfBounds { offset, len, capacity } => {
+                write!(f, "device dram access out of bounds: {len} bytes at {offset} (capacity {capacity})")
+            }
+            DramError::RegionExists(n) => write!(f, "region already exists: {n}"),
+            DramError::NoSuchRegion(n) => write!(f, "no such region: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+/// A named, fixed-size region of device DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRegion {
+    /// Byte offset of the region within the DRAM.
+    pub offset: usize,
+    /// Region length in bytes.
+    pub len: usize,
+}
+
+/// Byte-addressable device DRAM with named region allocation.
+#[derive(Debug)]
+pub struct DeviceDram {
+    bytes: Vec<u8>,
+    next_free: usize,
+    regions: HashMap<String, DramRegion>,
+}
+
+impl DeviceDram {
+    /// Creates a DRAM of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        DeviceDram {
+            bytes: vec![0; capacity],
+            next_free: 0,
+            regions: HashMap::new(),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Bytes not yet claimed by a region.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.next_free
+    }
+
+    /// Allocates a named region of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// * [`DramError::RegionExists`] on duplicate names.
+    /// * [`DramError::OutOfMemory`] when capacity is exhausted.
+    pub fn alloc_region(&mut self, name: &str, len: usize) -> Result<DramRegion, DramError> {
+        if self.regions.contains_key(name) {
+            return Err(DramError::RegionExists(name.to_string()));
+        }
+        if len > self.remaining() {
+            return Err(DramError::OutOfMemory {
+                requested: len,
+                remaining: self.remaining(),
+            });
+        }
+        let region = DramRegion {
+            offset: self.next_free,
+            len,
+        };
+        self.next_free += len;
+        self.regions.insert(name.to_string(), region);
+        Ok(region)
+    }
+
+    /// Looks up a region by name.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::NoSuchRegion`] if absent.
+    pub fn region(&self, name: &str) -> Result<DramRegion, DramError> {
+        self.regions
+            .get(name)
+            .copied()
+            .ok_or_else(|| DramError::NoSuchRegion(name.to_string()))
+    }
+
+    fn check(&self, offset: usize, len: usize) -> Result<(), DramError> {
+        if offset.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+            return Err(DramError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.bytes.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes bytes at an absolute DRAM offset.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfBounds`] beyond capacity.
+    pub fn write(&mut self, offset: usize, data: &[u8]) -> Result<(), DramError> {
+        self.check(offset, data.len())?;
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads bytes from an absolute DRAM offset.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfBounds`] beyond capacity.
+    pub fn read(&self, offset: usize, len: usize) -> Result<&[u8], DramError> {
+        self.check(offset, len)?;
+        Ok(&self.bytes[offset..offset + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_allocation_and_rw() {
+        let mut d = DeviceDram::new(1024);
+        let r = d.alloc_region("kv-log", 256).unwrap();
+        d.write(r.offset, b"value").unwrap();
+        assert_eq!(d.read(r.offset, 5).unwrap(), b"value");
+        assert_eq!(d.region("kv-log").unwrap(), r);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut d = DeviceDram::new(1024);
+        let a = d.alloc_region("a", 100).unwrap();
+        let b = d.alloc_region("b", 100).unwrap();
+        assert!(a.offset + a.len <= b.offset);
+    }
+
+    #[test]
+    fn duplicate_region_rejected() {
+        let mut d = DeviceDram::new(1024);
+        d.alloc_region("x", 10).unwrap();
+        assert_eq!(
+            d.alloc_region("x", 10).unwrap_err(),
+            DramError::RegionExists("x".into())
+        );
+    }
+
+    #[test]
+    fn oom_detected() {
+        let mut d = DeviceDram::new(100);
+        assert!(matches!(
+            d.alloc_region("big", 101),
+            Err(DramError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn oob_detected() {
+        let mut d = DeviceDram::new(100);
+        assert!(matches!(d.write(99, &[1, 2]), Err(DramError::OutOfBounds { .. })));
+        assert!(matches!(d.read(usize::MAX, 1), Err(DramError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn unknown_region_rejected() {
+        let d = DeviceDram::new(100);
+        assert_eq!(
+            d.region("nope").unwrap_err(),
+            DramError::NoSuchRegion("nope".into())
+        );
+    }
+}

@@ -1,0 +1,465 @@
+//! NAND flash array model.
+//!
+//! Models the Cosmos+ OpenSSD's flash subsystem at the granularity the paper
+//! needs: channels × dies × blocks × pages, with per-die busy windows so
+//! programs/reads on different dies overlap, erase-before-program
+//! discipline, and a sparse data store so reads return exactly the bytes
+//! programmed (end-to-end integrity, not just timing).
+//!
+//! The controller can disable NAND I/O entirely (`NandConfig::disabled`) to
+//! reproduce the paper's transfer-latency-only experiments ("with NAND I/O
+//! disabled on the OpenSSD", §4.2).
+
+use bx_hostsim::Nanos;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Physical page address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ppa {
+    /// Channel index.
+    pub channel: u16,
+    /// Die (way) index within the channel.
+    pub die: u16,
+    /// Block index within the die.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/d{}/b{}/p{}",
+            self.channel, self.die, self.block, self.page
+        )
+    }
+}
+
+/// NAND geometry and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NandConfig {
+    /// Number of channels.
+    pub channels: u16,
+    /// Dies per channel.
+    pub dies_per_channel: u16,
+    /// Blocks per die.
+    pub blocks_per_die: u32,
+    /// Pages per block.
+    pub pages_per_block: u32,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Page read (tR) latency.
+    pub read_latency: Nanos,
+    /// Page program (tPROG) latency.
+    pub program_latency: Nanos,
+    /// Block erase (tBERS) latency.
+    pub erase_latency: Nanos,
+    /// Channel transfer rate in bytes per nanosecond (flash bus).
+    pub channel_bytes_per_ns: f64,
+    /// When false, program/read return immediately with zero latency and no
+    /// data is stored — the paper's "NAND off" mode for isolating transfer
+    /// latency.
+    pub enabled: bool,
+}
+
+impl NandConfig {
+    /// A small OpenSSD-like array: 8 channels × 4 dies, 4 KB pages.
+    ///
+    /// Block/die counts are kept small so FTL tests exercise GC quickly; the
+    /// capacity is configurable for larger runs.
+    pub fn small() -> Self {
+        NandConfig {
+            channels: 8,
+            dies_per_channel: 4,
+            blocks_per_die: 64,
+            pages_per_block: 64,
+            page_size: 4096,
+            read_latency: Nanos::from_us(50),
+            program_latency: Nanos::from_us(300),
+            erase_latency: Nanos::from_ms(3),
+            channel_bytes_per_ns: 0.4, // 400 MB/s flash bus
+            enabled: true,
+        }
+    }
+
+    /// NAND disabled: the paper's transfer-latency measurement mode.
+    pub fn disabled() -> Self {
+        NandConfig {
+            enabled: false,
+            ..Self::small()
+        }
+    }
+
+    /// Total pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        self.channels as u64
+            * self.dies_per_channel as u64
+            * self.blocks_per_die as u64
+            * self.pages_per_block as u64
+    }
+
+    /// Total dies.
+    pub fn total_dies(&self) -> usize {
+        self.channels as usize * self.dies_per_channel as usize
+    }
+
+    fn die_index(&self, ppa: Ppa) -> usize {
+        ppa.channel as usize * self.dies_per_channel as usize + ppa.die as usize
+    }
+
+    fn transfer_time(&self, bytes: usize) -> Nanos {
+        Nanos::from_ns((bytes as f64 / self.channel_bytes_per_ns).ceil() as u64)
+    }
+}
+
+/// Errors from NAND operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NandError {
+    /// Address outside the configured geometry.
+    BadAddress(Ppa),
+    /// Program issued to a page that was not erased (or programmed twice).
+    ProgramWithoutErase(Ppa),
+    /// Read of a page that was never programmed.
+    ReadUnwritten(Ppa),
+    /// Data length does not match the page size.
+    BadLength {
+        /// Bytes provided.
+        got: usize,
+        /// Page size expected.
+        want: usize,
+    },
+}
+
+impl fmt::Display for NandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NandError::BadAddress(p) => write!(f, "ppa out of range: {p}"),
+            NandError::ProgramWithoutErase(p) => write!(f, "program without erase at {p}"),
+            NandError::ReadUnwritten(p) => write!(f, "read of unwritten page {p}"),
+            NandError::BadLength { got, want } => {
+                write!(f, "bad page data length: got {got}, want {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NandError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Erased,
+    Programmed,
+}
+
+/// The NAND array: data store plus per-die timing state.
+#[derive(Debug)]
+pub struct NandArray {
+    cfg: NandConfig,
+    /// Sparse page store (only programmed pages occupy memory).
+    data: HashMap<Ppa, Vec<u8>>,
+    /// Page program state, tracked per block as a vector of page states.
+    page_state: HashMap<(u16, u16, u32), Vec<PageState>>,
+    /// Per-die "busy until" instants, enabling inter-die parallelism.
+    die_busy_until: Vec<Nanos>,
+    /// Statistics.
+    stats: NandStats,
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NandStats {
+    /// Pages programmed.
+    pub programs: u64,
+    /// Pages read.
+    pub reads: u64,
+    /// Blocks erased.
+    pub erases: u64,
+}
+
+impl NandArray {
+    /// Creates an array with all blocks in the erased state.
+    pub fn new(cfg: NandConfig) -> Self {
+        let dies = cfg.total_dies();
+        NandArray {
+            cfg,
+            data: HashMap::new(),
+            page_state: HashMap::new(),
+            die_busy_until: vec![Nanos::ZERO; dies],
+            stats: NandStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NandConfig {
+        &self.cfg
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> NandStats {
+        self.stats
+    }
+
+    fn check(&self, ppa: Ppa) -> Result<(), NandError> {
+        if ppa.channel < self.cfg.channels
+            && ppa.die < self.cfg.dies_per_channel
+            && ppa.block < self.cfg.blocks_per_die
+            && ppa.page < self.cfg.pages_per_block
+        {
+            Ok(())
+        } else {
+            Err(NandError::BadAddress(ppa))
+        }
+    }
+
+    fn block_states(&mut self, ppa: Ppa) -> &mut Vec<PageState> {
+        let pages = self.cfg.pages_per_block as usize;
+        self.page_state
+            .entry((ppa.channel, ppa.die, ppa.block))
+            .or_insert_with(|| vec![PageState::Erased; pages])
+    }
+
+    /// Programs a page with `data`, starting no earlier than `now`.
+    ///
+    /// Returns the instant the program completes (the die is busy until
+    /// then). With NAND disabled, returns `now` and stores nothing.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::BadAddress`] outside the geometry.
+    /// * [`NandError::BadLength`] if `data` is not exactly one page.
+    /// * [`NandError::ProgramWithoutErase`] when overwriting in place.
+    pub fn program(&mut self, ppa: Ppa, data: &[u8], now: Nanos) -> Result<Nanos, NandError> {
+        self.check(ppa)?;
+        if !self.cfg.enabled {
+            return Ok(now);
+        }
+        if data.len() != self.cfg.page_size {
+            return Err(NandError::BadLength {
+                got: data.len(),
+                want: self.cfg.page_size,
+            });
+        }
+        let state = self.block_states(ppa);
+        match state[ppa.page as usize] {
+            PageState::Erased => state[ppa.page as usize] = PageState::Programmed,
+            PageState::Programmed => return Err(NandError::ProgramWithoutErase(ppa)),
+        }
+        self.data.insert(ppa, data.to_vec());
+        self.stats.programs += 1;
+
+        let die = self.cfg.die_index(ppa);
+        let start = self.die_busy_until[die].max(now);
+        let done = start + self.cfg.transfer_time(self.cfg.page_size) + self.cfg.program_latency;
+        self.die_busy_until[die] = done;
+        Ok(done)
+    }
+
+    /// Reads a page, starting no earlier than `now`. Returns the data and
+    /// the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::BadAddress`] outside the geometry.
+    /// * [`NandError::ReadUnwritten`] for never-programmed pages.
+    pub fn read(&mut self, ppa: Ppa, now: Nanos) -> Result<(Vec<u8>, Nanos), NandError> {
+        self.check(ppa)?;
+        if !self.cfg.enabled {
+            return Ok((vec![0; self.cfg.page_size], now));
+        }
+        let data = self
+            .data
+            .get(&ppa)
+            .cloned()
+            .ok_or(NandError::ReadUnwritten(ppa))?;
+        self.stats.reads += 1;
+        let die = self.cfg.die_index(ppa);
+        let start = self.die_busy_until[die].max(now);
+        let done = start + self.cfg.read_latency + self.cfg.transfer_time(self.cfg.page_size);
+        self.die_busy_until[die] = done;
+        Ok((data, done))
+    }
+
+    /// Erases a block, returning the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BadAddress`] outside the geometry.
+    pub fn erase(&mut self, channel: u16, die: u16, block: u32, now: Nanos) -> Result<Nanos, NandError> {
+        let probe = Ppa {
+            channel,
+            die,
+            block,
+            page: 0,
+        };
+        self.check(probe)?;
+        if !self.cfg.enabled {
+            return Ok(now);
+        }
+        let pages = self.cfg.pages_per_block;
+        for page in 0..pages {
+            let ppa = Ppa {
+                channel,
+                die,
+                block,
+                page,
+            };
+            self.data.remove(&ppa);
+        }
+        self.page_state
+            .insert((channel, die, block), vec![PageState::Erased; pages as usize]);
+        self.stats.erases += 1;
+        let die_idx = self.cfg.die_index(probe);
+        let start = self.die_busy_until[die_idx].max(now);
+        let done = start + self.cfg.erase_latency;
+        self.die_busy_until[die_idx] = done;
+        Ok(done)
+    }
+
+    /// The earliest instant at which the die holding `ppa` is idle.
+    pub fn die_ready_at(&self, ppa: Ppa) -> Nanos {
+        self.die_busy_until[self.cfg.die_index(ppa)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> NandArray {
+        NandArray::new(NandConfig::small())
+    }
+
+    fn ppa(channel: u16, die: u16, block: u32, page: u32) -> Ppa {
+        Ppa {
+            channel,
+            die,
+            block,
+            page,
+        }
+    }
+
+    #[test]
+    fn program_then_read_round_trip() {
+        let mut n = array();
+        let data = vec![0xAB; 4096];
+        let done = n.program(ppa(0, 0, 0, 0), &data, Nanos::ZERO).unwrap();
+        assert!(done >= Nanos::from_us(300));
+        let (back, _) = n.read(ppa(0, 0, 0, 0), done).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn program_without_erase_rejected() {
+        let mut n = array();
+        let data = vec![1; 4096];
+        n.program(ppa(0, 0, 0, 0), &data, Nanos::ZERO).unwrap();
+        assert_eq!(
+            n.program(ppa(0, 0, 0, 0), &data, Nanos::ZERO).unwrap_err(),
+            NandError::ProgramWithoutErase(ppa(0, 0, 0, 0))
+        );
+    }
+
+    #[test]
+    fn erase_enables_reprogram() {
+        let mut n = array();
+        let data = vec![1; 4096];
+        n.program(ppa(0, 0, 0, 0), &data, Nanos::ZERO).unwrap();
+        let t = n.erase(0, 0, 0, Nanos::ZERO).unwrap();
+        assert!(t >= Nanos::from_ms(3));
+        n.program(ppa(0, 0, 0, 0), &data, t).unwrap();
+        // Erase wiped the old data state; read returns the new program.
+        let (back, _) = n.read(ppa(0, 0, 0, 0), t).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn erase_wipes_data() {
+        let mut n = array();
+        n.program(ppa(0, 0, 1, 3), &vec![7; 4096], Nanos::ZERO).unwrap();
+        n.erase(0, 0, 1, Nanos::ZERO).unwrap();
+        assert_eq!(
+            n.read(ppa(0, 0, 1, 3), Nanos::ZERO).unwrap_err(),
+            NandError::ReadUnwritten(ppa(0, 0, 1, 3))
+        );
+    }
+
+    #[test]
+    fn read_unwritten_is_error() {
+        let mut n = array();
+        assert!(matches!(
+            n.read(ppa(1, 1, 1, 1), Nanos::ZERO),
+            Err(NandError::ReadUnwritten(_))
+        ));
+    }
+
+    #[test]
+    fn bad_address_rejected() {
+        let mut n = array();
+        assert!(matches!(
+            n.program(ppa(99, 0, 0, 0), &vec![0; 4096], Nanos::ZERO),
+            Err(NandError::BadAddress(_))
+        ));
+        assert!(matches!(
+            n.erase(0, 0, 9999, Nanos::ZERO),
+            Err(NandError::BadAddress(_))
+        ));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut n = array();
+        assert_eq!(
+            n.program(ppa(0, 0, 0, 0), &[1, 2, 3], Nanos::ZERO).unwrap_err(),
+            NandError::BadLength { got: 3, want: 4096 }
+        );
+    }
+
+    #[test]
+    fn same_die_serializes() {
+        let mut n = array();
+        let d = vec![0; 4096];
+        let t1 = n.program(ppa(0, 0, 0, 0), &d, Nanos::ZERO).unwrap();
+        let t2 = n.program(ppa(0, 0, 0, 1), &d, Nanos::ZERO).unwrap();
+        assert!(t2 >= t1 + n.config().program_latency);
+    }
+
+    #[test]
+    fn different_dies_parallel() {
+        let mut n = array();
+        let d = vec![0; 4096];
+        let t1 = n.program(ppa(0, 0, 0, 0), &d, Nanos::ZERO).unwrap();
+        let t2 = n.program(ppa(1, 0, 0, 0), &d, Nanos::ZERO).unwrap();
+        assert_eq!(t1, t2, "programs on different channels should overlap");
+    }
+
+    #[test]
+    fn disabled_nand_is_free_and_stateless() {
+        let mut n = NandArray::new(NandConfig::disabled());
+        let t = n.program(ppa(0, 0, 0, 0), &[1, 2, 3], Nanos::from_ns(5)).unwrap();
+        assert_eq!(t, Nanos::from_ns(5));
+        let (data, t2) = n.read(ppa(0, 0, 0, 0), t).unwrap();
+        assert_eq!(t2, t);
+        assert_eq!(data.len(), 4096);
+        assert_eq!(n.stats().programs, 0);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut n = array();
+        let d = vec![0; 4096];
+        n.program(ppa(0, 0, 0, 0), &d, Nanos::ZERO).unwrap();
+        n.read(ppa(0, 0, 0, 0), Nanos::ZERO).unwrap();
+        n.erase(0, 0, 0, Nanos::ZERO).unwrap();
+        let s = n.stats();
+        assert_eq!((s.programs, s.reads, s.erases), (1, 1, 1));
+    }
+
+    #[test]
+    fn geometry_totals() {
+        let cfg = NandConfig::small();
+        assert_eq!(cfg.total_dies(), 32);
+        assert_eq!(cfg.total_pages(), 8 * 4 * 64 * 64);
+    }
+}

@@ -1,0 +1,379 @@
+//! Identifier-based out-of-order chunk reassembly.
+//!
+//! The paper's §3.3.2 sketches this as future work: relax the queue-local
+//! fetch constraint by tagging each chunk with `{payload id, chunk number,
+//! total count}` so the controller may accept chunks out of order — even
+//! interleaved across submission queues — and place each directly at its
+//! destination DRAM offset. Only lightweight metadata (payload id and a
+//! receive bitmap) is kept in SRAM, respecting the paper's concern about
+//! SRAM usage for in-flight transaction tracking.
+//!
+//! [`ReassemblyEngine`] implements exactly that, with an explicit SRAM
+//! budget: each in-flight payload costs a fixed metadata record plus one bit
+//! per chunk, and admission fails when the budget is exhausted (the
+//! controller then falls back to queue-local fetching).
+
+use bx_nvme::inline::{ChunkHeader, REASSEMBLY_CHUNK_PAYLOAD};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from chunk admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// The SRAM budget cannot admit another in-flight payload.
+    SramExhausted {
+        /// Bytes the new payload's metadata would need.
+        needed: usize,
+        /// Bytes remaining in the budget.
+        remaining: usize,
+    },
+    /// A chunk arrived twice.
+    DuplicateChunk {
+        /// Payload the duplicate belongs to.
+        payload_id: u32,
+        /// The duplicated chunk number.
+        chunk_no: u16,
+    },
+    /// Chunk number ≥ the payload's total.
+    ChunkOutOfRange {
+        /// Payload id.
+        payload_id: u32,
+        /// Offending chunk number.
+        chunk_no: u16,
+        /// Total chunks expected.
+        total: u16,
+    },
+    /// Two chunks of one payload disagreed about the total count.
+    InconsistentTotal {
+        /// Payload id.
+        payload_id: u32,
+    },
+}
+
+impl fmt::Display for ReassemblyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReassemblyError::SramExhausted { needed, remaining } => {
+                write!(f, "reassembly sram exhausted: need {needed}, have {remaining}")
+            }
+            ReassemblyError::DuplicateChunk { payload_id, chunk_no } => {
+                write!(f, "duplicate chunk {chunk_no} for payload {payload_id}")
+            }
+            ReassemblyError::ChunkOutOfRange { payload_id, chunk_no, total } => {
+                write!(f, "chunk {chunk_no} out of range (total {total}) for payload {payload_id}")
+            }
+            ReassemblyError::InconsistentTotal { payload_id } => {
+                write!(f, "inconsistent total count for payload {payload_id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReassemblyError {}
+
+/// Fixed SRAM cost per tracked payload: id + buffer pointer + counters.
+const RECORD_BYTES: usize = 16;
+
+#[derive(Debug)]
+struct InFlight {
+    total: u16,
+    received: u16,
+    bitmap: Vec<u64>,
+    /// Reassembled payload bytes (stands in for the DRAM buffer the chunks
+    /// land in; offsets are chunk_no × 56 as in the paper's sketch).
+    buffer: Vec<u8>,
+}
+
+impl InFlight {
+    fn new(total: u16) -> Self {
+        InFlight {
+            total,
+            received: 0,
+            bitmap: vec![0; (total as usize).div_ceil(64)],
+            buffer: vec![0; total as usize * REASSEMBLY_CHUNK_PAYLOAD],
+        }
+    }
+
+    fn sram_bytes(total: u16) -> usize {
+        RECORD_BYTES + (total as usize).div_ceil(8)
+    }
+
+    fn mark(&mut self, chunk_no: u16) -> bool {
+        let w = chunk_no as usize / 64;
+        let b = chunk_no as usize % 64;
+        if self.bitmap[w] >> b & 1 == 1 {
+            return false;
+        }
+        self.bitmap[w] |= 1 << b;
+        self.received += 1;
+        true
+    }
+}
+
+/// A completed payload returned by [`ReassemblyEngine::accept`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedPayload {
+    /// The payload identifier.
+    pub payload_id: u32,
+    /// Reassembled bytes (padded to whole chunks; the command's length field
+    /// tells the firmware how much is real).
+    pub data: Vec<u8>,
+}
+
+/// Tracks in-flight multi-chunk payloads under an SRAM budget.
+#[derive(Debug)]
+pub struct ReassemblyEngine {
+    inflight: HashMap<u32, InFlight>,
+    sram_budget: usize,
+    sram_used: usize,
+    completed: u64,
+    peak_inflight: usize,
+}
+
+impl ReassemblyEngine {
+    /// Creates an engine with `sram_budget` bytes for tracking metadata.
+    pub fn new(sram_budget: usize) -> Self {
+        ReassemblyEngine {
+            inflight: HashMap::new(),
+            sram_budget,
+            sram_used: 0,
+            completed: 0,
+            peak_inflight: 0,
+        }
+    }
+
+    /// Bytes of SRAM currently consumed by tracking state.
+    pub fn sram_used(&self) -> usize {
+        self.sram_used
+    }
+
+    /// Number of payloads currently in flight.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Payloads fully reassembled so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// The high-water mark of concurrently in-flight payloads — evidence of
+    /// genuine cross-queue interleaving when > 1.
+    pub fn peak_inflight(&self) -> usize {
+        self.peak_inflight
+    }
+
+    /// Accepts one chunk. Returns the completed payload once its final chunk
+    /// arrives, in any order.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReassemblyError`]; on error the engine state is unchanged except
+    /// that duplicate/out-of-range chunks are dropped.
+    pub fn accept(
+        &mut self,
+        hdr: ChunkHeader,
+        data: &[u8],
+    ) -> Result<Option<CompletedPayload>, ReassemblyError> {
+        if hdr.chunk_no >= hdr.total {
+            return Err(ReassemblyError::ChunkOutOfRange {
+                payload_id: hdr.payload_id,
+                chunk_no: hdr.chunk_no,
+                total: hdr.total,
+            });
+        }
+        if !self.inflight.contains_key(&hdr.payload_id) {
+            let needed = InFlight::sram_bytes(hdr.total);
+            let remaining = self.sram_budget - self.sram_used;
+            if needed > remaining {
+                return Err(ReassemblyError::SramExhausted { needed, remaining });
+            }
+            self.sram_used += needed;
+            self.inflight.insert(hdr.payload_id, InFlight::new(hdr.total));
+            self.peak_inflight = self.peak_inflight.max(self.inflight.len());
+        }
+        let entry = self.inflight.get_mut(&hdr.payload_id).expect("just inserted");
+        if entry.total != hdr.total {
+            return Err(ReassemblyError::InconsistentTotal {
+                payload_id: hdr.payload_id,
+            });
+        }
+        if !entry.mark(hdr.chunk_no) {
+            return Err(ReassemblyError::DuplicateChunk {
+                payload_id: hdr.payload_id,
+                chunk_no: hdr.chunk_no,
+            });
+        }
+        // Direct placement at the chunk's DRAM offset.
+        let off = hdr.chunk_no as usize * REASSEMBLY_CHUNK_PAYLOAD;
+        let take = data.len().min(REASSEMBLY_CHUNK_PAYLOAD);
+        entry.buffer[off..off + take].copy_from_slice(&data[..take]);
+
+        if entry.received == entry.total {
+            let entry = self.inflight.remove(&hdr.payload_id).expect("tracked");
+            self.sram_used -= InFlight::sram_bytes(entry.total);
+            self.completed += 1;
+            return Ok(Some(CompletedPayload {
+                payload_id: hdr.payload_id,
+                data: entry.buffer,
+            }));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_nvme::inline::{encode_reassembly_chunks, split_reassembly_chunk};
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 253) as u8).collect()
+    }
+
+    #[test]
+    fn in_order_reassembly() {
+        let mut eng = ReassemblyEngine::new(1024);
+        let p = payload(200);
+        let chunks = encode_reassembly_chunks(1, &p);
+        let mut done = None;
+        for c in &chunks {
+            let (h, d) = split_reassembly_chunk(c);
+            done = eng.accept(h, d).unwrap();
+        }
+        let done = done.expect("payload completes on last chunk");
+        assert_eq!(&done.data[..200], &p[..]);
+        assert_eq!(eng.completed_count(), 1);
+        assert_eq!(eng.sram_used(), 0, "sram released on completion");
+    }
+
+    #[test]
+    fn reverse_order_reassembly() {
+        let mut eng = ReassemblyEngine::new(1024);
+        let p = payload(300);
+        let chunks = encode_reassembly_chunks(2, &p);
+        let mut done = None;
+        for c in chunks.iter().rev() {
+            let (h, d) = split_reassembly_chunk(c);
+            done = eng.accept(h, d).unwrap();
+        }
+        assert_eq!(&done.unwrap().data[..300], &p[..]);
+    }
+
+    #[test]
+    fn interleaved_payloads() {
+        let mut eng = ReassemblyEngine::new(4096);
+        let pa = payload(150);
+        let pb = payload(250);
+        let ca = encode_reassembly_chunks(10, &pa);
+        let cb = encode_reassembly_chunks(11, &pb);
+        let mut finished = Vec::new();
+        // Interleave: a0 b0 a1 b1 ...
+        let max = ca.len().max(cb.len());
+        for i in 0..max {
+            for chunks in [&ca, &cb] {
+                if let Some(c) = chunks.get(i) {
+                    let (h, d) = split_reassembly_chunk(c);
+                    if let Some(done) = eng.accept(h, d).unwrap() {
+                        finished.push(done);
+                    }
+                }
+            }
+        }
+        assert_eq!(finished.len(), 2);
+        let a = finished.iter().find(|p| p.payload_id == 10).unwrap();
+        let b = finished.iter().find(|p| p.payload_id == 11).unwrap();
+        assert_eq!(&a.data[..150], &pa[..]);
+        assert_eq!(&b.data[..250], &pb[..]);
+    }
+
+    #[test]
+    fn duplicate_chunk_detected() {
+        let mut eng = ReassemblyEngine::new(1024);
+        let chunks = encode_reassembly_chunks(5, &payload(200));
+        let (h, d) = split_reassembly_chunk(&chunks[0]);
+        eng.accept(h, d).unwrap();
+        assert_eq!(
+            eng.accept(h, d).unwrap_err(),
+            ReassemblyError::DuplicateChunk {
+                payload_id: 5,
+                chunk_no: 0
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_chunk_rejected() {
+        let mut eng = ReassemblyEngine::new(1024);
+        let h = ChunkHeader {
+            payload_id: 1,
+            chunk_no: 3,
+            total: 3,
+        };
+        assert!(matches!(
+            eng.accept(h, &[0; 56]).unwrap_err(),
+            ReassemblyError::ChunkOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn inconsistent_total_rejected() {
+        let mut eng = ReassemblyEngine::new(1024);
+        eng.accept(
+            ChunkHeader { payload_id: 9, chunk_no: 0, total: 4 },
+            &[0; 56],
+        )
+        .unwrap();
+        assert_eq!(
+            eng.accept(
+                ChunkHeader { payload_id: 9, chunk_no: 1, total: 5 },
+                &[0; 56],
+            )
+            .unwrap_err(),
+            ReassemblyError::InconsistentTotal { payload_id: 9 }
+        );
+    }
+
+    #[test]
+    fn sram_budget_enforced() {
+        // Budget fits exactly one small payload record (16 + 1 bitmap byte).
+        let mut eng = ReassemblyEngine::new(20);
+        eng.accept(
+            ChunkHeader { payload_id: 1, chunk_no: 0, total: 2 },
+            &[0; 56],
+        )
+        .unwrap();
+        let err = eng
+            .accept(
+                ChunkHeader { payload_id: 2, chunk_no: 0, total: 2 },
+                &[0; 56],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ReassemblyError::SramExhausted { .. }));
+        // Finishing payload 1 releases budget for payload 2.
+        eng.accept(
+            ChunkHeader { payload_id: 1, chunk_no: 1, total: 2 },
+            &[0; 56],
+        )
+        .unwrap()
+        .expect("complete");
+        eng.accept(
+            ChunkHeader { payload_id: 2, chunk_no: 0, total: 2 },
+            &[0; 56],
+        )
+        .unwrap();
+        assert_eq!(eng.inflight_count(), 1);
+    }
+
+    #[test]
+    fn single_chunk_payload_completes_immediately() {
+        let mut eng = ReassemblyEngine::new(1024);
+        let done = eng
+            .accept(
+                ChunkHeader { payload_id: 3, chunk_no: 0, total: 1 },
+                &[9; 56],
+            )
+            .unwrap();
+        assert!(done.is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! Payload-size ladders used by the paper's microbenchmarks.
+
+/// Fig 1(b)'s staircase sweep: 1 KB to 16 KB in sub-page steps, exposing the
+/// 4 KB page-granular jumps of PRP traffic and latency.
+pub fn latency_staircase_sizes() -> Vec<usize> {
+    (1..=16).map(|k| k * 1024).collect()
+}
+
+/// Fig 1(c)'s sub-1 KB amplification sweep.
+pub fn amplification_sweep_sizes() -> Vec<usize> {
+    vec![32, 64, 128, 256, 512, 1024]
+}
+
+/// Fig 5's payload ladder: 32 B through 16 KB, the range over which the
+/// PRP / BandSlim / ByteExpress comparison plays out.
+pub fn fig5_sizes() -> Vec<usize> {
+    vec![32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_are_sorted_and_nonempty() {
+        for ladder in [
+            latency_staircase_sizes(),
+            amplification_sweep_sizes(),
+            fig5_sizes(),
+        ] {
+            assert!(!ladder.is_empty());
+            assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn fig5_covers_paper_range() {
+        let sizes = fig5_sizes();
+        assert_eq!(*sizes.first().unwrap(), 32);
+        assert_eq!(*sizes.last().unwrap(), 16384);
+        assert!(sizes.contains(&256), "the crossover point must be sampled");
+    }
+}

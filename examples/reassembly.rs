@@ -1,0 +1,52 @@
+//! The out-of-order reassembly extension (§3.3.2) in action.
+//!
+//! The paper's implemented design keeps each chunk train queue-local; the
+//! sketched extension tags chunks with `{payload id, chunk no, total}` so a
+//! controller may interleave fetches across queues, tracking in-flight
+//! payloads with only a payload id + receive bitmap in SRAM. This example
+//! runs the same writes through both controller policies and shows that
+//! integrity and traffic are identical, with the extension paying a small
+//! per-chunk header tax (56 payload bytes per chunk instead of 64).
+//!
+//! Run with: `cargo run --example reassembly --release`
+
+use byteexpress::{Device, FetchPolicy, TransferMethod};
+
+fn main() -> Result<(), byteexpress::DeviceError> {
+    let payloads: Vec<Vec<u8>> = (0..200)
+        .map(|i| (0..(17 + i * 13) % 900 + 1).map(|b| (b % 251) as u8).collect())
+        .collect();
+
+    for policy in [FetchPolicy::QueueLocal, FetchPolicy::Reassembly] {
+        let mut dev = Device::builder().fetch_policy(policy).build();
+        for (i, p) in payloads.iter().enumerate() {
+            dev.write(i as u64 * 8, p, TransferMethod::ByteExpress)?;
+        }
+        // Verify every payload survived the trip through the SQ.
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(&dev.read(i as u64 * 8, p.len())?, p, "payload {i}");
+        }
+        let stats = dev.controller().stats();
+        println!(
+            "{policy:?}: {} chunks fetched, {} inline bytes, traffic {} B, \
+             reassembly completions {}",
+            stats.chunks_fetched,
+            stats.inline_payload_bytes,
+            dev.traffic().total_bytes(),
+            dev.controller().reassembly().completed_count(),
+        );
+        assert_eq!(
+            dev.controller().reassembly().sram_used(),
+            0,
+            "all tracking state must be released"
+        );
+    }
+
+    println!(
+        "\nBoth policies deliver byte-identical data; the reassembly variant \
+         fetches slightly more\nchunks (8-byte headers shrink per-chunk \
+         payload to 56 B) in exchange for dropping the\nqueue-local ordering \
+         constraint."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! CSD SQL predicate pushdown: the Fig 4 / Fig 7 scenario.
+//!
+//! Loads each corpus table into a simulated computational SSD, then pushes
+//! each query down twice — once as the full SQL string, once as just the
+//! table + predicate segment — over PRP, BandSlim and ByteExpress, printing
+//! the task payload sizes (Fig 4) and the transfer traffic (Fig 7(a)).
+//!
+//! Run with: `cargo run --example sql_pushdown --release`
+
+use bx_csd::session::CsdConfig;
+use bx_csd::{corpus, CsdSession, TaskEncoding};
+use byteexpress::TransferMethod;
+
+fn main() -> Result<(), bx_csd::CsdError> {
+    let rows_per_table = 5_000;
+
+    println!("Fig 4 — task message lengths:");
+    println!("{:>10} {:>12} {:>12}", "query", "full SQL", "segment");
+    for q in corpus() {
+        println!(
+            "{:>10} {:>10} B {:>10} B",
+            q.name,
+            q.full_sql.len(),
+            q.segment_payload().len()
+        );
+    }
+
+    println!("\nFig 7(a) — per-task PCIe traffic (bytes), NAND on:");
+    println!(
+        "{:>10} {:>9} | {:>8} {:>9} {:>12} | {:>8} {:>9} {:>12}",
+        "query", "matches", "PRP", "BandSlim", "ByteExpress", "PRP", "BandSlim", "ByteExpress"
+    );
+    println!(
+        "{:>10} {:>9} | {:^32} | {:^32}",
+        "", "", "--- full SQL string ---", "--- table+predicate ---"
+    );
+
+    for q in corpus() {
+        let mut session = CsdSession::open(CsdConfig::default());
+        session.create_table(&q.schema)?;
+        session.load_rows(&q.schema, &q.generate_rows(rows_per_table, 42))?;
+
+        let mut cells = Vec::new();
+        let mut matches = 0;
+        for encoding in [TaskEncoding::FullSql, TaskEncoding::Segment] {
+            for method in [
+                TransferMethod::Prp,
+                TransferMethod::BandSlim { embed_first: false },
+                TransferMethod::ByteExpress,
+            ] {
+                let before = session.device().traffic();
+                let report =
+                    session.pushdown(&q.full_sql, q.table, &q.predicate, encoding, method)?;
+                let traffic = session.device().traffic().since(&before).total_bytes();
+                matches = report.matches;
+                cells.push(traffic);
+            }
+        }
+        println!(
+            "{:>10} {:>9} | {:>8} {:>9} {:>12} | {:>8} {:>9} {:>12}",
+            q.name, matches, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+        );
+    }
+
+    println!(
+        "\nBoth inline methods cut ~98% of PRP's page-granular traffic; \
+         ByteExpress additionally\navoids BandSlim's per-fragment command \
+         overhead as strings grow (Fig 7)."
+    );
+    Ok(())
+}

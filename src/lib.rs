@@ -1,0 +1,5 @@
+//! Workspace-level umbrella package: hosts the runnable `examples/` and the
+//! cross-crate integration `tests/`. The public API lives in the
+//! [`byteexpress`] crate.
+
+pub use byteexpress;

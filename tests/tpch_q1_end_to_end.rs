@@ -1,0 +1,91 @@
+//! TPC-H Q1 end to end across the pushdown split: the CSD filters
+//! `lineitem` by ship date (transferred inline via ByteExpress), and the
+//! host computes the aggregates and grouping the query's tail demands.
+
+use bx_csd::session::CsdConfig;
+use bx_csd::{
+    corpus, eval, host_aggregate, parse_predicate, parse_query, CsdSession, Row, TaskEncoding,
+    UnknownColumn, Value,
+};
+use byteexpress::TransferMethod;
+
+#[test]
+fn q1_device_filter_plus_host_aggregation() {
+    let q1 = corpus()
+        .into_iter()
+        .find(|q| q.name == "TPC-H Q1")
+        .expect("corpus has Q1");
+    let rows = q1.generate_rows(3000, 1234);
+
+    // Device side: create/load/push down, rows come back filtered.
+    let mut session = CsdSession::open(CsdConfig::default());
+    session.create_table(&q1.schema).unwrap();
+    session.load_rows(&q1.schema, &rows).unwrap();
+    let report = session
+        .pushdown(
+            &q1.full_sql,
+            q1.table,
+            &q1.predicate,
+            TaskEncoding::Segment,
+            TransferMethod::ByteExpress,
+        )
+        .unwrap();
+    let filtered = session.fetch_results(&q1.schema).unwrap();
+    assert_eq!(filtered.len(), report.matches as usize);
+    assert!(report.matches > 0);
+
+    // Host side: aggregate per (l_returnflag, l_linestatus).
+    let query = parse_query(&q1.full_sql).unwrap();
+    let groups = host_aggregate(&query, &q1.schema, &filtered).unwrap();
+    assert!(
+        groups.len() <= 6 && groups.len() >= 2,
+        "3 returnflags x 2 linestatuses: got {} groups",
+        groups.len()
+    );
+
+    // Cross-check against a pure host-side reference computation.
+    let pred = parse_predicate(&q1.predicate).unwrap();
+    let reference: Vec<&Row> = rows
+        .iter()
+        .filter(|r| eval(&pred, &q1.schema, r, UnknownColumn::Error).unwrap())
+        .collect();
+    assert_eq!(reference.len(), filtered.len());
+
+    let total_count: i64 = groups
+        .iter()
+        .map(|g| match g.values[5] {
+            Value::Int(n) => n,
+            ref other => panic!("count(*) should be Int, got {other:?}"),
+        })
+        .sum();
+    assert_eq!(total_count as usize, reference.len());
+
+    // sum(l_quantity) across groups equals the reference sum.
+    let qty_idx = q1.schema.column_index("l_quantity").unwrap();
+    let expected_qty: f64 = reference
+        .iter()
+        .map(|r| r.values[qty_idx].as_f64().unwrap())
+        .sum();
+    let got_qty: f64 = groups
+        .iter()
+        .map(|g| match g.values[2] {
+            Value::Float(f) => f,
+            ref other => panic!("sum should be Float, got {other:?}"),
+        })
+        .sum();
+    assert!(
+        (expected_qty - got_qty).abs() < 1e-6 * expected_qty.abs().max(1.0),
+        "sum(l_quantity): {got_qty} vs reference {expected_qty}"
+    );
+
+    // avg(l_discount) of each group lies within the column's range.
+    for g in &groups {
+        match g.values[4] {
+            Value::Float(avg) => assert!((0.0..=100.0).contains(&avg), "{avg}"),
+            ref other => panic!("avg should be Float, got {other:?}"),
+        }
+        // Group keys are the projected flag/status columns.
+        assert!(matches!(g.values[0], Value::Str(_)));
+        assert!(matches!(g.values[1], Value::Str(_)));
+    }
+}
