@@ -2,8 +2,8 @@
 //! wired and ready for I/O.
 
 use crate::stats::LatencySamples;
-use bx_driver::{Completion, DriverError, InlineMode, NvmeDriver, TransferMethod};
-use bx_hostsim::Nanos;
+use bx_driver::{Completion, DriverError, InlineMode, NvmeDriver, RecoveryStats, RetryPolicy, TransferMethod};
+use bx_hostsim::{FaultConfig, FaultCounters, Nanos};
 use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status};
 use bx_pcie::{LinkConfig, TrafficCounters};
 use bx_ssd::{
@@ -64,6 +64,8 @@ pub struct DeviceBuilder {
     host_mem_capacity: usize,
     controller_timing: ControllerTiming,
     firmware: Option<Box<dyn FnOnce(&mut DeviceDram) -> Box<dyn FirmwareHandler>>>,
+    fault_config: Option<FaultConfig>,
+    retry_policy: Option<RetryPolicy>,
 }
 
 impl fmt::Debug for DeviceBuilder {
@@ -88,6 +90,8 @@ impl Default for DeviceBuilder {
             host_mem_capacity: 256 << 20,
             controller_timing: ControllerTiming::default(),
             firmware: None,
+            fault_config: None,
+            retry_policy: None,
         }
     }
 }
@@ -156,12 +160,33 @@ impl DeviceBuilder {
         self
     }
 
+    /// Installs a deterministic fault schedule (seeded from
+    /// `cfg.seed`), shared by the link, controller, and NAND models. The
+    /// admin queue is exempt, so bring-up always succeeds. Pair with
+    /// [`DeviceBuilder::retry_policy`] — faults without recovery make
+    /// `execute` panic on the first lost completion.
+    pub fn fault_config(mut self, cfg: FaultConfig) -> Self {
+        self.fault_config = Some(cfg);
+        self
+    }
+
+    /// Installs the driver's timeout/retry/degradation policy. Without one
+    /// the driver keeps the original fail-fast behaviour and the wire
+    /// traffic is byte-identical to a build without recovery support.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = Some(policy);
+        self
+    }
+
     /// Builds the device, performing the full NVMe bring-up: admin queue
     /// registers, controller enable, Identify, and admin-command queue
     /// creation.
     pub fn build(self) -> Device {
         // One doorbell pair per I/O queue plus the admin queue.
         let bus = SystemBus::new(self.link, self.host_mem_capacity, self.queue_count + 1);
+        if let Some(cfg) = self.fault_config {
+            bus.install_faults(cfg);
+        }
         let nand_enabled = self.nand.enabled;
         let cfg = ControllerConfig {
             timing: self.controller_timing,
@@ -170,6 +195,10 @@ impl DeviceBuilder {
             over_provision: 0.25,
             fetch_policy: self.fetch_policy,
             reassembly_sram: 64 << 10,
+            // Must stay below RetryPolicy::default().timeout (5 ms): a
+            // truncated train must be evicted (DataTransferError CQE)
+            // before the driver's deadline triggers a resubmission.
+            inline_stall_deadline: Nanos::from_ms(1),
             identify: bx_nvme::IdentifyController {
                 vendor: bx_nvme::VendorCaps {
                     byteexpress: true,
@@ -191,6 +220,7 @@ impl DeviceBuilder {
         if self.fetch_policy == FetchPolicy::Reassembly {
             driver.set_inline_mode(InlineMode::Reassembly);
         }
+        driver.set_retry_policy(self.retry_policy);
         let identify = driver
             .initialize(&mut ctrl)
             .expect("controller bring-up must succeed");
@@ -307,6 +337,28 @@ impl Device {
         self.bus.reset_measurements();
     }
 
+    /// Replaces the fault schedule at runtime (e.g. to start a chaos
+    /// phase, or reseed between runs).
+    pub fn install_faults(&self, cfg: FaultConfig) {
+        self.bus.install_faults(cfg);
+    }
+
+    /// Turns fault injection off — used by chaos tests to switch into a
+    /// clean verification phase after the storm.
+    pub fn disable_faults(&self) {
+        self.bus.install_faults(FaultConfig::disabled());
+    }
+
+    /// How many faults of each class have been injected so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.bus.fault_counters()
+    }
+
+    /// The driver's recovery counters (timeouts, retries, fallbacks…).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.driver.recovery_stats()
+    }
+
     /// Executes a passthrough command on queue 0.
     ///
     /// # Errors
@@ -386,6 +438,7 @@ impl Device {
         method: TransferMethod,
     ) -> Result<RunReport, DeviceError> {
         let traffic_before = self.traffic();
+        let recovery_before = self.recovery_stats();
         let t0 = self.now();
         let mut latencies = LatencySamples::with_capacity(n);
         let data = vec![0xA5u8; size];
@@ -400,6 +453,7 @@ impl Device {
             elapsed: self.now() - t0,
             latencies,
             traffic,
+            recovery: self.recovery_stats().since(&recovery_before),
         })
     }
 }
@@ -423,6 +477,9 @@ pub struct RunReport {
     pub latencies: LatencySamples,
     /// PCIe traffic for the run.
     pub traffic: bx_pcie::TrafficCounters,
+    /// Driver recovery activity during the run (all zero on a clean run
+    /// or when no [`RetryPolicy`] is installed).
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {

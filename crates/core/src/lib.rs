@@ -52,8 +52,11 @@ pub use device::{Device, DeviceBuilder, DeviceError, RunReport};
 pub use stats::LatencySamples;
 
 // The pieces users routinely touch, re-exported at the top level.
-pub use bx_driver::{Completion, DriverError, DriverTiming, InlineMode, NvmeDriver, TransferMethod};
-pub use bx_hostsim::{Nanos, PhysAddr, PAGE_SIZE};
+pub use bx_driver::{
+    CmdContext, Completion, DriverError, DriverTiming, InlineMode, NvmeDriver, RecoveryStats,
+    RetryPolicy, TransferMethod,
+};
+pub use bx_hostsim::{FaultConfig, FaultCounters, Nanos, PhysAddr, PAGE_SIZE};
 pub use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status, SubmissionEntry};
 pub use bx_pcie::{LinkConfig, PcmCounters, TrafficClass, TrafficCounters};
 pub use bx_ssd::{

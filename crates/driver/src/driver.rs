@@ -1,6 +1,7 @@
 //! The driver proper: queue pairs, submit engines, completion polling.
 
 use crate::method::{InlineMode, TransferMethod};
+use crate::recovery::{is_idempotent, BxRole, CmdContext, DegradeState, RecoveryStats, RetryPolicy};
 use crate::timing::DriverTiming;
 use bx_hostsim::{MemError, Nanos, PageRef, PhysAddr, PAGE_SIZE};
 use bx_nvme::passthru::DataDirection;
@@ -49,6 +50,34 @@ pub enum DriverError {
     /// The controller does not advertise the capability this submission
     /// needs (per its Identify data).
     Unsupported(&'static str),
+    /// A command missed its completion deadline on every allowed attempt
+    /// (recovery path only; requires a [`RetryPolicy`]).
+    Timeout {
+        /// Which command (queue, last attempt's cid, opcode).
+        ctx: CmdContext,
+        /// Virtual time spent from first submission to giving up.
+        waited: Nanos,
+        /// Attempts made (first submission + retries).
+        attempts: u32,
+    },
+    /// A command kept failing with a retriable status until the retry cap
+    /// (recovery path only).
+    RetriesExhausted {
+        /// Which command (queue, last attempt's cid, opcode).
+        ctx: CmdContext,
+        /// Attempts made (first submission + retries).
+        attempts: u32,
+        /// The status of the final failed attempt.
+        last_status: Status,
+    },
+    /// Resubmission during recovery failed at the submit stage; wraps the
+    /// underlying error with the context of the preceding attempt.
+    Submission {
+        /// Which command the retry belonged to.
+        ctx: CmdContext,
+        /// The submit-stage failure.
+        cause: Box<DriverError>,
+    },
 }
 
 impl fmt::Display for DriverError {
@@ -68,6 +97,23 @@ impl fmt::Display for DriverError {
             DriverError::AdminFailed(s) => write!(f, "admin command failed: {s}"),
             DriverError::Unsupported(what) => {
                 write!(f, "controller does not support {what}")
+            }
+            DriverError::Timeout {
+                ctx,
+                waited,
+                attempts,
+            } => {
+                write!(f, "command timed out ({ctx}) after {attempts} attempt(s), {waited} waited")
+            }
+            DriverError::RetriesExhausted {
+                ctx,
+                attempts,
+                last_status,
+            } => {
+                write!(f, "retries exhausted ({ctx}) after {attempts} attempt(s), last status {last_status}")
+            }
+            DriverError::Submission { ctx, cause } => {
+                write!(f, "resubmission failed ({ctx}): {cause}")
             }
         }
     }
@@ -147,6 +193,10 @@ struct ResponseBuf {
 
 struct Inflight {
     submitted_at: Nanos,
+    /// Completion deadline in virtual time; set only when a [`RetryPolicy`]
+    /// is installed. Expired entries are reaped by `poll_completions` as
+    /// synthetic `CommandAborted` completions.
+    deadline: Option<Nanos>,
     data_pages: Vec<PageRef>,
     list_pages: Vec<PageRef>,
     response: Option<ResponseBuf>,
@@ -163,6 +213,7 @@ struct QueuePair {
     lock: Mutex<()>,
     next_cid: u16,
     inflight: HashMap<u16, Inflight>,
+    degrade: DegradeState,
 }
 
 /// The driver's admin queue pair.
@@ -184,6 +235,8 @@ pub struct NvmeDriver {
     inline_mode: InlineMode,
     next_payload_id: u32,
     stats: DriverStats,
+    retry_policy: Option<RetryPolicy>,
+    recovery: RecoveryStats,
 }
 
 impl fmt::Debug for NvmeDriver {
@@ -219,7 +272,35 @@ impl NvmeDriver {
             inline_mode: InlineMode::QueueLocal,
             next_payload_id: 1,
             stats: DriverStats::default(),
+            retry_policy: None,
+            recovery: RecoveryStats::default(),
         }
+    }
+
+    /// Installs (or with `None`, removes) the timeout/retry/degradation
+    /// policy. With no policy the driver behaves exactly as before the
+    /// recovery machinery existed: `execute` panics on a lost completion
+    /// and nothing is ever reaped or resubmitted.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry_policy = policy;
+    }
+
+    /// The installed retry policy, if any.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry_policy
+    }
+
+    /// Recovery counters (timeouts, retries, fallbacks, probes…).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Whether `qid` is currently degraded from ByteExpress to PRP.
+    pub fn is_degraded(&self, qid: QueueId) -> bool {
+        self.queues
+            .get(&qid.0)
+            .map(|qp| qp.degrade.degraded)
+            .unwrap_or(false)
     }
 
     /// Sets the SGL threshold (the kernel's `sgl_threshold` module param).
@@ -416,6 +497,7 @@ impl NvmeDriver {
                 lock: Mutex::new(()),
                 next_cid: 0,
                 inflight: HashMap::new(),
+                degrade: DegradeState::default(),
             },
         );
         Ok(id)
@@ -484,6 +566,9 @@ impl NvmeDriver {
 
         let mut inflight = Inflight {
             submitted_at,
+            deadline: self
+                .retry_policy
+                .map(|p| submitted_at.checked_add(p.timeout).unwrap_or(submitted_at)),
             data_pages: Vec::new(),
             list_pages: Vec::new(),
             response: None,
@@ -645,6 +730,18 @@ impl NvmeDriver {
         let needed = 1 + chunks.len() as u16;
         let timing = self.timing.clone();
         let bus = self.bus.clone();
+        // Fault hook: lose one chunk of a reassembly train before it is
+        // written, modelling a corrupted store that never lands. Only
+        // reassembly mode tolerates this detectably — the controller parks
+        // the command, the payload never completes, and the stall-eviction
+        // sweep posts DataTransferError. (A queue-local train would silently
+        // desync the in-order gather, so the injector refuses n < 2 and we
+        // gate on the mode.)
+        let lost_chunk = if self.inline_mode == InlineMode::Reassembly {
+            bus.faults.borrow_mut().truncate_train(chunks.len())
+        } else {
+            None
+        };
         let qp = self.queue_mut(qid)?;
         let depth_limit = qp.sq.depth() - 1;
         if needed > depth_limit {
@@ -673,14 +770,19 @@ impl NvmeDriver {
             .borrow_mut()
             .write(qp.sq.slot_addr(slot), &sqe.to_bytes())?;
         bus.clock.advance(timing.bx_cmd_insert);
-        for chunk in &chunks {
+        let mut written = 0u64;
+        for (i, chunk) in chunks.iter().enumerate() {
+            if Some(i) == lost_chunk {
+                continue;
+            }
             let slot = qp.sq.push_slot();
             bus.mem.borrow_mut().write(qp.sq.slot_addr(slot), chunk)?;
             bus.clock.advance(timing.per_chunk_insert);
+            written += 1;
         }
         let tail = qp.sq.tail();
         drop(_guard);
-        self.stats.chunks_written += chunks.len() as u64;
+        self.stats.chunks_written += written;
         self.ring_sq_doorbell(qid, tail);
         Ok(())
     }
@@ -845,6 +947,14 @@ impl NvmeDriver {
     }
 
     fn ring_sq_doorbell(&mut self, qid: QueueId, tail: u16) {
+        // Fault hook: the posted doorbell TLP is lost on the link — the
+        // device's tail view never updates and nothing crosses the wire.
+        // The driver's ring tail already advanced, so a later doorbell on
+        // this queue covers the orphaned entries; until then only the
+        // per-command timeout notices. Admin doorbells are never dropped.
+        if qid.0 != 0 && self.bus.faults.borrow_mut().drop_doorbell() {
+            return;
+        }
         self.bus.doorbells.borrow_mut().ring_sq_tail(qid, tail);
         let t = self
             .bus
@@ -867,6 +977,8 @@ impl NvmeDriver {
     pub fn poll_completions(&mut self, qid: QueueId) -> Result<Vec<Completion>, DriverError> {
         let bus = self.bus.clone();
         let timing = self.timing.clone();
+        let policy = self.retry_policy;
+        let mut spurious = 0u64;
         // Byte-interface completions are polled from the BAR status area
         // (one synchronous MMIO read per poll sweep when any are pending).
         let mmio: Vec<bx_ssd::MmioCompletion> = {
@@ -910,6 +1022,13 @@ impl NvmeDriver {
             bus.clock.advance(timing.completion_handling);
 
             let inflight = qp.inflight.remove(&cqe.cid());
+            if inflight.is_none() && policy.is_some() {
+                // A CQE for a command no longer tracked: late or duplicate,
+                // e.g. the original attempt completing after a timeout reap
+                // and resubmission. Its effect is idempotent by the retry
+                // guard; consume and count it.
+                spurious += 1;
+            }
             let mut data = None;
             let mut submitted_at = bus.clock.now();
             if let Some(inflight) = inflight {
@@ -950,6 +1069,51 @@ impl NvmeDriver {
                 completed_at: bus.clock.now(),
             });
         }
+        // Timeout detection: reap in-flight commands past their deadline as
+        // synthetic CommandAborted completions (retriable, DNR clear), so a
+        // lost doorbell or dropped CQE surfaces to the caller instead of
+        // hanging the queue. Pages are released here; a late CQE for a
+        // reaped cid lands in the spurious path above. Only active when a
+        // retry policy set the deadlines.
+        let mut reaped = 0u64;
+        if policy.is_some() {
+            let now = bus.clock.now();
+            let mut expired: Vec<u16> = qp
+                .inflight
+                .iter()
+                .filter(|(_, i)| matches!(i.deadline, Some(d) if now > d))
+                .map(|(&cid, _)| cid)
+                .collect();
+            // HashMap iteration order is per-process random; sort so a fixed
+            // fault seed yields one reproducible completion order.
+            expired.sort_unstable();
+            for cid in expired {
+                let inflight = qp.inflight.remove(&cid).expect("listed above");
+                let submitted_at = inflight.submitted_at;
+                let mut mem = bus.mem.borrow_mut();
+                if let Some(resp) = inflight.response {
+                    for p in resp.pages.into_iter().chain(resp.list_pages) {
+                        mem.free_page(p)?;
+                    }
+                }
+                for p in inflight
+                    .data_pages
+                    .into_iter()
+                    .chain(inflight.list_pages)
+                {
+                    mem.free_page(p)?;
+                }
+                reaped += 1;
+                out.push(Completion {
+                    cid,
+                    status: Status::CommandAborted,
+                    result: 0,
+                    data: None,
+                    submitted_at,
+                    completed_at: now,
+                });
+            }
+        }
         if consumed_cqe {
             let head = qp.cq.head();
             bus.doorbells.borrow_mut().ring_cq_head(qid, head);
@@ -960,16 +1124,24 @@ impl NvmeDriver {
             bus.clock.advance(t);
             self.stats.doorbells += 1;
         }
+        self.recovery.timeouts += reaped;
+        self.recovery.spurious_completions += spurious;
         Ok(out)
     }
 
     /// Submit + drive the controller + poll: the synchronous convenience the
     /// examples and benchmarks use.
     ///
+    /// Without a [`RetryPolicy`] this is the original fail-fast path: one
+    /// submission, and a missing completion is a bug that panics. With a
+    /// policy installed (see [`NvmeDriver::set_retry_policy`]) it runs the
+    /// recovering ladder instead: deadline → timeout reap → classified
+    /// retry with capped exponential backoff → ByteExpress→PRP degradation.
+    ///
     /// # Errors
     ///
-    /// Propagates submit/poll failures; a missing completion is a bug and
-    /// panics.
+    /// Propagates submit/poll failures; on the recovery path also
+    /// [`DriverError::Timeout`] / [`DriverError::RetriesExhausted`].
     pub fn execute(
         &mut self,
         qid: QueueId,
@@ -977,6 +1149,9 @@ impl NvmeDriver {
         cmd: &PassthruCmd,
         method: TransferMethod,
     ) -> Result<Completion, DriverError> {
+        if self.retry_policy.is_some() {
+            return self.execute_recover(qid, ctrl, cmd, method);
+        }
         let submitted = self.submit(qid, cmd, method)?;
         ctrl.process_available();
         let mut completions = self.poll_completions(qid)?;
@@ -987,6 +1162,167 @@ impl NvmeDriver {
         let mut completion = completions.swap_remove(idx);
         completion.submitted_at = submitted.submitted_at;
         Ok(completion)
+    }
+
+    /// Picks the transfer method for one attempt, honouring the queue's
+    /// degradation state, and reports how ByteExpress was involved.
+    fn plan_method(
+        &mut self,
+        qid: QueueId,
+        cmd: &PassthruCmd,
+        requested: TransferMethod,
+    ) -> Result<(TransferMethod, BxRole), DriverError> {
+        if cmd.direction != DataDirection::ToDevice {
+            return Ok((requested, BxRole::NotBx));
+        }
+        let resolved = requested.resolve(cmd.data.len());
+        if resolved != TransferMethod::ByteExpress {
+            return Ok((resolved, BxRole::NotBx));
+        }
+        let probe_after = self
+            .retry_policy
+            .expect("plan_method is only called on the recovery path")
+            .probe_after;
+        let qp = self.queue_mut(qid)?;
+        if !qp.degrade.degraded {
+            return Ok((TransferMethod::ByteExpress, BxRole::Normal));
+        }
+        qp.degrade.ops_since_probe += 1;
+        if qp.degrade.ops_since_probe >= probe_after {
+            qp.degrade.ops_since_probe = 0;
+            self.recovery.probes += 1;
+            Ok((TransferMethod::ByteExpress, BxRole::Probe))
+        } else {
+            Ok((TransferMethod::Prp, BxRole::Substituted))
+        }
+    }
+
+    /// Feeds one attempt's outcome into the per-queue degradation state
+    /// machine.
+    fn note_attempt(&mut self, qid: QueueId, role: BxRole, success: bool) {
+        let fallback_after = match self.retry_policy {
+            Some(p) => p.fallback_after.max(1),
+            None => return,
+        };
+        let Some(qp) = self.queues.get_mut(&qid.0) else {
+            return;
+        };
+        let (mut bx_failed, mut fell_back, mut repromoted) = (false, false, false);
+        match (role, success) {
+            (BxRole::Normal, true) => qp.degrade.consecutive_bx_failures = 0,
+            (BxRole::Normal, false) => {
+                bx_failed = true;
+                qp.degrade.consecutive_bx_failures += 1;
+                if qp.degrade.consecutive_bx_failures >= fallback_after {
+                    qp.degrade.degraded = true;
+                    qp.degrade.ops_since_probe = 0;
+                    fell_back = true;
+                }
+            }
+            (BxRole::Probe, true) => {
+                qp.degrade.degraded = false;
+                qp.degrade.consecutive_bx_failures = 0;
+                repromoted = true;
+            }
+            (BxRole::Probe, false) => bx_failed = true,
+            (BxRole::NotBx | BxRole::Substituted, _) => {}
+        }
+        self.recovery.bx_failures += bx_failed as u64;
+        self.recovery.fallbacks += fell_back as u64;
+        self.recovery.repromotions += repromoted as u64;
+    }
+
+    /// The recovering execute: deadline-bounded wait, classified retry with
+    /// capped exponential backoff, ByteExpress→PRP graceful degradation.
+    fn execute_recover(
+        &mut self,
+        qid: QueueId,
+        ctrl: &mut Controller,
+        cmd: &PassthruCmd,
+        method: TransferMethod,
+    ) -> Result<Completion, DriverError> {
+        let policy = self.retry_policy.expect("caller checked");
+        let started = self.bus.clock.now();
+        let mut attempt: u32 = 0;
+        let mut last_ctx: Option<CmdContext> = None;
+        loop {
+            if attempt > 0 {
+                // Drain stragglers (late CQEs from the previous attempt)
+                // before claiming fresh SQ slots.
+                ctrl.process_available();
+                self.poll_completions(qid)?;
+            }
+            let (effective, role) = self.plan_method(qid, cmd, method)?;
+            let submitted = match self.submit(qid, cmd, effective) {
+                Ok(s) => s,
+                Err(e) => {
+                    return Err(match last_ctx {
+                        Some(ctx) => DriverError::Submission {
+                            ctx,
+                            cause: Box::new(e),
+                        },
+                        None => e,
+                    });
+                }
+            };
+            let ctx = CmdContext {
+                qid,
+                cid: submitted.cid,
+                opcode: cmd.opcode,
+            };
+            last_ctx = Some(ctx);
+
+            // Pump device + completion poll until our cid appears — either a
+            // real CQE or the synthetic CommandAborted the timeout reaper
+            // posts once the deadline passes. The clock advances every
+            // iteration, so this loop always terminates.
+            let completion = loop {
+                ctrl.process_available();
+                let done = self
+                    .poll_completions(qid)?
+                    .into_iter()
+                    .find(|c| c.cid == submitted.cid);
+                if let Some(c) = done {
+                    break c;
+                }
+                self.bus.clock.advance(policy.poll_step());
+            };
+
+            if completion.status.is_success() {
+                self.note_attempt(qid, role, true);
+                let mut c = completion;
+                c.submitted_at = started;
+                return Ok(c);
+            }
+
+            self.note_attempt(qid, role, false);
+            if !(completion.status.is_retriable() && is_idempotent(cmd.opcode)) {
+                // Non-retriable (or unsafe to repeat): surface the error
+                // status to the caller exactly like the fail-fast path.
+                let mut c = completion;
+                c.submitted_at = started;
+                return Ok(c);
+            }
+            if attempt >= policy.max_retries {
+                self.recovery.retries_exhausted += 1;
+                return Err(if completion.status == Status::CommandAborted {
+                    DriverError::Timeout {
+                        ctx,
+                        waited: self.bus.clock.now().saturating_sub(started),
+                        attempts: attempt + 1,
+                    }
+                } else {
+                    DriverError::RetriesExhausted {
+                        ctx,
+                        attempts: attempt + 1,
+                        last_status: completion.status,
+                    }
+                });
+            }
+            self.bus.clock.advance(policy.backoff(attempt));
+            self.recovery.retries += 1;
+            attempt += 1;
+        }
     }
 }
 

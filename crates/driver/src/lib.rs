@@ -24,8 +24,10 @@
 
 pub mod driver;
 pub mod method;
+pub mod recovery;
 pub mod timing;
 
 pub use driver::{Completion, DriverError, DriverStats, NvmeDriver, SubmittedCmd};
 pub use method::{InlineMode, TransferMethod};
+pub use recovery::{is_idempotent, CmdContext, RecoveryStats, RetryPolicy};
 pub use timing::DriverTiming;

@@ -55,4 +55,4 @@ pub use prp::{PrpError, PrpSegments};
 pub use queue::{CqRing, DoorbellArray, QueueId, SqRing, SQE_BYTES, CQE_BYTES};
 pub use sqe::SubmissionEntry;
 pub use sgl::{SglDescriptor, SglError};
-pub use status::Status;
+pub use status::{Status, STATUS_DNR_BIT};

@@ -2,6 +2,11 @@
 
 use std::fmt;
 
+/// Bit in the wire status field marking "do not retry" (mirrors NVMe's DNR
+/// bit). Only consulted for [`Status::Unknown`] codes, where the variant
+/// itself carries no retriability semantics.
+pub const STATUS_DNR_BIT: u16 = 0x4000;
+
 /// NVMe completion status (generic command set plus the vendor codes the
 /// computational-storage substrates return).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -17,6 +22,9 @@ pub enum Status {
     DataTransferError,
     /// Internal device error.
     InternalError,
+    /// Command aborted (host-requested or driver-timeout synthetic
+    /// completion).
+    CommandAborted,
     /// LBA out of range.
     LbaOutOfRange,
     /// Capacity exceeded.
@@ -27,12 +35,39 @@ pub enum Status {
     KvInvalidSize,
     /// Vendor: CSD task failed to parse or reference a known table.
     CsdBadTask,
+    /// A wire encoding this driver build does not recognize. The raw code is
+    /// preserved so logs and retry classification ([`Status::is_retriable`])
+    /// can still act on it instead of collapsing everything into
+    /// [`Status::InternalError`].
+    Unknown(u16),
 }
 
 impl Status {
     /// Whether the command succeeded.
     pub fn is_success(self) -> bool {
         self == Status::Success
+    }
+
+    /// Classifies the status for the driver's retry path: `true` for
+    /// transient conditions where resubmitting the same command may succeed
+    /// (transfer glitches, device-internal hiccups, aborts/timeouts), `false`
+    /// for deterministic command faults that would fail identically on every
+    /// attempt (malformed commands, out-of-range addresses, semantic KV/CSD
+    /// errors). Unknown codes are retriable unless the encoding carries the
+    /// [`STATUS_DNR_BIT`].
+    pub fn is_retriable(self) -> bool {
+        match self {
+            Status::DataTransferError | Status::InternalError | Status::CommandAborted => true,
+            Status::Unknown(w) => w & STATUS_DNR_BIT == 0,
+            Status::Success
+            | Status::InvalidOpcode
+            | Status::InvalidField
+            | Status::LbaOutOfRange
+            | Status::CapacityExceeded
+            | Status::KvKeyNotFound
+            | Status::KvInvalidSize
+            | Status::CsdBadTask => false,
+        }
     }
 
     /// Encodes into the CQE status field layout: status code in bits 7:0,
@@ -44,47 +79,53 @@ impl Status {
             Status::InvalidField => 0x02,
             Status::DataTransferError => 0x04,
             Status::InternalError => 0x06,
+            Status::CommandAborted => 0x07,
             Status::LbaOutOfRange => 0x80,
             Status::CapacityExceeded => 0x81,
             Status::KvKeyNotFound => (7 << 8) | 0x10,
             Status::KvInvalidSize => (7 << 8) | 0x11,
             Status::CsdBadTask => (7 << 8) | 0x20,
+            Status::Unknown(w) => w,
         }
     }
 
-    /// Decodes from the CQE status field. Unknown encodings map to
-    /// [`Status::InternalError`] (the driver treats them as fatal anyway).
+    /// Decodes from the CQE status field. Codes without a named variant
+    /// decode to [`Status::Unknown`] with the raw encoding preserved, so
+    /// `to_wire(from_wire(w)) == w` for every `w`.
     pub fn from_wire(w: u16) -> Status {
         match w {
             0x00 => Status::Success,
             0x01 => Status::InvalidOpcode,
             0x02 => Status::InvalidField,
             0x04 => Status::DataTransferError,
+            0x06 => Status::InternalError,
+            0x07 => Status::CommandAborted,
             0x80 => Status::LbaOutOfRange,
             0x81 => Status::CapacityExceeded,
             w if w == (7 << 8) | 0x10 => Status::KvKeyNotFound,
             w if w == (7 << 8) | 0x11 => Status::KvInvalidSize,
             w if w == (7 << 8) | 0x20 => Status::CsdBadTask,
-            _ => Status::InternalError,
+            _ => Status::Unknown(w),
         }
     }
 }
 
 impl fmt::Display for Status {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Status::Success => "success",
-            Status::InvalidOpcode => "invalid opcode",
-            Status::InvalidField => "invalid field",
-            Status::DataTransferError => "data transfer error",
-            Status::InternalError => "internal error",
-            Status::LbaOutOfRange => "lba out of range",
-            Status::CapacityExceeded => "capacity exceeded",
-            Status::KvKeyNotFound => "key not found",
-            Status::KvInvalidSize => "invalid key/value size",
-            Status::CsdBadTask => "bad csd task",
-        };
-        f.write_str(s)
+        match self {
+            Status::Success => f.write_str("success"),
+            Status::InvalidOpcode => f.write_str("invalid opcode"),
+            Status::InvalidField => f.write_str("invalid field"),
+            Status::DataTransferError => f.write_str("data transfer error"),
+            Status::InternalError => f.write_str("internal error"),
+            Status::CommandAborted => f.write_str("command aborted"),
+            Status::LbaOutOfRange => f.write_str("lba out of range"),
+            Status::CapacityExceeded => f.write_str("capacity exceeded"),
+            Status::KvKeyNotFound => f.write_str("key not found"),
+            Status::KvInvalidSize => f.write_str("invalid key/value size"),
+            Status::CsdBadTask => f.write_str("bad csd task"),
+            Status::Unknown(w) => write!(f, "unknown status 0x{w:04X}"),
+        }
     }
 }
 
@@ -99,6 +140,8 @@ mod tests {
             Status::InvalidOpcode,
             Status::InvalidField,
             Status::DataTransferError,
+            Status::InternalError,
+            Status::CommandAborted,
             Status::LbaOutOfRange,
             Status::CapacityExceeded,
             Status::KvKeyNotFound,
@@ -110,14 +153,28 @@ mod tests {
     }
 
     #[test]
-    fn unknown_wire_maps_to_internal_error() {
-        assert_eq!(Status::from_wire(0x7777), Status::InternalError);
+    fn unknown_wire_preserves_raw_code() {
+        assert_eq!(Status::from_wire(0x7777), Status::Unknown(0x7777));
+        assert_eq!(Status::from_wire(0x7777).to_wire(), 0x7777);
     }
 
     #[test]
     fn success_predicate() {
         assert!(Status::Success.is_success());
         assert!(!Status::KvKeyNotFound.is_success());
+    }
+
+    #[test]
+    fn retriability_classification() {
+        assert!(Status::DataTransferError.is_retriable());
+        assert!(Status::InternalError.is_retriable());
+        assert!(Status::CommandAborted.is_retriable());
+        assert!(!Status::Success.is_retriable());
+        assert!(!Status::InvalidOpcode.is_retriable());
+        assert!(!Status::LbaOutOfRange.is_retriable());
+        assert!(!Status::KvKeyNotFound.is_retriable());
+        assert!(Status::Unknown(0x0123).is_retriable());
+        assert!(!Status::Unknown(0x0123 | STATUS_DNR_BIT).is_retriable());
     }
 
     #[test]

@@ -7,12 +7,15 @@
 //! ownership is `Rc<RefCell<_>>`; the multi-threaded ordering stress harness
 //! lives separately in the driver crate.
 
-use bx_hostsim::{HostMemory, SimClock};
+use bx_hostsim::{FaultConfig, FaultCounters, FaultInjector, HostMemory, SimClock};
 use bx_nvme::{DoorbellArray, Status, SubmissionEntry};
 use bx_pcie::{LinkConfig, PcieLink, TrafficCounters};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+
+/// Shared handle to the platform's fault injector.
+pub type FaultHandle = Rc<RefCell<FaultInjector>>;
 
 /// A BAR-window submission for the PCIe-MMIO byte-interface path (§3.1 of
 /// the paper — the 2B-SSD / ByteFS approach): the host writes the command
@@ -61,6 +64,9 @@ pub struct SystemBus {
     pub mmio_window: Rc<RefCell<MmioWindow>>,
     /// The shared virtual clock.
     pub clock: SimClock,
+    /// The shared fault injector (disabled by default; see
+    /// [`SystemBus::install_faults`]).
+    pub faults: FaultHandle,
 }
 
 impl SystemBus {
@@ -73,7 +79,20 @@ impl SystemBus {
             doorbells: Rc::new(RefCell::new(DoorbellArray::new(queue_pairs))),
             mmio_window: Rc::new(RefCell::new(MmioWindow::default())),
             clock: SimClock::new(),
+            faults: Rc::new(RefCell::new(FaultInjector::disabled())),
         }
+    }
+
+    /// Replaces the fault schedule for every component sharing this bus
+    /// (driver, controller, NAND). Pass [`FaultConfig::disabled`] to turn
+    /// injection off, e.g. for a chaos test's verification phase.
+    pub fn install_faults(&self, cfg: FaultConfig) {
+        self.faults.borrow_mut().reconfigure(cfg);
+    }
+
+    /// Snapshot of how many faults each class has injected so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.borrow().counters()
     }
 
     /// A snapshot of the link's traffic counters.

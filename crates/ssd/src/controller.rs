@@ -23,7 +23,7 @@ use crate::nand::{NandArray, NandConfig};
 use crate::reassembly::ReassemblyEngine;
 use crate::registers::{Register, RegisterFile};
 use crate::timing::ControllerTiming;
-use bx_hostsim::{DmaRegion, PhysAddr};
+use bx_hostsim::{DmaRegion, Nanos, PhysAddr};
 use bx_nvme::queue::CqProducer;
 use bx_nvme::sqe::DataPointerKind;
 use bx_nvme::{
@@ -61,6 +61,11 @@ pub struct ControllerConfig {
     pub fetch_policy: FetchPolicy,
     /// SRAM budget for the reassembly engine, bytes.
     pub reassembly_sram: usize,
+    /// How long a reassembly-mode command may sit parked without its chunk
+    /// train completing before the controller evicts it and posts a
+    /// [`Status::DataTransferError`] completion (reclaiming tracker SRAM
+    /// instead of leaking it until reset).
+    pub inline_stall_deadline: Nanos,
     /// Identify data the controller advertises.
     pub identify: IdentifyController,
 }
@@ -74,6 +79,7 @@ impl Default for ControllerConfig {
             over_provision: 0.25,
             fetch_policy: FetchPolicy::QueueLocal,
             reassembly_sram: 64 << 10,
+            inline_stall_deadline: Nanos::from_ms(1),
             identify: IdentifyController::default(),
         }
     }
@@ -100,6 +106,9 @@ pub struct ControllerStats {
     pub bandslim_payload_bytes: u64,
     /// Admin commands completed.
     pub admin_commands: u64,
+    /// Parked reassembly commands evicted after stalling past the deadline
+    /// (each posts a [`Status::DataTransferError`] completion).
+    pub stalled_evictions: u64,
 }
 
 struct IoQueue {
@@ -123,6 +132,8 @@ struct IoQueue {
 struct PendingInline {
     sqe: SubmissionEntry,
     remaining: usize,
+    /// When the command was parked — the stall clock for eviction.
+    parked_at: Nanos,
 }
 
 struct BandSlimPending {
@@ -143,6 +154,7 @@ pub struct Controller {
     ftl: Ftl,
     dram: DeviceDram,
     reassembly: ReassemblyEngine,
+    stall_deadline: Nanos,
     stats: ControllerStats,
     rr: usize,
     regs: RegisterFile,
@@ -172,7 +184,9 @@ impl Controller {
         cfg: ControllerConfig,
         firmware: impl FnOnce(&mut DeviceDram) -> Box<dyn FirmwareHandler>,
     ) -> Self {
-        let nand = NandArray::new(cfg.nand.clone());
+        let mut nand = NandArray::new(cfg.nand.clone());
+        // Media faults share the platform's one deterministic schedule.
+        nand.set_fault_injector(bus.faults.clone());
         let ftl = Ftl::new(&nand, cfg.over_provision);
         let mut dram = DeviceDram::new(cfg.dram_capacity);
         let firmware = firmware(&mut dram);
@@ -186,6 +200,7 @@ impl Controller {
             ftl,
             dram,
             reassembly: ReassemblyEngine::new(cfg.reassembly_sram),
+            stall_deadline: cfg.inline_stall_deadline,
             stats: ControllerStats::default(),
             rr: 0,
             regs: RegisterFile::new(4096),
@@ -336,6 +351,11 @@ impl Controller {
         let mut completed = 0;
         loop {
             let mut progressed = false;
+            let evicted = self.evict_stalled_inline();
+            if evicted > 0 {
+                completed += evicted;
+                progressed = true;
+            }
             while self.admin_has_work() {
                 self.process_admin_one();
                 completed += 1;
@@ -365,6 +385,37 @@ impl Controller {
                 return completed;
             }
         }
+    }
+
+    /// Evicts reassembly-mode commands whose chunk train stalled past the
+    /// deadline (e.g. truncated in flight): the parked command fails with
+    /// [`Status::DataTransferError`] — so the driver can retry — and the
+    /// tracker SRAM of every stalled payload is reclaimed instead of leaking
+    /// until controller reset. Returns how many commands were failed.
+    fn evict_stalled_inline(&mut self) -> usize {
+        if self.fetch_policy != FetchPolicy::Reassembly {
+            return 0;
+        }
+        let now = self.bus.clock.now();
+        // Phantom payloads (corrupted headers) have no parked command; the
+        // engine sweep alone reclaims their SRAM.
+        self.reassembly.evict_stalled(now, self.stall_deadline);
+        let mut completed = 0;
+        for qi in 0..self.queues.len() {
+            let expired = self.queues[qi]
+                .inline_pending
+                .as_ref()
+                .is_some_and(|p| now.saturating_sub(p.parked_at) > self.stall_deadline);
+            // Never evict a train that still has fetchable entries queued.
+            if expired && !self.queue_has_work(qi) {
+                let pending = self.queues[qi].inline_pending.take().expect("checked");
+                let outcome = CommandOutcome::fail(Status::DataTransferError, now);
+                self.post_completion(qi, pending.sqe.cid(), &outcome);
+                self.stats.stalled_evictions += 1;
+                completed += 1;
+            }
+        }
+        completed
     }
 
     /// Consumes one byte-interface submission from the BAR window, if any
@@ -551,6 +602,7 @@ impl Controller {
                     self.queues[qi].inline_pending = Some(PendingInline {
                         sqe,
                         remaining: inline::chunks_for_len_reassembly(len),
+                        parked_at: self.bus.clock.now(),
                     });
                     return 0;
                 }
@@ -597,7 +649,7 @@ impl Controller {
     /// Fetches one reassembly-mode chunk for a parked command; dispatches
     /// the command once its payload completes. Returns completions (0 or 1).
     fn fetch_reassembly_chunk(&mut self, qi: usize) -> usize {
-        let img = self.fetch_entry_image(qi);
+        let mut img = self.fetch_entry_image(qi);
         self.bus
             .link
             .borrow_mut()
@@ -607,8 +659,17 @@ impl Controller {
         );
         self.stats.chunks_fetched += 1;
 
+        if let Some(mask) = self.bus.faults.borrow_mut().corrupt_chunk_header() {
+            // Flip bits in the total-count byte: the train then can never
+            // complete cleanly, so the fault is always *detectable* (eviction
+            // or a failed last chunk) rather than silently cross-writing
+            // another payload's buffer. Payload-byte corruption would need an
+            // end-to-end CRC to detect — out of scope here.
+            img[6] ^= mask;
+        }
+
         let (hdr, data) = inline::split_reassembly_chunk(&img);
-        let accepted = self.reassembly.accept(hdr, data);
+        let accepted = self.reassembly.accept_at(hdr, data, self.bus.clock.now());
         let pending = self.queues[qi]
             .inline_pending
             .as_mut()
@@ -859,6 +920,12 @@ fn post_to_queue(
     cid: u16,
     outcome: &CommandOutcome,
 ) {
+    // Injected completion loss: the CQE (and its MSI) is never posted — no
+    // ring slot is consumed, no traffic charged — leaving the host to time
+    // out and resubmit. The admin queue is exempt so bring-up can't wedge.
+    if q.id.0 != 0 && bus.faults.borrow_mut().drop_completion() {
+        return;
+    }
     bus.clock.advance(timing.cqe_post_overhead);
     let (slot, phase) = q.cq_prod.produce();
     let mut cqe = CompletionEntry::new(cid, q.id.0, q.fetch_head, outcome.status, phase);
@@ -1174,6 +1241,65 @@ mod tests {
         drv.ring();
         ctrl.process_available();
         assert_eq!(bus.mem.borrow().read_vec(buf_page, 200).unwrap(), payload);
+    }
+
+    #[test]
+    fn truncated_reassembly_train_evicted_after_deadline() {
+        let bus = SystemBus::new(LinkConfig::gen2_x8(), 32 << 20, 8);
+        let cfg = ControllerConfig {
+            nand: NandConfig::small(),
+            fetch_policy: FetchPolicy::Reassembly,
+            inline_stall_deadline: Nanos::from_us(100),
+            ..ControllerConfig::default()
+        };
+        let mut ctrl = Controller::new(bus.clone(), cfg, |dram| {
+            Box::new(BlockFirmware::new(dram, true))
+        });
+        let mut drv = MiniDriver::new(&bus, &mut ctrl, 64);
+
+        // A 200-byte payload needs 4 reassembly chunks; deliver only 3.
+        let payload: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        let mut sqe = SubmissionEntry::io(IoOpcode::Write, 21, 1);
+        sqe.set_slba(1);
+        sqe.set_data_len(200);
+        inline::set_inline_len(&mut sqe, 200);
+        sqe.set_cdw3(77);
+        drv.push_raw(&sqe.to_bytes());
+        let chunks = inline::encode_reassembly_chunks(77, &payload);
+        assert_eq!(chunks.len(), 4);
+        for chunk in &chunks[..3] {
+            drv.push_raw(chunk);
+        }
+        drv.ring();
+
+        // The train stalls: no completion, SRAM still held.
+        assert_eq!(ctrl.process_available(), 0);
+        assert!(drv.pop_cqe().is_none());
+        assert!(ctrl.reassembly().sram_used() > 0);
+
+        // Past the deadline the command fails visibly and SRAM is reclaimed.
+        bus.clock.advance(Nanos::from_us(200));
+        assert_eq!(ctrl.process_available(), 1);
+        let cqe = drv.pop_cqe().expect("eviction posts a completion");
+        assert_eq!(cqe.cid(), 21);
+        assert_eq!(cqe.status(), Status::DataTransferError);
+        assert_eq!(ctrl.reassembly().sram_used(), 0);
+        assert_eq!(ctrl.reassembly().evicted_count(), 1);
+        assert_eq!(ctrl.stats().stalled_evictions, 1);
+
+        // The queue is usable again: a complete train succeeds.
+        let mut sqe = SubmissionEntry::io(IoOpcode::Write, 22, 1);
+        sqe.set_slba(1);
+        sqe.set_data_len(200);
+        inline::set_inline_len(&mut sqe, 200);
+        sqe.set_cdw3(78);
+        drv.push_raw(&sqe.to_bytes());
+        for chunk in inline::encode_reassembly_chunks(78, &payload) {
+            drv.push_raw(&chunk);
+        }
+        drv.ring();
+        assert_eq!(ctrl.process_available(), 1);
+        assert_eq!(drv.pop_cqe().unwrap().status(), Status::Success);
     }
 
     #[test]

@@ -8,8 +8,17 @@
 
 use crate::nand::{NandArray, NandError, Ppa};
 use bx_hostsim::Nanos;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// Bound on claim→program attempts for one logical write before the FTL
+/// gives up and surfaces the NAND failure (each failed attempt retires a
+/// grown-bad block, so hitting this bound means the media is dying).
+const MAX_PROGRAM_ATTEMPTS: u32 = 8;
+
+/// Bound on bad-block migration recursion depth (a migration's destination
+/// block can itself grow bad).
+const MAX_REMAP_DEPTH: u32 = 4;
 
 /// Errors from FTL operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +94,10 @@ pub struct FtlStats {
     pub gc_erases: u64,
     /// Trimmed (deallocated) logical pages.
     pub trims: u64,
+    /// Blocks retired after a program failure (never erased or reused).
+    pub bad_blocks: u64,
+    /// Page writes remapped to a fresh block after a program failure.
+    pub program_remaps: u64,
 }
 
 impl FtlStats {
@@ -119,6 +132,10 @@ pub struct Ftl {
     stats: FtlStats,
     /// Erase counts per (die, block) — the wear distribution.
     erase_counts: HashMap<BlockId, u32>,
+    /// Grown-bad blocks: retired after a program failure, excluded from the
+    /// free list and from GC victim selection forever. Pages programmed
+    /// before the failure stay readable until migrated off.
+    bad: HashSet<BlockId>,
 }
 
 impl Ftl {
@@ -152,6 +169,7 @@ impl Ftl {
             exported_pages: exported,
             stats: FtlStats::default(),
             erase_counts: HashMap::new(),
+            bad: HashSet::new(),
         }
     }
 
@@ -237,6 +255,87 @@ impl Ftl {
         }
     }
 
+    fn block_id_of(&self, ppa: Ppa) -> BlockId {
+        BlockId {
+            die: ppa.channel as usize * self.dies_per_channel as usize + ppa.die as usize,
+            block: ppa.block,
+        }
+    }
+
+    /// Retires a grown-bad block: it leaves the write frontier and never
+    /// re-enters the free list or GC victim pool.
+    fn retire_block(&mut self, id: BlockId) {
+        if self.bad.insert(id) {
+            self.stats.bad_blocks += 1;
+        }
+        if self.active[id.die].map(|(b, _)| b) == Some(id.block) {
+            self.active[id.die] = None;
+        }
+    }
+
+    /// Claims a page and programs it, remapping on grown-bad blocks: a
+    /// failed program retires the target block, migrates its live pages
+    /// elsewhere, and retries the write on a fresh page (bounded attempts).
+    fn program_remapped(
+        &mut self,
+        lpn: u64,
+        data: &[u8],
+        nand: &mut NandArray,
+        mut now: Nanos,
+        depth: u32,
+    ) -> Result<(Ppa, Nanos), FtlError> {
+        let mut last_failed = None;
+        for _ in 0..MAX_PROGRAM_ATTEMPTS {
+            let ppa = self.claim_page(lpn)?;
+            match nand.program(ppa, data, now) {
+                Ok(done) => return Ok((ppa, done)),
+                Err(NandError::ProgramFailed(failed)) => {
+                    last_failed = Some(failed);
+                    // The claimed page never got data: unclaim it, then
+                    // retire the block and rescue its earlier live pages.
+                    self.invalidate(failed);
+                    let id = self.block_id_of(failed);
+                    self.retire_block(id);
+                    if depth < MAX_REMAP_DEPTH {
+                        now = self.migrate_block(id, nand, now, depth + 1)?;
+                    }
+                    self.stats.program_remaps += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(FtlError::Nand(NandError::ProgramFailed(
+            last_failed.expect("loop ran at least once"),
+        )))
+    }
+
+    /// Moves every live page off a retired block. Data stays readable in
+    /// place until its relocation lands, so a mid-migration error leaves no
+    /// window where an acknowledged write is unreachable.
+    fn migrate_block(
+        &mut self,
+        id: BlockId,
+        nand: &mut NandArray,
+        mut now: Nanos,
+        depth: u32,
+    ) -> Result<Nanos, FtlError> {
+        for page in 0..self.pages_per_block {
+            let Some(lpn) = self.blocks.get(&id).and_then(|i| i.owner[page as usize])
+            else {
+                continue;
+            };
+            let src = self.die_to_ppa(id.die, id.block, page);
+            let (data, t_read) = nand.read(src, now)?;
+            now = t_read;
+            let (dst, t_prog) = self.program_remapped(lpn, &data, nand, now, depth)?;
+            now = t_prog;
+            self.map[lpn as usize] = Some(dst);
+            self.invalidate(src);
+            self.stats.gc_writes += 1;
+        }
+        Ok(now)
+    }
+
     /// Writes one logical page. Runs GC first if free space is low.
     ///
     /// Returns the completion instant of the NAND program.
@@ -263,8 +362,7 @@ impl Ftl {
         if self.total_free_blocks() < self.gc_threshold {
             now = self.collect_garbage(nand, now)?;
         }
-        let ppa = self.claim_page(lpn)?;
-        let done = nand.program(ppa, data, now)?;
+        let (ppa, done) = self.program_remapped(lpn, data, nand, now, 0)?;
         if let Some(old) = self.map[lpn as usize].replace(ppa) {
             self.invalidate(old);
         }
@@ -329,6 +427,7 @@ impl Ftl {
                 .filter(|(id, info)| {
                     info.written == self.pages_per_block
                         && self.active[id.die].map(|(b, _)| b) != Some(id.block)
+                        && !self.bad.contains(id)
                 })
                 .min_by_key(|(_, info)| info.valid_count)
                 .map(|(id, _)| *id);
@@ -348,8 +447,7 @@ impl Ftl {
                     let src = self.die_to_ppa(victim.die, victim.block, page);
                     let (data, t_read) = nand.read(src, now)?;
                     now = t_read;
-                    let dst = self.claim_page(lpn)?;
-                    let t_prog = nand.program(dst, &data, now)?;
+                    let (dst, t_prog) = self.program_remapped(lpn, &data, nand, now, 0)?;
                     now = t_prog;
                     self.map[lpn as usize] = Some(dst);
                     self.stats.gc_writes += 1;
@@ -499,6 +597,82 @@ mod tests {
     fn bad_op_ratio_panics() {
         let nand = tiny_nand();
         let _ = Ftl::new(&nand, 0.95);
+    }
+
+    /// Bigger array for bad-block tests: each program failure permanently
+    /// retires a block, so the pool must be deep enough to survive the
+    /// injected fault rate.
+    fn faulty_nand() -> NandArray {
+        NandArray::new(NandConfig {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 24,
+            pages_per_block: 8,
+            ..NandConfig::small()
+        })
+    }
+
+    #[test]
+    fn bad_block_remap_preserves_data() {
+        use bx_hostsim::{FaultConfig, FaultInjector};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut nand = faulty_nand();
+        let faults = Rc::new(RefCell::new(FaultInjector::new(FaultConfig {
+            seed: 1234,
+            nand_program_fail: 0.02,
+            ..FaultConfig::disabled()
+        })));
+        nand.set_fault_injector(faults);
+        let mut ftl = Ftl::new(&nand, 0.25);
+        let mut t = Nanos::ZERO;
+        // Enough writes over a small working set that several programs fail.
+        for i in 0..300u32 {
+            t = ftl.write((i % 6) as u64, &page(i as u8), &mut nand, t).unwrap();
+        }
+        let s = ftl.stats();
+        assert!(s.bad_blocks > 0, "fault rate should have retired blocks");
+        assert!(s.program_remaps >= s.bad_blocks);
+        // Every logical page still reads back its last write.
+        for lpn in 0..6u64 {
+            let expected = (294 + lpn as u32) as u8;
+            let (data, _) = ftl.read(lpn, &mut nand, t).unwrap();
+            assert_eq!(data, page(expected), "lpn {lpn} lost after remap");
+        }
+    }
+
+    #[test]
+    fn retired_blocks_never_rejoin_free_pool() {
+        use bx_hostsim::{FaultConfig, FaultInjector};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut nand = faulty_nand();
+        let faults = Rc::new(RefCell::new(FaultInjector::new(FaultConfig {
+            seed: 9,
+            nand_program_fail: 0.02,
+            ..FaultConfig::disabled()
+        })));
+        nand.set_fault_injector(faults);
+        let mut ftl = Ftl::new(&nand, 0.25);
+        let mut t = Nanos::ZERO;
+        for i in 0..1500u32 {
+            t = ftl.write((i % 4) as u64, &page(i as u8), &mut nand, t).unwrap();
+        }
+        assert!(ftl.stats().bad_blocks > 0);
+        assert!(ftl.stats().gc_erases > 0, "GC must still run around bad blocks");
+        for id in &ftl.bad {
+            assert!(
+                !ftl.free_blocks[id.die].contains(&id.block),
+                "bad block {id:?} re-entered the free pool"
+            );
+            assert_ne!(
+                ftl.active[id.die].map(|(b, _)| b),
+                Some(id.block),
+                "bad block {id:?} is an active frontier"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod reassembly;
 pub mod registers;
 pub mod timing;
 
-pub use bus::{MmioCompletion, MmioSubmission, MmioWindow, SystemBus};
+pub use bus::{FaultHandle, MmioCompletion, MmioSubmission, MmioWindow, SystemBus};
 pub use controller::{Controller, ControllerConfig, ControllerStats, FetchPolicy};
 pub use dram::{DeviceDram, DramError, DramRegion};
 pub use firmware::{BlockFirmware, CommandOutcome, FirmwareCtx, FirmwareHandler};

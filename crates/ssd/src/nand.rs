@@ -10,6 +10,7 @@
 //! reproduce the paper's transfer-latency-only experiments ("with NAND I/O
 //! disabled on the OpenSSD", §4.2).
 
+use crate::bus::FaultHandle;
 use bx_hostsim::Nanos;
 use std::collections::HashMap;
 use std::fmt;
@@ -130,6 +131,11 @@ pub enum NandError {
         /// Page size expected.
         want: usize,
     },
+    /// Injected transient program failure; the page is burned and the FTL
+    /// should retire the block and remap the write.
+    ProgramFailed(Ppa),
+    /// Read returned more flipped bits than the ECC can correct.
+    Uncorrectable(Ppa),
 }
 
 impl fmt::Display for NandError {
@@ -141,6 +147,8 @@ impl fmt::Display for NandError {
             NandError::BadLength { got, want } => {
                 write!(f, "bad page data length: got {got}, want {want}")
             }
+            NandError::ProgramFailed(p) => write!(f, "page program failed at {p}"),
+            NandError::Uncorrectable(p) => write!(f, "uncorrectable read at {p}"),
         }
     }
 }
@@ -165,6 +173,8 @@ pub struct NandArray {
     die_busy_until: Vec<Nanos>,
     /// Statistics.
     stats: NandStats,
+    /// Shared fault injector (media faults fire only when installed).
+    faults: Option<FaultHandle>,
 }
 
 /// Operation counters.
@@ -176,6 +186,12 @@ pub struct NandStats {
     pub reads: u64,
     /// Blocks erased.
     pub erases: u64,
+    /// Page programs that failed (injected media faults).
+    pub program_failures: u64,
+    /// Reads whose bit flips the ECC corrected transparently.
+    pub ecc_corrected_reads: u64,
+    /// Reads with more flipped bits than the ECC could correct.
+    pub uncorrectable_reads: u64,
 }
 
 impl NandArray {
@@ -188,7 +204,14 @@ impl NandArray {
             page_state: HashMap::new(),
             die_busy_until: vec![Nanos::ZERO; dies],
             stats: NandStats::default(),
+            faults: None,
         }
+    }
+
+    /// Installs the platform's shared fault injector; media faults (program
+    /// failures, read bit flips) fire only once this is set.
+    pub fn set_fault_injector(&mut self, faults: FaultHandle) {
+        self.faults = Some(faults);
     }
 
     /// The configuration.
@@ -246,6 +269,21 @@ impl NandArray {
             PageState::Erased => state[ppa.page as usize] = PageState::Programmed,
             PageState::Programmed => return Err(NandError::ProgramWithoutErase(ppa)),
         }
+        // Injected program failure: the program pulse still burns die time and
+        // the page (it stays Programmed-but-empty until the block is erased),
+        // but no data lands — the FTL retires the block and remaps.
+        let failed = match &self.faults {
+            Some(f) => f.borrow_mut().nand_program_fail(),
+            None => false,
+        };
+        if failed {
+            self.stats.program_failures += 1;
+            let die = self.cfg.die_index(ppa);
+            let start = self.die_busy_until[die].max(now);
+            self.die_busy_until[die] =
+                start + self.cfg.transfer_time(self.cfg.page_size) + self.cfg.program_latency;
+            return Err(NandError::ProgramFailed(ppa));
+        }
         self.data.insert(ppa, data.to_vec());
         self.stats.programs += 1;
 
@@ -278,6 +316,20 @@ impl NandArray {
         let start = self.die_busy_until[die].max(now);
         let done = start + self.cfg.read_latency + self.cfg.transfer_time(self.cfg.page_size);
         self.die_busy_until[die] = done;
+        // Injected read disturb: a correctable flip count is fixed by the ECC
+        // (the caller still gets clean data); past the ECC strength the read
+        // fails. Flips are transient — a retry re-draws the schedule.
+        if let Some(f) = &self.faults {
+            let mut f = f.borrow_mut();
+            if let Some(flips) = f.nand_read_flips() {
+                if flips <= f.ecc_correctable_bits() {
+                    self.stats.ecc_corrected_reads += 1;
+                } else {
+                    self.stats.uncorrectable_reads += 1;
+                    return Err(NandError::Uncorrectable(ppa));
+                }
+            }
+        }
         Ok((data, done))
     }
 

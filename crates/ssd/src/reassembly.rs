@@ -13,6 +13,7 @@
 //! per chunk, and admission fails when the budget is exhausted (the
 //! controller then falls back to queue-local fetching).
 
+use bx_hostsim::Nanos;
 use bx_nvme::inline::{ChunkHeader, REASSEMBLY_CHUNK_PAYLOAD};
 use std::collections::HashMap;
 use std::fmt;
@@ -82,15 +83,18 @@ struct InFlight {
     /// Reassembled payload bytes (stands in for the DRAM buffer the chunks
     /// land in; offsets are chunk_no × 56 as in the paper's sketch).
     buffer: Vec<u8>,
+    /// When the first chunk arrived — the stall clock for eviction.
+    first_seen: Nanos,
 }
 
 impl InFlight {
-    fn new(total: u16) -> Self {
+    fn new(total: u16, first_seen: Nanos) -> Self {
         InFlight {
             total,
             received: 0,
             bitmap: vec![0; (total as usize).div_ceil(64)],
             buffer: vec![0; total as usize * REASSEMBLY_CHUNK_PAYLOAD],
+            first_seen,
         }
     }
 
@@ -128,6 +132,7 @@ pub struct ReassemblyEngine {
     sram_used: usize,
     completed: u64,
     peak_inflight: usize,
+    evicted: u64,
 }
 
 impl ReassemblyEngine {
@@ -139,6 +144,7 @@ impl ReassemblyEngine {
             sram_used: 0,
             completed: 0,
             peak_inflight: 0,
+            evicted: 0,
         }
     }
 
@@ -163,17 +169,40 @@ impl ReassemblyEngine {
         self.peak_inflight
     }
 
-    /// Accepts one chunk. Returns the completed payload once its final chunk
-    /// arrives, in any order.
+    /// Payloads evicted after stalling past the deadline (their SRAM was
+    /// reclaimed without completing).
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Accepts one chunk with no arrival timestamp (the stall clock starts
+    /// at time zero). Equivalent to `accept_at(hdr, data, Nanos::ZERO)` —
+    /// callers that use [`ReassemblyEngine::evict_stalled`] should prefer
+    /// [`ReassemblyEngine::accept_at`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReassemblyError`].
+    pub fn accept(
+        &mut self,
+        hdr: ChunkHeader,
+        data: &[u8],
+    ) -> Result<Option<CompletedPayload>, ReassemblyError> {
+        self.accept_at(hdr, data, Nanos::ZERO)
+    }
+
+    /// Accepts one chunk arriving at `now`. Returns the completed payload
+    /// once its final chunk arrives, in any order.
     ///
     /// # Errors
     ///
     /// See [`ReassemblyError`]; on error the engine state is unchanged except
     /// that duplicate/out-of-range chunks are dropped.
-    pub fn accept(
+    pub fn accept_at(
         &mut self,
         hdr: ChunkHeader,
         data: &[u8],
+        now: Nanos,
     ) -> Result<Option<CompletedPayload>, ReassemblyError> {
         if hdr.chunk_no >= hdr.total {
             return Err(ReassemblyError::ChunkOutOfRange {
@@ -189,7 +218,7 @@ impl ReassemblyEngine {
                 return Err(ReassemblyError::SramExhausted { needed, remaining });
             }
             self.sram_used += needed;
-            self.inflight.insert(hdr.payload_id, InFlight::new(hdr.total));
+            self.inflight.insert(hdr.payload_id, InFlight::new(hdr.total, now));
             self.peak_inflight = self.peak_inflight.max(self.inflight.len());
         }
         let entry = self.inflight.get_mut(&hdr.payload_id).expect("just inserted");
@@ -219,6 +248,26 @@ impl ReassemblyEngine {
             }));
         }
         Ok(None)
+    }
+
+    /// Evicts every payload whose first chunk arrived more than `deadline`
+    /// ago and that never completed (e.g. a truncated chunk train). The
+    /// tracking SRAM is reclaimed and the evicted payload ids are returned so
+    /// the controller can fail the owning commands instead of leaking SRAM
+    /// until reset.
+    pub fn evict_stalled(&mut self, now: Nanos, deadline: Nanos) -> Vec<u32> {
+        let expired: Vec<u32> = self
+            .inflight
+            .iter()
+            .filter(|(_, e)| now.saturating_sub(e.first_seen) > deadline)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            let entry = self.inflight.remove(id).expect("listed above");
+            self.sram_used -= InFlight::sram_bytes(entry.total);
+            self.evicted += 1;
+        }
+        expired
     }
 }
 
@@ -362,6 +411,60 @@ mod tests {
             &[0; 56],
         )
         .unwrap();
+        assert_eq!(eng.inflight_count(), 1);
+    }
+
+    #[test]
+    fn stalled_payload_evicted_and_sram_reclaimed() {
+        let mut eng = ReassemblyEngine::new(1024);
+        // Payload 1 gets only its first chunk — it will stall.
+        eng.accept_at(
+            ChunkHeader { payload_id: 1, chunk_no: 0, total: 3 },
+            &[0; 56],
+            Nanos::from_us(1),
+        )
+        .unwrap();
+        // Payload 2 starts later and keeps making progress.
+        eng.accept_at(
+            ChunkHeader { payload_id: 2, chunk_no: 0, total: 2 },
+            &[0; 56],
+            Nanos::from_us(90),
+        )
+        .unwrap();
+        let used_before = eng.sram_used();
+        assert_eq!(eng.inflight_count(), 2);
+
+        let deadline = Nanos::from_us(50);
+        let evicted = eng.evict_stalled(Nanos::from_us(100), deadline);
+        assert_eq!(evicted, vec![1], "only the stalled payload is evicted");
+        assert_eq!(eng.inflight_count(), 1);
+        assert!(eng.sram_used() < used_before, "eviction reclaims sram");
+        assert_eq!(eng.evicted_count(), 1);
+
+        // The survivor still completes.
+        let done = eng
+            .accept_at(
+                ChunkHeader { payload_id: 2, chunk_no: 1, total: 2 },
+                &[0; 56],
+                Nanos::from_us(110),
+            )
+            .unwrap();
+        assert!(done.is_some());
+        assert_eq!(eng.sram_used(), 0);
+    }
+
+    #[test]
+    fn eviction_is_a_noop_within_deadline() {
+        let mut eng = ReassemblyEngine::new(1024);
+        eng.accept_at(
+            ChunkHeader { payload_id: 7, chunk_no: 0, total: 2 },
+            &[0; 56],
+            Nanos::from_us(10),
+        )
+        .unwrap();
+        assert!(eng
+            .evict_stalled(Nanos::from_us(20), Nanos::from_us(50))
+            .is_empty());
         assert_eq!(eng.inflight_count(), 1);
     }
 

@@ -1,0 +1,155 @@
+//! Offline vendored stand-in for the subset of `criterion` 0.5 this
+//! workspace's benches use. It runs each benchmark closure for a short,
+//! fixed iteration budget and prints mean wall-clock time per iteration —
+//! no statistical analysis, warm-up calibration, or HTML reports. Good
+//! enough to keep `cargo bench` runnable and the bench code compiling
+//! offline; absolute numbers are indicative only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 60;
+const ITERS_PER_SAMPLE: u64 = 25;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// Iteration driver passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+    runs: u64,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`, accumulating elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.runs += self.iters;
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: ITERS_PER_SAMPLE,
+        total_ns: 0,
+        runs: 0,
+    };
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+    }
+    if b.runs == 0 {
+        println!("{name:<40} (no iterations)");
+    } else {
+        let per_iter = b.total_ns / u128::from(b.runs);
+        println!("{name:<40} {per_iter:>12} ns/iter ({} iters)", b.runs);
+    }
+}
+
+/// Declares a benchmark group function calling each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

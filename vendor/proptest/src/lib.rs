@@ -1,0 +1,453 @@
+//! Offline vendored stand-in for the subset of `proptest` 1.x this workspace
+//! uses: the `proptest!` macro, range/`any`/`Just`/tuple/`prop_oneof!`
+//! strategies, `collection::vec`, `array::uniform{4,32}`, `prop_map`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking.** A failing case panics immediately with the case index
+//!   and the per-test RNG seed printed; re-running reproduces it exactly.
+//! * **Deterministic seeding.** The RNG seed is derived from the test
+//!   function's name, so runs are reproducible with no persistence files.
+//! * Generation is plain uniform sampling (no bias toward edge cases).
+
+#![forbid(unsafe_code)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Derives the deterministic RNG seed for a named property test.
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    // FNV-1a, stable across platforms and runs.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Controls how many cases each property test generates.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a generated case did not pass. Test bodies run inside a closure
+    /// returning [`TestCaseResult`], so `return Err(TestCaseError::fail(..))`
+    /// works as in real proptest.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The case was discarded (e.g. by `prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A discarded case with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    /// Result type a property-test body evaluates to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Weighted union of strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (weight, strat) in &self.arms {
+                let w = u64::from(*weight);
+                if pick < w {
+                    return strat.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy generating any value of a primitive type (see [`any`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// Uniform generation over a type's full value range.
+    pub trait ArbitraryValue: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen_range(0u8..2) == 1
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns a strategy generating any value of `T`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Returns a strategy for vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    macro_rules! uniform_array {
+        ($name:ident, $wrapper:ident, $n:literal) => {
+            /// Strategy generating arrays of `$n` values from one element
+            /// strategy.
+            pub struct $wrapper<S>(S);
+
+            /// Returns a strategy generating `[S::Value; $n]`.
+            pub fn $name<S: Strategy>(elem: S) -> $wrapper<S> {
+                $wrapper(elem)
+            }
+
+            impl<S: Strategy> Strategy for $wrapper<S> {
+                type Value = [S::Value; $n];
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    core::array::from_fn(|_| self.0.sample(rng))
+                }
+            }
+        };
+    }
+
+    uniform_array!(uniform4, UniformArray4, 4);
+    uniform_array!(uniform32, UniformArray32, 32);
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current generated case when its precondition does not hold.
+/// (In this stub a skipped case counts as passed rather than discarded.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Builds a [`strategy::Union`] from (optionally weighted) strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Defines property-test functions: each `name(arg in strategy, ...)` body is
+/// run for `cases` generated inputs (see [`test_runner::ProptestConfig`]).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __strats = ($($strat,)+);
+            let __seed = $crate::__seed_for(::core::stringify!($name));
+            let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__cfg.cases {
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::sample(&__strats, &mut __rng);
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    ::core::panic!(
+                        "proptest case {} of {} (seed {:#x}) failed: {}",
+                        __case, ::core::stringify!($name), __seed, __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}

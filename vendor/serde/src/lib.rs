@@ -1,0 +1,26 @@
+//! Offline vendored stand-in for the subset of `serde` this workspace uses:
+//! the [`Serialize`] trait as a derivable marker. No serializer backend is
+//! present in the workspace, so the trait carries no methods; the derive
+//! (feature `derive`) emits a plain marker impl.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait for types that could be serialized. The workspace derives it
+/// on traffic-counter types so external tooling hooks have a stable anchor,
+/// but no serializer backend is vendored.
+pub trait Serialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+macro_rules! impl_serialize_prim {
+    ($($t:ty),* $(,)?) => {$(impl Serialize for $t {})*};
+}
+
+impl_serialize_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}

@@ -1,0 +1,37 @@
+//! Offline vendored stand-in for `serde_derive`: `#[derive(Serialize)]`
+//! emits a marker `impl serde::Serialize for T {}`. Only plain (non-generic)
+//! structs and enums are supported, which covers every derive site in the
+//! workspace; a generic item gets no impl rather than a compile error.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+    let mut name: Option<String> = None;
+
+    // Scan for the `struct` / `enum` keyword; the next identifier is the type
+    // name. Attributes and visibility modifiers before it are skipped.
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(ty)) = tokens.next() {
+                    // Generic items would need where-clause plumbing; skip.
+                    if !matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        name = Some(ty.to_string());
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    match name {
+        Some(n) => format!("impl serde::Serialize for {n} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
