@@ -10,18 +10,24 @@
 //!
 //! `cargo run -p bx-bench --release --bin ablation [-- n_ops]`
 
-use bx_bench::{fmt_bytes, ops_arg, section};
+use bx_bench::{bench_args, fmt_bytes, section, JsonReport};
 use byteexpress::{Device, FetchPolicy, LinkConfig, TransferMethod};
+use serde::Value;
 
 fn main() {
-    let n = ops_arg(5_000);
+    let args = bench_args();
+    let n = args.ops.unwrap_or(5_000);
+    let mut json = JsonReport::new("ablation");
 
     // --- 1. hybrid threshold ---
     section("Ablation 1: hybrid threshold sweep (mixed 64 B..4 KB payloads)");
     let sizes: Vec<usize> = (0..n)
         .map(|i| [64, 64, 64, 128, 128, 256, 512, 1024, 2048, 4096][i % 10])
         .collect();
-    println!("{:>11} {:>14} {:>14}", "threshold", "mean latency", "traffic");
+    println!(
+        "{:>11} {:>14} {:>14}",
+        "threshold", "mean latency", "traffic"
+    );
     for threshold in [64usize, 128, 256, 512, 1024, 4096] {
         let mut dev = Device::builder().nand_io(false).build();
         let mut total = byteexpress::Nanos::ZERO;
@@ -41,6 +47,13 @@ fn main() {
             total / n as u64,
             fmt_bytes(dev.traffic().total_bytes())
         );
+        json.push(
+            format!("hybrid_threshold_{threshold}b"),
+            Value::object([
+                ("mean_latency_ns", Value::U64((total / n as u64).as_ns())),
+                ("wire_bytes", Value::U64(dev.traffic().total_bytes())),
+            ]),
+        );
     }
 
     // --- 2. reassembly tax ---
@@ -50,8 +63,13 @@ fn main() {
         "policy", "chunks/op", "traffic/op", "mean latency"
     );
     for policy in [FetchPolicy::QueueLocal, FetchPolicy::Reassembly] {
-        let mut dev = Device::builder().nand_io(false).fetch_policy(policy).build();
-        let r = dev.measure_writes(n, 200, TransferMethod::ByteExpress).unwrap();
+        let mut dev = Device::builder()
+            .nand_io(false)
+            .fetch_policy(policy)
+            .build();
+        let r = dev
+            .measure_writes(n, 200, TransferMethod::ByteExpress)
+            .unwrap();
         let chunks = dev.controller().stats().chunks_fetched as f64 / n as f64;
         println!(
             "{:>12} {:>10.1} {:>12} B {:>14}",
@@ -60,6 +78,7 @@ fn main() {
             fmt_bytes(r.traffic.total_bytes() / n as u64),
             r.mean_latency()
         );
+        json.push_run(format!("reassembly_tax_{policy:?}"), &r);
     }
     println!("(8-byte chunk headers -> 56 payload bytes/chunk -> slightly more chunks)");
 
@@ -76,6 +95,7 @@ fn main() {
             fmt_bytes(r.traffic.total_bytes() / n as u64),
             r.mean_latency()
         );
+        json.push_run(format!("mps_{mps}b"), &r);
     }
     println!("(larger TLP payloads amortize the 20-24 B per-TLP overhead)");
 
@@ -91,11 +111,15 @@ fn main() {
         ("gen5 x4", LinkConfig::gen5_x4()),
     ] {
         let mut dev = Device::builder().nand_io(false).link(link).build();
-        let bx64 = dev.measure_writes(n, 64, TransferMethod::ByteExpress).unwrap();
+        let bx64 = dev
+            .measure_writes(n, 64, TransferMethod::ByteExpress)
+            .unwrap();
         dev.reset_measurements();
         let prp64 = dev.measure_writes(n, 64, TransferMethod::Prp).unwrap();
         dev.reset_measurements();
-        let bx4k = dev.measure_writes(n, 4096, TransferMethod::ByteExpress).unwrap();
+        let bx4k = dev
+            .measure_writes(n, 4096, TransferMethod::ByteExpress)
+            .unwrap();
         dev.reset_measurements();
         let prp4k = dev.measure_writes(n, 4096, TransferMethod::Prp).unwrap();
         println!(
@@ -115,7 +139,10 @@ fn main() {
 
     // --- 5. SGL threshold ---
     section("Ablation 5: SGL threshold (64 B writes via TransferMethod::Sgl)");
-    println!("{:>11} {:>14} {:>16}", "threshold", "traffic/op", "engaged path");
+    println!(
+        "{:>11} {:>14} {:>16}",
+        "threshold", "traffic/op", "engaged path"
+    );
     for threshold in [0usize, 4096, 32 * 1024] {
         let mut dev = Device::builder().nand_io(false).build();
         dev.driver_mut().set_sgl_threshold(threshold);
@@ -168,4 +195,5 @@ fn main() {
          a new host API, and device-side transactional coordination,\nwhich \
          is exactly why the paper pursues the SQ-inline design instead)"
     );
+    json.finish(args.json);
 }

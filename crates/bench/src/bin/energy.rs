@@ -5,12 +5,15 @@
 //!
 //! `cargo run -p bx-bench --release --bin energy [-- n_ops]`
 
-use bx_bench::{ops_arg, section};
+use bx_bench::{bench_args, section, JsonReport};
 use byteexpress::pcie::EnergyModel;
 use byteexpress::{Device, TransferMethod};
+use serde::Value;
 
 fn main() {
-    let n = ops_arg(10_000);
+    let args = bench_args();
+    let n = args.ops.unwrap_or(10_000);
+    let mut json = JsonReport::new("energy");
     let model = EnergyModel::default();
     let mut dev = Device::builder().nand_io(false).build();
 
@@ -28,7 +31,12 @@ fn main() {
         ] {
             let r = dev.measure_writes(n, size, method).unwrap();
             dev.reset_measurements();
-            per_op.push(model.total(&r.traffic).0 / n as f64);
+            let pj = model.total(&r.traffic).0 / n as f64;
+            json.push(
+                format!("{}_{size}b_pj_per_op", method.label()),
+                Value::F64(pj),
+            );
+            per_op.push(pj);
         }
         println!(
             "{:>7}B {:>12.0}nJ {:>12.0}nJ {:>12.0}nJ {:>15.1}%",
@@ -49,14 +57,12 @@ fn main() {
             dev.reset_measurements();
             eff.push(model.total(&r.traffic).0 / r.payload_bytes as f64);
         }
-        println!(
-            "{:>7}B {:>11.0}pJ/B {:>11.0}pJ/B",
-            size, eff[0], eff[1]
-        );
+        println!("{:>7}B {:>11.0}pJ/B {:>11.0}pJ/B", size, eff[0], eff[1]);
     }
     println!(
         "\nLink energy tracks wire traffic: the >130x amplification of tiny \
          PRP writes is also >100x\nwasted link energy per payload byte, which \
          ByteExpress reclaims for sub-page payloads."
     );
+    json.finish(args.json);
 }

@@ -3,12 +3,15 @@
 //!
 //! `cargo run -p bx-bench --release --bin fig1 [-- n_ops]`
 
-use bx_bench::{fmt_bytes, ops_arg, section};
+use bx_bench::{bench_args, fmt_bytes, section, JsonReport};
 use bx_workloads::{amplification_sweep_sizes, latency_staircase_sizes, MixGraph};
 use byteexpress::{Device, TransferMethod};
+use serde::Value;
 
 fn main() {
-    let n = ops_arg(20_000);
+    let args = bench_args();
+    let n = args.ops.unwrap_or(20_000);
+    let mut report = JsonReport::new("fig1");
 
     // --- (a) value-size distribution ---
     section("Fig 1(a): MixGraph value-size distribution (GPD k=0.2615, sigma=25.45)");
@@ -30,7 +33,11 @@ fn main() {
         prev = b;
     }
     let under32 = samples.iter().filter(|&&s| s <= 32).count() as f64 / samples.len() as f64;
-    println!("fraction <= 32 B: {:.1}% (paper: \"over 60%\")", under32 * 100.0);
+    println!(
+        "fraction <= 32 B: {:.1}% (paper: \"over 60%\")",
+        under32 * 100.0
+    );
+    report.push("fraction_under_32b", Value::F64(under32));
 
     // --- (b) PRP staircase ---
     section("Fig 1(b): PRP-based writes, PCIe traffic & transfer latency (NAND off)");
@@ -49,12 +56,16 @@ fn main() {
             size.div_ceil(4096),
             r.mean_latency()
         );
+        report.push_run(format!("staircase_prp_{size}b"), &r);
     }
     println!("(traffic and latency step at 4 KB page boundaries)");
 
     // --- (c) amplification ---
     section("Fig 1(c): traffic amplification for sub-1 KB PRP payloads");
-    println!("{:>8} {:>14} {:>14}", "payload", "traffic/op", "amplification");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "payload", "traffic/op", "amplification"
+    );
     for size in amplification_sweep_sizes() {
         let r = dev.measure_writes(n, size, TransferMethod::Prp).unwrap();
         dev.reset_measurements();
@@ -64,6 +75,8 @@ fn main() {
             fmt_bytes(r.traffic.total_bytes() / n as u64),
             r.amplification()
         );
+        report.push_run(format!("amplification_prp_{size}b"), &r);
     }
     println!("(paper: a 32-byte request generates >130x its size in traffic)");
+    report.finish(args.json);
 }

@@ -3,9 +3,13 @@
 //!
 //! `cargo run -p bx-bench --release --bin fig4`
 
+use bx_bench::{bench_args, JsonReport};
 use bx_csd::corpus;
+use serde::Value;
 
 fn main() {
+    let args = bench_args();
+    let mut report = JsonReport::new("fig4");
     println!("Fig 4: query lengths (bytes)\n");
     println!(
         "{:>10} {:>12} {:>18} {:>10}",
@@ -19,6 +23,13 @@ fn main() {
             q.segment_payload().len(),
             q.table
         );
+        report.push(
+            q.name,
+            Value::object([
+                ("full_sql_len", Value::U64(q.full_sql.len() as u64)),
+                ("segment_len", Value::U64(q.segment_payload().len() as u64)),
+            ]),
+        );
     }
     println!(
         "\nScientific workloads (VPIC/Laghos/Asteroid) stay under 100 bytes \
@@ -26,4 +37,5 @@ fn main() {
          bytes while their single-table filter\nsegments stay under 100 — \
          the paper's Fig 4 length bands."
     );
+    report.finish(args.json);
 }

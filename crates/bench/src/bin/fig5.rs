@@ -3,12 +3,14 @@
 //!
 //! `cargo run -p bx-bench --release --bin fig5 [-- n_ops]`
 
-use bx_bench::{fmt_bytes, ops_arg, paper_methods, section};
+use bx_bench::{bench_args, fmt_bytes, paper_methods, section, JsonReport};
 use bx_workloads::fig5_sizes;
 use byteexpress::{Device, TransferMethod};
 
 fn main() {
-    let n = ops_arg(20_000);
+    let args = bench_args();
+    let n = args.ops.unwrap_or(20_000);
+    let mut report = JsonReport::new("fig5");
     let mut dev = Device::builder().nand_io(false).build();
 
     section("Fig 5 (top): PCIe traffic per op, bytes");
@@ -23,6 +25,7 @@ fn main() {
             let r = dev.measure_writes(n, size, method).unwrap();
             dev.reset_measurements();
             row[i] = r.traffic.total_bytes() / n as u64;
+            report.push_run(format!("{}_{size}b", method.label()), &r);
         }
         println!(
             "{:>7}B {:>12} {:>12} {:>12} {:>13.1}% {:>13.1}%",
@@ -73,6 +76,7 @@ fn main() {
             fmt_bytes(r.traffic.total_bytes() / n as u64),
             r.mean_latency()
         );
+        report.push_run(format!("hybrid_{size}b"), &r);
     }
 
     println!(
@@ -82,4 +86,5 @@ fn main() {
          40.4%),\nand hands the latency lead back to PRP past the few-hundred-\
          byte crossover (paper: ~256 B)."
     );
+    report.finish(args.json);
 }

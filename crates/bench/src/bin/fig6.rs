@@ -4,10 +4,11 @@
 //!
 //! `cargo run -p bx-bench --release --bin fig6 [-- n_ops]`
 
-use bx_bench::{fmt_bytes, ops_arg, paper_methods, section};
+use bx_bench::{bench_args, fmt_bytes, paper_methods, section, JsonReport};
 use bx_kvssd::{KvStore, KvStoreConfig};
 use bx_workloads::{FillRandom, KvOp, MixGraph};
 use byteexpress::{LatencySamples, TransferMethod};
+use serde::Value;
 
 struct Outcome {
     traffic: u64,
@@ -41,7 +42,7 @@ fn run(method: TransferMethod, ops: &[KvOp]) -> Outcome {
     }
 }
 
-fn report(title: &str, ops: &[KvOp]) {
+fn report(title: &str, ops: &[KvOp], prefix: &str, json: &mut JsonReport) {
     section(title);
     println!(
         "{:>12} {:>16} {:>12} {:>14} {:>22}",
@@ -59,6 +60,15 @@ fn report(title: &str, ops: &[KvOp]) {
             o.p1_kops,
             o.p99_kops
         );
+        json.push(
+            format!("{prefix}_{}", method.label()),
+            Value::object([
+                ("wire_bytes", Value::U64(o.traffic)),
+                ("kops_per_sec", Value::F64(o.kops)),
+                ("p1_kops", Value::F64(o.p1_kops)),
+                ("p99_kops", Value::F64(o.p99_kops)),
+            ]),
+        );
         rows.push(o);
     }
     let (prp, bs, bx) = (&rows[0], &rows[1], &rows[2]);
@@ -72,17 +82,24 @@ fn report(title: &str, ops: &[KvOp]) {
 }
 
 fn main() {
-    let n = ops_arg(50_000);
+    let args = bench_args();
+    let n = args.ops.unwrap_or(50_000);
+    let mut json = JsonReport::new("fig6");
 
     let mixgraph: Vec<KvOp> = MixGraph::with_defaults().take(n).collect();
     report(
         &format!("Fig 6(a): MixGraph, {n} PUTs, NAND on (paper: BX traffic ~1.75x BandSlim, throughput ~+8%)"),
         &mixgraph,
+        "mixgraph",
+        &mut json,
     );
 
     let fillrandom: Vec<KvOp> = FillRandom::paper_default().take(n).collect();
     report(
         &format!("Fig 6(b): FillRandom 128 B values, {n} PUTs, NAND on (paper: BX lowest traffic, ~+1 Kops/s)"),
         &fillrandom,
+        "fillrandom",
+        &mut json,
     );
+    json.finish(args.json);
 }

@@ -4,10 +4,11 @@
 //!
 //! `cargo run -p bx-bench --release --bin fig7 [-- tasks_per_config]`
 
-use bx_bench::{ops_arg, section};
+use bx_bench::{bench_args, section, JsonReport};
 use bx_csd::session::CsdConfig;
 use bx_csd::{corpus, CorpusQuery, CsdSession, TaskEncoding};
 use byteexpress::TransferMethod;
+use serde::Value;
 
 // Tables are small and DRAM-resident (NAND off) so per-task costs are
 // transfer-visible, as in the paper's throughput comparison; fig7's traffic
@@ -55,7 +56,9 @@ fn run(q: &CorpusQuery, encoding: TaskEncoding, method: TransferMethod, tasks: u
 }
 
 fn main() {
-    let tasks = ops_arg(500);
+    let args = bench_args();
+    let tasks = args.ops.unwrap_or(500);
+    let mut json = JsonReport::new("fig7");
 
     for (title, pick) in [
         ("Fig 7(a): PCIe traffic per pushdown task (bytes)", 0usize),
@@ -74,7 +77,21 @@ fn main() {
             let mut cells = Vec::new();
             for encoding in [TaskEncoding::FullSql, TaskEncoding::Segment] {
                 for method in methods() {
-                    cells.push(run(&q, encoding, method, tasks));
+                    let cell = run(&q, encoding, method, tasks);
+                    if pick == 0 {
+                        let enc = match encoding {
+                            TaskEncoding::FullSql => "full_sql",
+                            TaskEncoding::Segment => "segment",
+                        };
+                        json.push(
+                            format!("{}_{enc}_{}", q.name, method.label()),
+                            Value::object([
+                                ("wire_bytes_per_task", Value::U64(cell.traffic_per_task)),
+                                ("ktasks_per_sec", Value::F64(cell.ktasks_per_sec)),
+                            ]),
+                        );
+                    }
+                    cells.push(cell);
                 }
             }
             let v = |c: &Cell| -> String {
@@ -104,4 +121,5 @@ fn main() {
          the sub-100-byte scientific queries; CSD-style BandSlim (no head\n\
          embedding, per-fragment commands) hovers at or below PRP throughput."
     );
+    json.finish(args.json);
 }

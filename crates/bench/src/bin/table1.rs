@@ -8,9 +8,9 @@
 //!
 //! `cargo run -p bx-bench --release --bin table1`
 
-use byteexpress::{
-    Device, DriverTiming, LinkConfig, Nanos, TrafficClass, TransferMethod,
-};
+use bx_bench::{bench_args, JsonReport};
+use byteexpress::{Device, DriverTiming, LinkConfig, Nanos, TrafficClass, TransferMethod};
+use serde::Value;
 
 fn end_to_end_latency(dev: &mut Device, size: usize, method: TransferMethod) -> Nanos {
     let r = dev.measure_writes(500, size, method).unwrap();
@@ -19,6 +19,8 @@ fn end_to_end_latency(dev: &mut Device, size: usize, method: TransferMethod) -> 
 }
 
 fn main() {
+    let args = bench_args();
+    let mut json = JsonReport::new("table1");
     let timing = DriverTiming::default();
     let mut dev = Device::builder().nand_io(false).build();
 
@@ -47,6 +49,13 @@ fn main() {
         timing.sqe_insert.as_ns(),
         fetch_base.as_ns()
     );
+    json.push(
+        "prp",
+        Value::object([
+            ("driver_submit_ns", Value::U64(timing.sqe_insert.as_ns())),
+            ("controller_fetch_ns", Value::U64(fetch_base.as_ns())),
+        ]),
+    );
     for chunks in [1u64, 2, 4] {
         let size = chunks * 64;
         let submit = timing.bx_cmd_insert + timing.per_chunk_insert * chunks;
@@ -56,6 +65,13 @@ fn main() {
             format!("ByteExpress ({size}B)"),
             submit.as_ns(),
             fetch.as_ns()
+        );
+        json.push(
+            format!("byteexpress_{size}b"),
+            Value::object([
+                ("driver_submit_ns", Value::U64(submit.as_ns())),
+                ("controller_fetch_ns", Value::U64(fetch.as_ns())),
+            ]),
         );
     }
 
@@ -78,4 +94,5 @@ fn main() {
          takes ~400ns\")",
         ctrl_timing.per_chunk_fetch.as_ns()
     );
+    json.finish(args.json);
 }

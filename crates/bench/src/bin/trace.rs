@@ -1,0 +1,142 @@
+//! trace — the flight-recorder demonstration and self-check binary.
+//!
+//! Runs a MixGraph write burst per transfer method on a traced device, then
+//! writes two artifacts per method under `target/trace/`:
+//!
+//! * `<method>.trace.json` — Chrome-trace/Perfetto format (load via
+//!   `chrome://tracing` or <https://ui.perfetto.dev>),
+//! * `<method>.timeline.txt` — the human-readable virtual-time dump.
+//!
+//! Before exiting it validates its own output: every emitted JSON file must
+//! parse, and every acknowledged command must reconstruct into a complete
+//! submit → fetch → complete span. Any violation exits nonzero, which makes
+//! this binary double as the CI check for the tracing subsystem.
+//!
+//! `cargo run -p bx-bench --release --bin trace [-- n_ops] [--json]`
+
+use bx_bench::{bench_args, paper_methods, section, JsonReport};
+use bx_workloads::MixGraph;
+use byteexpress::{
+    chrome_trace_json, reconstruct_spans, timeline, CmdKey, Device, MetricsRegistry, TransferMethod,
+};
+use serde::Value;
+use std::path::Path;
+
+/// One traced burst; returns (acked command keys, events) for validation.
+fn traced_burst(dev: &mut Device, n: usize, method: TransferMethod) -> Vec<CmdKey> {
+    let qid_raw = if method == TransferMethod::MmioByte {
+        0 // byte-interface spans use queue id 0 by convention
+    } else {
+        dev.queues()[0].0
+    };
+    let mut gen = MixGraph::with_defaults();
+    let mut acked = Vec::with_capacity(n);
+    for i in 0..n {
+        let size = gen.sample_value_size().clamp(1, 2048);
+        let data = vec![(i % 251) as u8; size];
+        let completion = dev
+            .write((i % 512) as u64 * 16, &data, method)
+            .expect("traced write must succeed");
+        acked.push(CmdKey::new(qid_raw, completion.cid));
+    }
+    acked
+}
+
+/// Validates one method's artifacts; returns the number of failures found.
+fn validate(
+    label: &str,
+    json_text: &str,
+    events: &[byteexpress::Event],
+    acked: &[CmdKey],
+) -> usize {
+    let mut failures = 0;
+    match Value::parse_json(json_text) {
+        Ok(doc) => {
+            let n_trace_events = doc
+                .get("traceEvents")
+                .and_then(|t| t.as_array())
+                .map_or(0, |a| a.len());
+            if n_trace_events == 0 {
+                eprintln!("FAIL [{label}]: chrome trace has no traceEvents");
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL [{label}]: chrome trace is not valid JSON: {e}");
+            failures += 1;
+        }
+    }
+    let spans = reconstruct_spans(events);
+    for key in acked {
+        let complete = spans.iter().any(|s| s.key == *key && s.is_complete());
+        if !complete {
+            eprintln!("FAIL [{label}]: no complete span for acked command {key}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args = bench_args();
+    let n = args.ops.unwrap_or(200);
+    let out_dir = Path::new("target").join("trace");
+    std::fs::create_dir_all(&out_dir).expect("create target/trace");
+
+    let mut report = JsonReport::new("trace");
+    let mut failures = 0usize;
+
+    for method in paper_methods() {
+        let label = method.label();
+        section(&format!(
+            "flight-recording {n} MixGraph writes via {method}"
+        ));
+
+        let mut dev = Device::builder().nand_io(false).trace(true).build();
+        let acked = traced_burst(&mut dev, n, method);
+        let events = dev.trace_events();
+
+        let trace_path = out_dir.join(format!("{label}.trace.json"));
+        let timeline_path = out_dir.join(format!("{label}.timeline.txt"));
+        let json_text = chrome_trace_json(&events);
+        std::fs::write(&trace_path, &json_text).expect("write chrome trace");
+        std::fs::write(&timeline_path, timeline(&events)).expect("write timeline");
+
+        let metrics = MetricsRegistry::from_events(&events);
+        let submitted = metrics.counter_total("commands_submitted");
+        println!(
+            "  {} events, {} commands submitted, artifacts: {} / {}",
+            events.len(),
+            submitted,
+            trace_path.display(),
+            timeline_path.display()
+        );
+        print!("{metrics}");
+
+        let method_failures = validate(label, &json_text, &events, &acked);
+        if method_failures == 0 {
+            println!(
+                "  OK: JSON valid, all {} acked commands have complete spans",
+                acked.len()
+            );
+        }
+        failures += method_failures;
+
+        report.push(
+            label,
+            Value::object([
+                ("events", Value::U64(events.len() as u64)),
+                ("commands_submitted", Value::U64(submitted)),
+                ("acked", Value::U64(acked.len() as u64)),
+                ("failures", Value::U64(method_failures as u64)),
+                ("trace_file", Value::Str(trace_path.display().to_string())),
+            ]),
+        );
+    }
+
+    report.finish(args.json);
+    if failures > 0 {
+        eprintln!("trace validation FAILED with {failures} error(s)");
+        std::process::exit(1);
+    }
+}

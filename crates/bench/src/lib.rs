@@ -15,19 +15,102 @@
 //!
 //! Run each with `cargo run -p bx-bench --release --bin <name> [-- n_ops]`.
 //! Op counts default to fast-but-stable values; pass a count to match the
-//! paper's 1 M-op runs.
+//! paper's 1 M-op runs. Every binary also accepts `--json`, which appends
+//! one machine-readable JSON document as the final stdout line (the human
+//! tables still print above it). The `trace` binary additionally writes
+//! Chrome-trace/Perfetto files under `target/trace/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use byteexpress::TransferMethod;
+use byteexpress::{RunReport, TransferMethod};
+use serde::Value;
 
-/// Parses the optional op-count CLI argument, with a default.
+/// Options every figure binary understands: an optional op-count override
+/// (first bare argument) plus the `--json` report flag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Override for the default op count.
+    pub ops: Option<usize>,
+    /// Emit a JSON document as the last line of stdout.
+    pub json: bool,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> BenchArgs {
+    let mut parsed = BenchArgs::default();
+    for a in args {
+        match a.as_str() {
+            "--json" => parsed.json = true,
+            s => {
+                if let Ok(n) = s.parse() {
+                    parsed.ops = Some(n);
+                }
+            }
+        }
+    }
+    parsed
+}
+
+/// Parses the process arguments.
+pub fn bench_args() -> BenchArgs {
+    parse_args(std::env::args().skip(1))
+}
+
+/// Parses the optional op-count CLI argument, with a default (flags such as
+/// `--json` are skipped, not misparsed).
 pub fn ops_arg(default: usize) -> usize {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    bench_args().ops.unwrap_or(default)
+}
+
+/// Accumulates one binary's measurements into the `--json` report.
+///
+/// Keys are inserted in measurement order and serialized as one object:
+/// `{"bin": "...", "results": {...}}`.
+#[derive(Debug)]
+pub struct JsonReport {
+    bin: &'static str,
+    entries: Vec<(String, Value)>,
+}
+
+impl JsonReport {
+    /// An empty report for the named binary.
+    pub fn new(bin: &'static str) -> Self {
+        JsonReport {
+            bin,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one result under `key`.
+    pub fn push(&mut self, key: impl Into<String>, value: Value) {
+        self.entries.push((key.into(), value));
+    }
+
+    /// Records a [`RunReport`] (serialized with its derived ratios).
+    pub fn push_run(&mut self, key: impl Into<String>, report: &RunReport) {
+        self.push(key, report.to_value());
+    }
+
+    /// The whole report as one JSON value.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("bin", Value::Str(self.bin.to_string())),
+            ("results", Value::Object(self.entries.clone())),
+        ])
+    }
+
+    /// Prints the report as the final stdout line when `enabled`; a plain
+    /// no-op otherwise, so binaries call this unconditionally.
+    pub fn finish(self, enabled: bool) {
+        if enabled {
+            println!("{}", self.to_value().to_json());
+        }
+    }
+}
+
+/// Shorthand: any `Serialize` value as a [`Value`].
+pub fn json_of<T: serde::Serialize>(v: &T) -> Value {
+    v.to_value()
 }
 
 /// The three methods every figure compares, in paper order.
@@ -44,7 +127,7 @@ pub fn fmt_bytes(b: u64) -> String {
     let s = b.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -74,5 +157,46 @@ mod tests {
         let m = paper_methods();
         assert_eq!(m[0], TransferMethod::Prp);
         assert_eq!(m[2], TransferMethod::ByteExpress);
+    }
+
+    #[test]
+    fn args_parse_flags_and_count_in_any_order() {
+        let of = |v: &[&str]| parse_args(v.iter().map(|s| s.to_string()));
+        assert_eq!(of(&[]), BenchArgs::default());
+        assert_eq!(
+            of(&["5000"]),
+            BenchArgs {
+                ops: Some(5000),
+                json: false
+            }
+        );
+        assert_eq!(
+            of(&["--json", "5000"]),
+            BenchArgs {
+                ops: Some(5000),
+                json: true
+            }
+        );
+        assert_eq!(
+            of(&["5000", "--json"]),
+            BenchArgs {
+                ops: Some(5000),
+                json: true
+            }
+        );
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let mut r = JsonReport::new("fig0");
+        r.push("x", Value::U64(7));
+        let v = Value::parse_json(&r.to_value().to_json()).unwrap();
+        assert_eq!(v.get("bin").and_then(|b| b.as_str()), Some("fig0"));
+        assert_eq!(
+            v.get("results")
+                .and_then(|r| r.get("x"))
+                .and_then(|x| x.as_u64()),
+            Some(7)
+        );
     }
 }

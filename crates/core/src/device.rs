@@ -2,7 +2,9 @@
 //! wired and ready for I/O.
 
 use crate::stats::LatencySamples;
-use bx_driver::{Completion, DriverError, InlineMode, NvmeDriver, RecoveryStats, RetryPolicy, TransferMethod};
+use bx_driver::{
+    Completion, DriverError, InlineMode, NvmeDriver, RecoveryStats, RetryPolicy, TransferMethod,
+};
 use bx_hostsim::{FaultConfig, FaultCounters, Nanos};
 use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status};
 use bx_pcie::{LinkConfig, TrafficCounters};
@@ -38,6 +40,9 @@ impl From<DriverError> for DeviceError {
     }
 }
 
+/// Deferred firmware constructor: runs against the device DRAM at build time.
+type FirmwareFactory = Box<dyn FnOnce(&mut DeviceDram) -> Box<dyn FirmwareHandler>>;
+
 /// Configures and builds a [`Device`].
 ///
 /// # Example
@@ -63,9 +68,10 @@ pub struct DeviceBuilder {
     dram_capacity: usize,
     host_mem_capacity: usize,
     controller_timing: ControllerTiming,
-    firmware: Option<Box<dyn FnOnce(&mut DeviceDram) -> Box<dyn FirmwareHandler>>>,
+    firmware: Option<FirmwareFactory>,
     fault_config: Option<FaultConfig>,
     retry_policy: Option<RetryPolicy>,
+    trace: bool,
 }
 
 impl fmt::Debug for DeviceBuilder {
@@ -92,6 +98,7 @@ impl Default for DeviceBuilder {
             firmware: None,
             fault_config: None,
             retry_policy: None,
+            trace: false,
         }
     }
 }
@@ -178,12 +185,28 @@ impl DeviceBuilder {
         self
     }
 
+    /// Turns on the cross-layer flight recorder: every layer (driver submit
+    /// paths, PCIe TLPs, controller fetch/reassembly/completion, NAND, the
+    /// recovery ladder) records virtual-time events into one shared sink,
+    /// readable via [`Device::trace_events`]. Off by default; a traced run
+    /// puts byte-identical traffic on the wire in identical virtual time
+    /// (the sink only observes, never advances the clock).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
     /// Builds the device, performing the full NVMe bring-up: admin queue
     /// registers, controller enable, Identify, and admin-command queue
     /// creation.
     pub fn build(self) -> Device {
         // One doorbell pair per I/O queue plus the admin queue.
-        let bus = SystemBus::new(self.link, self.host_mem_capacity, self.queue_count + 1);
+        let mut bus = SystemBus::new(self.link, self.host_mem_capacity, self.queue_count + 1);
+        if self.trace {
+            // Must precede controller/driver construction: they copy the
+            // sink handle from the bus.
+            bus.enable_trace();
+        }
         if let Some(cfg) = self.fault_config {
             bus.install_faults(cfg);
         }
@@ -359,6 +382,18 @@ impl Device {
         self.driver.recovery_stats()
     }
 
+    /// The flight-recorder sink (disabled unless the device was built with
+    /// [`DeviceBuilder::trace`]).
+    pub fn trace_sink(&self) -> &bx_trace::TraceSink {
+        &self.bus.trace
+    }
+
+    /// Snapshot of every recorded trace event, in emission order. Empty
+    /// when tracing is off.
+    pub fn trace_events(&self) -> Vec<bx_trace::Event> {
+        self.bus.trace.events()
+    }
+
     /// Executes a passthrough command on queue 0.
     ///
     /// # Errors
@@ -439,6 +474,7 @@ impl Device {
     ) -> Result<RunReport, DeviceError> {
         let traffic_before = self.traffic();
         let recovery_before = self.recovery_stats();
+        let faults_before = self.fault_counters();
         let t0 = self.now();
         let mut latencies = LatencySamples::with_capacity(n);
         let data = vec![0xA5u8; size];
@@ -454,6 +490,7 @@ impl Device {
             latencies,
             traffic,
             recovery: self.recovery_stats().since(&recovery_before),
+            faults: self.fault_counters().since(&faults_before),
         })
     }
 }
@@ -465,7 +502,11 @@ impl Default for Device {
 }
 
 /// Summary of one measurement run.
-#[derive(Debug, Clone)]
+///
+/// Serializes to a machine-readable JSON object (latency samples digest to a
+/// fixed [`crate::stats::Summary`]); every `bx-bench` binary can emit it via
+/// `--json`.
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct RunReport {
     /// Operations performed.
     pub ops: usize,
@@ -480,9 +521,37 @@ pub struct RunReport {
     /// Driver recovery activity during the run (all zero on a clean run
     /// or when no [`RetryPolicy`] is installed).
     pub recovery: RecoveryStats,
+    /// Faults injected during the run (all zero without a fault schedule).
+    pub faults: FaultCounters,
 }
 
 impl RunReport {
+    /// The run as a JSON value, with derived ratios attached alongside the
+    /// raw counters.
+    pub fn to_value(&self) -> serde::Value {
+        use serde::Serialize;
+        let mut v = <Self as Serialize>::to_value(self);
+        if let serde::Value::Object(fields) = &mut v {
+            fields.push((
+                "wire_bytes_per_op".to_string(),
+                serde::Value::F64(self.wire_bytes_per_op()),
+            ));
+            fields.push((
+                "amplification".to_string(),
+                serde::Value::F64(self.amplification()),
+            ));
+            fields.push((
+                "throughput_ops_per_sec".to_string(),
+                serde::Value::F64(self.throughput_ops_per_sec()),
+            ));
+        }
+        v
+    }
+
+    /// The run as a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
     /// Average wire bytes per operation.
     pub fn wire_bytes_per_op(&self) -> f64 {
         self.traffic.total_bytes() as f64 / self.ops as f64

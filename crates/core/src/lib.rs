@@ -49,7 +49,7 @@ pub mod device;
 pub mod stats;
 
 pub use device::{Device, DeviceBuilder, DeviceError, RunReport};
-pub use stats::LatencySamples;
+pub use stats::{LatencySamples, Summary};
 
 // The pieces users routinely touch, re-exported at the top level.
 pub use bx_driver::{
@@ -63,9 +63,16 @@ pub use bx_ssd::{
     ControllerTiming, FetchPolicy, FirmwareCtx, FirmwareHandler, NandConfig, SystemBus,
 };
 
+// The flight recorder's user-facing pieces.
+pub use bx_trace::{
+    chrome_trace, chrome_trace_json, reconstruct_spans, timeline, CmdKey, Event, EventKind,
+    Histogram, MetricsRegistry, Span, TraceSink,
+};
+
 // Full substrate crates for advanced use.
 pub use bx_driver as driver;
 pub use bx_hostsim as hostsim;
 pub use bx_nvme as nvme;
 pub use bx_pcie as pcie;
 pub use bx_ssd as ssd;
+pub use bx_trace as trace;

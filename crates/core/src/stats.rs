@@ -5,12 +5,17 @@
 //! exactly those summaries over virtual-time samples.
 
 use bx_hostsim::Nanos;
+use bx_trace::Histogram;
+use std::cell::OnceCell;
 
 /// A collection of per-operation latency samples.
+///
+/// Percentile queries sort lazily behind a cache, so read-side methods all
+/// take `&self`; recording a new sample invalidates the cache.
 #[derive(Debug, Clone, Default)]
 pub struct LatencySamples {
     samples: Vec<Nanos>,
-    sorted: bool,
+    sorted: OnceCell<Vec<Nanos>>,
 }
 
 impl LatencySamples {
@@ -23,14 +28,14 @@ impl LatencySamples {
     pub fn with_capacity(n: usize) -> Self {
         LatencySamples {
             samples: Vec::with_capacity(n),
-            sorted: false,
+            sorted: OnceCell::new(),
         }
     }
 
     /// Records one sample.
     pub fn record(&mut self, sample: Nanos) {
         self.samples.push(sample);
-        self.sorted = false;
+        self.sorted.take();
     }
 
     /// Number of samples.
@@ -41,6 +46,16 @@ impl LatencySamples {
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
+    }
+
+    /// The sorted view, built on first use and reused until the next
+    /// [`LatencySamples::record`].
+    fn sorted(&self) -> &[Nanos] {
+        self.sorted.get_or_init(|| {
+            let mut v = self.samples.clone();
+            v.sort_unstable();
+            v
+        })
     }
 
     /// Arithmetic mean; zero when empty.
@@ -57,17 +72,14 @@ impl LatencySamples {
     /// # Panics
     ///
     /// Panics if `p` is outside 0.0..=100.0.
-    pub fn percentile(&mut self, p: f64) -> Nanos {
+    pub fn percentile(&self, p: f64) -> Nanos {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
         if self.samples.is_empty() {
             return Nanos::ZERO;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
-        self.samples[rank]
+        let sorted = self.sorted();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
     }
 
     /// Smallest sample; zero when empty.
@@ -97,19 +109,70 @@ impl LatencySamples {
 
     /// Throughput computed from a percentile latency — used for Fig 6-style
     /// percentile error bars (ops/s at the p-th percentile per-op latency).
-    pub fn throughput_at_percentile(&mut self, p: f64) -> f64 {
+    pub fn throughput_at_percentile(&self, p: f64) -> f64 {
         let lat = self.percentile(p);
         if lat.is_zero() {
             return 0.0;
         }
         1.0 / lat.as_secs_f64()
     }
+
+    /// The fixed summary the run reports serialize (count, mean, extremes,
+    /// and the paper's p1/p50/p99).
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.samples.len(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p1: self.percentile(1.0),
+            p50: self.percentile(50.0),
+            p99: self.percentile(99.0),
+        }
+    }
+
+    /// A log2-bucketed view of the samples, for coarse distribution dumps
+    /// without shipping every sample.
+    pub fn histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for s in &self.samples {
+            h.record(s.as_ns());
+        }
+        h
+    }
+}
+
+/// Serializes as the fixed [`Summary`] rather than the raw sample vector —
+/// run reports stay small no matter how many operations were measured.
+impl serde::Serialize for LatencySamples {
+    fn to_value(&self) -> serde::Value {
+        self.summary().to_value()
+    }
+}
+
+/// Fixed-size latency digest of one sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct Summary {
+    /// Number of samples digested.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Nanos,
+    /// Smallest sample.
+    pub min: Nanos,
+    /// Largest sample.
+    pub max: Nanos,
+    /// 1st percentile (nearest rank).
+    pub p1: Nanos,
+    /// Median.
+    pub p50: Nanos,
+    /// 99th percentile (nearest rank).
+    pub p99: Nanos,
 }
 
 impl Extend<Nanos> for LatencySamples {
     fn extend<T: IntoIterator<Item = Nanos>>(&mut self, iter: T) {
         self.samples.extend(iter);
-        self.sorted = false;
+        self.sorted.take();
     }
 }
 
@@ -139,8 +202,8 @@ mod tests {
     }
 
     #[test]
-    fn percentiles() {
-        let mut s = samples(&(1..=100).collect::<Vec<_>>());
+    fn percentiles_by_shared_ref() {
+        let s = samples(&(1..=100).collect::<Vec<_>>());
         assert_eq!(s.percentile(0.0), Nanos::from_ns(1));
         assert_eq!(s.percentile(50.0), Nanos::from_ns(51)); // nearest rank
         assert_eq!(s.percentile(100.0), Nanos::from_ns(100));
@@ -150,23 +213,35 @@ mod tests {
 
     #[test]
     fn percentile_unsorted_input() {
-        let mut s = samples(&[5, 1, 9, 3, 7]);
+        let s = samples(&[5, 1, 9, 3, 7]);
         assert_eq!(s.percentile(0.0), Nanos::from_ns(1));
         assert_eq!(s.percentile(100.0), Nanos::from_ns(9));
     }
 
     #[test]
+    fn recording_invalidates_the_sorted_cache() {
+        let mut s = samples(&[10, 20, 30]);
+        assert_eq!(s.percentile(100.0), Nanos::from_ns(30));
+        s.record(Nanos::from_ns(5));
+        assert_eq!(s.percentile(0.0), Nanos::from_ns(5));
+        assert_eq!(s.percentile(100.0), Nanos::from_ns(30));
+    }
+
+    #[test]
     fn empty_is_safe() {
-        let mut s = LatencySamples::new();
+        let s = LatencySamples::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), Nanos::ZERO);
         assert_eq!(s.percentile(50.0), Nanos::ZERO);
         assert_eq!(s.throughput_ops_per_sec(), 0.0);
+        let summary = s.summary();
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.p99, Nanos::ZERO);
     }
 
     #[test]
     fn throughput() {
-        // 4 ops, 1 ms each → 4000 ops/s... actually 1/0.001 = 1000 ops/s avg.
+        // 4 ops at 1 ms each run back to back → 1000 ops/s.
         let s = samples(&[1_000_000; 4]);
         assert!((s.throughput_ops_per_sec() - 1000.0).abs() < 1e-6);
     }
@@ -175,5 +250,35 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_percentile_panics() {
         samples(&[1]).percentile(101.0);
+    }
+
+    #[test]
+    fn summary_matches_point_queries() {
+        let s = samples(&(1..=100).collect::<Vec<_>>());
+        let d = s.summary();
+        assert_eq!(d.count, 100);
+        assert_eq!(d.mean, s.mean());
+        assert_eq!(d.min, Nanos::from_ns(1));
+        assert_eq!(d.max, Nanos::from_ns(100));
+        assert_eq!(d.p1, Nanos::from_ns(2));
+        assert_eq!(d.p50, Nanos::from_ns(51));
+        assert_eq!(d.p99, Nanos::from_ns(99));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let s = samples(&[1, 2, 3, 1024]);
+        let h = s.histogram();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), Some(1024));
+    }
+
+    #[test]
+    fn serializes_as_summary() {
+        use serde::Serialize;
+        let s = samples(&[10, 20]);
+        let v = s.to_value();
+        assert_eq!(v.get("count").and_then(|c| c.as_u64()), Some(2));
+        assert!(v.get("p50").is_some());
     }
 }

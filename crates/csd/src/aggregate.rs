@@ -168,10 +168,7 @@ pub fn host_aggregate(
     let mut groups: BTreeMap<String, (Vec<Value>, Accumulator)> = BTreeMap::new();
     for row in rows {
         let key_values: Vec<Value> = group_idx.iter().map(|&i| row.values[i].clone()).collect();
-        let key: String = key_values
-            .iter()
-            .map(|v| format!("{v}\u{1}"))
-            .collect();
+        let key: String = key_values.iter().map(|v| format!("{v}\u{1}")).collect();
         let entry = groups.entry(key).or_insert_with(|| {
             (
                 key_values.clone(),
@@ -268,7 +265,8 @@ mod tests {
 
     #[test]
     fn group_by_extraction() {
-        let q = parse_query("SELECT flag FROM t WHERE qty > 0 GROUP BY flag ORDER BY flag").unwrap();
+        let q =
+            parse_query("SELECT flag FROM t WHERE qty > 0 GROUP BY flag ORDER BY flag").unwrap();
         assert_eq!(group_by_columns(&q), vec!["flag"]);
         let q2 = parse_query("SELECT count(*) FROM t WHERE qty > 0").unwrap();
         assert!(group_by_columns(&q2).is_empty());
@@ -280,11 +278,7 @@ mod tests {
             "SELECT flag, sum(qty), avg(price), count(*) FROM t WHERE qty > 0 GROUP BY flag",
         )
         .unwrap();
-        let rows = vec![
-            row("A", 1.0, 10),
-            row("A", 2.0, 30),
-            row("B", 5.0, 100),
-        ];
+        let rows = vec![row("A", 1.0, 10), row("A", 2.0, 30), row("B", 5.0, 100)];
         let out = host_aggregate(&q, &schema(), &rows).unwrap();
         assert_eq!(out.len(), 2);
         let a = &out[0];

@@ -95,7 +95,11 @@ pub struct CsdFirmware {
 impl CsdFirmware {
     /// Creates the firmware, claiming its DRAM regions.
     pub fn new(dram: &mut DeviceDram, nand_io: bool) -> Self {
-        Self::with_stats(dram, nand_io, Rc::new(RefCell::new(CsdDeviceStats::default())))
+        Self::with_stats(
+            dram,
+            nand_io,
+            Rc::new(RefCell::new(CsdDeviceStats::default())),
+        )
     }
 
     /// Like [`CsdFirmware::new`], sharing `stats` with the host session.
@@ -203,7 +207,12 @@ impl CsdFirmware {
     }
 
     /// Executes a pushdown task.
-    fn exec_task(&mut self, ctx: &mut FirmwareCtx<'_>, mode: u32, payload: &[u8]) -> CommandOutcome {
+    fn exec_task(
+        &mut self,
+        ctx: &mut FirmwareCtx<'_>,
+        mode: u32,
+        payload: &[u8],
+    ) -> CommandOutcome {
         let mut now = ctx.now + self.timing.parse_per_byte * payload.len() as u64;
         self.stats.borrow_mut().task_bytes_in += payload.len() as u64;
 
@@ -335,7 +344,13 @@ impl CsdFirmware {
         }
         if status == Status::Success && state.staging_rows > 0 {
             let staging = state.staging.clone();
-            status = scan_page(&staging, state.staging_rows, &mut now, &mut result, &mut matches);
+            status = scan_page(
+                &staging,
+                state.staging_rows,
+                &mut now,
+                &mut result,
+                &mut matches,
+            );
         }
 
         if status != Status::Success && status != Status::CapacityExceeded {
@@ -476,11 +491,7 @@ mod tests {
         }
     }
 
-    fn call(
-        r: &mut Rig,
-        sqe: &SubmissionEntry,
-        payload: Option<&[u8]>,
-    ) -> CommandOutcome {
+    fn call(r: &mut Rig, sqe: &SubmissionEntry, payload: Option<&[u8]>) -> CommandOutcome {
         r.fw.handle(
             FirmwareCtx {
                 nand: &mut r.nand,
@@ -510,12 +521,7 @@ mod tests {
         assert!(out.status.is_success());
 
         let rows: Vec<Row> = (0..n)
-            .map(|i| {
-                Row::new(vec![
-                    Value::Int(i as i64),
-                    Value::Float(i as f64 / 10.0),
-                ])
-            })
+            .map(|i| Row::new(vec![Value::Int(i as i64), Value::Float(i as f64 / 10.0)]))
             .collect();
         let mut payload = Vec::new();
         payload.extend_from_slice(&(b"particles".len() as u16).to_le_bytes());

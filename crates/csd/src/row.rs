@@ -154,7 +154,11 @@ mod tests {
 
     #[test]
     fn batch_round_trip() {
-        let rows = vec![row(1, 2.5, "x"), row(-7, 0.0, ""), row(i64::MAX, -1e300, "long string here")];
+        let rows = vec![
+            row(1, 2.5, "x"),
+            row(-7, 0.0, ""),
+            row(i64::MAX, -1e300, "long string here"),
+        ];
         let schema = schema();
         let encoded = Row::encode_batch(&rows);
         assert_eq!(Row::decode_batch(&encoded, &schema), Some(rows));
@@ -186,7 +190,10 @@ mod tests {
     fn truncated_batch_is_none() {
         let rows = vec![row(1, 2.5, "x")];
         let encoded = Row::encode_batch(&rows);
-        assert_eq!(Row::decode_batch(&encoded[..encoded.len() - 1], &schema()), None);
+        assert_eq!(
+            Row::decode_batch(&encoded[..encoded.len() - 1], &schema()),
+            None
+        );
     }
 
     #[test]

@@ -3,10 +3,10 @@
 use crate::firmware::{CsdDeviceStats, CsdFirmware, TASK_MODE_FULL_SQL, TASK_MODE_SEGMENT};
 use crate::row::Row;
 use crate::schema::Schema;
+use bx_ssd::NandConfig;
 use byteexpress::{
     Completion, Device, DeviceError, IoOpcode, Nanos, PassthruCmd, Status, TransferMethod,
 };
-use bx_ssd::NandConfig;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -146,11 +146,7 @@ impl CsdSession {
     ///
     /// [`CsdError::RowSchemaMismatch`] if a row violates `schema`;
     /// [`CsdError::Device`] on transport/device failure.
-    pub fn load_rows(
-        &mut self,
-        schema: &Schema,
-        rows: &[Row],
-    ) -> Result<(), CsdError> {
+    pub fn load_rows(&mut self, schema: &Schema, rows: &[Row]) -> Result<(), CsdError> {
         if rows.iter().any(|r| !r.matches_schema(schema)) {
             return Err(CsdError::RowSchemaMismatch);
         }
@@ -185,9 +181,10 @@ impl CsdSession {
     ) -> Result<PushdownReport, CsdError> {
         let (mode, payload) = match encoding {
             TaskEncoding::FullSql => (TASK_MODE_FULL_SQL, full_sql.as_bytes().to_vec()),
-            TaskEncoding::Segment => {
-                (TASK_MODE_SEGMENT, format!("{table}\0{predicate}").into_bytes())
-            }
+            TaskEncoding::Segment => (
+                TASK_MODE_SEGMENT,
+                format!("{table}\0{predicate}").into_bytes(),
+            ),
         };
         let task_bytes = payload.len();
         let mut cmd = PassthruCmd::to_device(IoOpcode::CsdExec, 1, payload);
@@ -315,13 +312,25 @@ mod tests {
         let full = "SELECT id, energy, count(*) FROM particles WHERE energy > 0.5 GROUP BY id ORDER BY energy";
         let before = s.device().traffic();
         let r_full = s
-            .pushdown(full, "particles", "energy > 0.5", TaskEncoding::FullSql, TransferMethod::ByteExpress)
+            .pushdown(
+                full,
+                "particles",
+                "energy > 0.5",
+                TaskEncoding::FullSql,
+                TransferMethod::ByteExpress,
+            )
             .unwrap();
         let full_traffic = s.device().traffic().since(&before).total_bytes();
 
         let before = s.device().traffic();
         let r_seg = s
-            .pushdown(full, "particles", "energy > 0.5", TaskEncoding::Segment, TransferMethod::ByteExpress)
+            .pushdown(
+                full,
+                "particles",
+                "energy > 0.5",
+                TaskEncoding::Segment,
+                TransferMethod::ByteExpress,
+            )
             .unwrap();
         let seg_traffic = s.device().traffic().since(&before).total_bytes();
 

@@ -248,9 +248,10 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                     let d = bytes[j] as char;
                     if d.is_ascii_digit() {
                         j += 1;
-                    } else if d == '.' || d == 'e' || d == 'E'
-                        || ((d == '+' || d == '-')
-                            && matches!(bytes[j - 1] as char, 'e' | 'E'))
+                    } else if d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || ((d == '+' || d == '-') && matches!(bytes[j - 1] as char, 'e' | 'E'))
                     {
                         is_int = false;
                         j += 1;

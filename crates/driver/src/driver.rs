@@ -1,7 +1,9 @@
 //! The driver proper: queue pairs, submit engines, completion polling.
 
 use crate::method::{InlineMode, TransferMethod};
-use crate::recovery::{is_idempotent, BxRole, CmdContext, DegradeState, RecoveryStats, RetryPolicy};
+use crate::recovery::{
+    is_idempotent, BxRole, CmdContext, DegradeState, RecoveryStats, RetryPolicy,
+};
 use crate::timing::DriverTiming;
 use bx_hostsim::{MemError, Nanos, PageRef, PhysAddr, PAGE_SIZE};
 use bx_nvme::passthru::DataDirection;
@@ -11,9 +13,10 @@ use bx_nvme::{
     admin, bandslim, inline, sgl, CompletionEntry, CqRing, IdentifyController, PassthruCmd,
     QueueId, SqRing, Status, SubmissionEntry, CQE_BYTES, SQE_BYTES,
 };
-use bx_ssd::registers::{Register, RegisterFile, CC_ENABLE};
 use bx_pcie::TrafficClass;
+use bx_ssd::registers::{Register, RegisterFile, CC_ENABLE};
 use bx_ssd::{Controller, SystemBus};
+use bx_trace::{CmdKey, EventKind};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -103,7 +106,10 @@ impl fmt::Display for DriverError {
                 waited,
                 attempts,
             } => {
-                write!(f, "command timed out ({ctx}) after {attempts} attempt(s), {waited} waited")
+                write!(
+                    f,
+                    "command timed out ({ctx}) after {attempts} attempt(s), {waited} waited"
+                )
             }
             DriverError::RetriesExhausted {
                 ctx,
@@ -134,7 +140,7 @@ impl From<PrpError> for DriverError {
 }
 
 /// Counters describing driver activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct DriverStats {
     /// Logical commands submitted.
     pub submissions: u64,
@@ -334,10 +340,7 @@ impl NvmeDriver {
     ///
     /// [`DriverError::NotReady`] if the controller does not come up;
     /// [`DriverError::AdminFailed`] if Identify fails.
-    pub fn initialize(
-        &mut self,
-        ctrl: &mut Controller,
-    ) -> Result<IdentifyController, DriverError> {
+    pub fn initialize(&mut self, ctrl: &mut Controller) -> Result<IdentifyController, DriverError> {
         const ADMIN_DEPTH: u16 = 32;
         let (sq_region, cq_region) = self.alloc_rings(ADMIN_DEPTH)?;
         ctrl.mmio_write(
@@ -469,10 +472,8 @@ impl NvmeDriver {
         let id = if self.admin.is_some() {
             let qid = self.next_io_qid;
             let cid = self.admin_cid();
-            let cqe = self.admin_execute(
-                ctrl,
-                admin::create_io_cq(cid, qid, depth, cq_region.base()),
-            )?;
+            let cqe =
+                self.admin_execute(ctrl, admin::create_io_cq(cid, qid, depth, cq_region.base()))?;
             if !cqe.status().is_success() {
                 return Err(DriverError::AdminFailed(cqe.status()));
             }
@@ -582,25 +583,40 @@ impl NvmeDriver {
                 sqe.set_data_len(cmd.data.len() as u32);
                 match method.resolve(cmd.data.len()) {
                     TransferMethod::Prp => {
+                        self.trace_sqe_insert(qid.0, cid, TransferMethod::Prp, cmd);
                         self.submit_prp(qid, sqe, &cmd.data, &mut inflight)?;
                     }
                     TransferMethod::Sgl => {
                         if cmd.data.len() < self.sgl_threshold {
                             // The kernel's default behaviour: SGL only above
-                            // the threshold; PRP otherwise (§5).
+                            // the threshold; PRP otherwise (§5). The trace
+                            // records what actually went on the wire.
                             self.stats.sgl_fallbacks += 1;
+                            self.trace_sqe_insert(qid.0, cid, TransferMethod::Prp, cmd);
                             self.submit_prp(qid, sqe, &cmd.data, &mut inflight)?;
                         } else {
+                            self.trace_sqe_insert(qid.0, cid, TransferMethod::Sgl, cmd);
                             self.submit_sgl(qid, sqe, &cmd.data, &mut inflight)?;
                         }
                     }
                     TransferMethod::ByteExpress => {
+                        self.trace_sqe_insert(qid.0, cid, TransferMethod::ByteExpress, cmd);
                         self.submit_byteexpress(qid, sqe, &cmd.data)?;
                     }
                     TransferMethod::BandSlim { embed_first } => {
+                        self.trace_sqe_insert(
+                            qid.0,
+                            cid,
+                            TransferMethod::BandSlim { embed_first },
+                            cmd,
+                        );
                         self.submit_bandslim(qid, sqe, &cmd.data, embed_first)?;
                     }
                     TransferMethod::MmioByte => {
+                        // No SQ slot on the byte-interface path; spans use
+                        // queue id 0 by convention (mirrored by the
+                        // controller's buffer-monitor hooks).
+                        self.trace_sqe_insert(0, cid, TransferMethod::MmioByte, cmd);
                         self.submit_mmio_byte(sqe, &cmd.data)?;
                     }
                     TransferMethod::Hybrid { .. } => unreachable!("resolved above"),
@@ -613,9 +629,25 @@ impl NvmeDriver {
                 let response = self.alloc_response_buf(cmd.response_len, &mut sqe)?;
                 inflight.response = Some(response);
                 sqe.set_data_len(cmd.response_len as u32);
+                // Reads return over a PRP-described response buffer no
+                // matter which submit method the caller named.
+                self.bus
+                    .trace
+                    .emit_cmd(CmdKey::new(qid.0, cid), || EventKind::SqeInsert {
+                        method: "prp",
+                        opcode: cmd.opcode,
+                        len: cmd.response_len,
+                    });
                 self.insert_and_ring(qid, sqe, self.timing.sqe_insert)?;
             }
             DataDirection::None => {
+                self.bus
+                    .trace
+                    .emit_cmd(CmdKey::new(qid.0, cid), || EventKind::SqeInsert {
+                        method: "none",
+                        opcode: cmd.opcode,
+                        len: 0,
+                    });
                 self.insert_and_ring(qid, sqe, self.timing.sqe_insert)?;
             }
         }
@@ -628,6 +660,18 @@ impl NvmeDriver {
             cid,
             submitted_at,
         })
+    }
+
+    /// Flight-recorder hook: the span-opening event for one submission.
+    /// Free when tracing is off (the closure never runs).
+    fn trace_sqe_insert(&self, qid_raw: u16, cid: u16, method: TransferMethod, cmd: &PassthruCmd) {
+        self.bus
+            .trace
+            .emit_cmd(CmdKey::new(qid_raw, cid), || EventKind::SqeInsert {
+                method: method.label(),
+                opcode: cmd.opcode,
+                len: cmd.data.len(),
+            });
     }
 
     /// PRP path: allocate pages, copy the payload in (`copy_from_user` +
@@ -647,9 +691,9 @@ impl NvmeDriver {
         sqe.set_prp1(prp.prp1);
         sqe.set_prp2(prp.prp2);
         inflight.list_pages.extend(prp.list_pages.iter().copied());
-        self.bus.clock.advance(
-            self.timing.prp_setup + self.timing.prp_per_page * pages.len() as u64,
-        );
+        self.bus
+            .clock
+            .advance(self.timing.prp_setup + self.timing.prp_per_page * pages.len() as u64);
         self.insert_and_ring(qid, sqe, self.timing.sqe_insert)
     }
 
@@ -687,9 +731,9 @@ impl NvmeDriver {
                 sgl::SglDescriptor::last_segment(seg_page.addr(), (pages.len() * 16) as u32);
             sqe.set_sgl_bytes(&first.to_bytes());
         }
-        self.bus.clock.advance(
-            self.timing.sgl_setup + self.timing.prp_per_page * pages.len() as u64,
-        );
+        self.bus
+            .clock
+            .advance(self.timing.sgl_setup + self.timing.prp_per_page * pages.len() as u64);
         self.insert_and_ring(qid, sqe, self.timing.sqe_insert)
     }
 
@@ -783,6 +827,12 @@ impl NvmeDriver {
         let tail = qp.sq.tail();
         drop(_guard);
         self.stats.chunks_written += written;
+        bus.trace.emit_cmd(CmdKey::new(qid.0, sqe.cid()), || {
+            EventKind::ChunkTrainWrite {
+                chunks: written as u16,
+                bytes: data.len(),
+            }
+        });
         self.ring_sq_doorbell(qid, tail);
         Ok(())
     }
@@ -841,11 +891,7 @@ impl NvmeDriver {
     /// BAR-mapped device buffer as cacheline stores, then flushes the
     /// write-combining buffer. No SQ slot, no doorbell, no SQE fetch — and
     /// no NVMe completion either (the host polls a status word).
-    fn submit_mmio_byte(
-        &mut self,
-        sqe: SubmissionEntry,
-        data: &[u8],
-    ) -> Result<(), DriverError> {
+    fn submit_mmio_byte(&mut self, sqe: SubmissionEntry, data: &[u8]) -> Result<(), DriverError> {
         let total = SQE_BYTES + data.len();
         // Traffic: one posted MMIO write per 64-byte cacheline.
         let lines = total.div_ceil(64);
@@ -859,7 +905,12 @@ impl NvmeDriver {
         // Latency: the cachelines stream through the WC buffer — pay the
         // serialization once plus one propagation and the flush, not a
         // round trip per line.
-        let wire = self.bus.link.borrow().config().wire_time(total + lines * 24);
+        let wire = self
+            .bus
+            .link
+            .borrow()
+            .config()
+            .wire_time(total + lines * 24);
         let prop = self.bus.link.borrow().config().propagation;
         self.bus.clock.advance(wire + prop + self.timing.wc_flush);
         self.bus
@@ -929,10 +980,7 @@ impl NvmeDriver {
         let bus = self.bus.clone();
         let qp = self.queue_mut(qid)?;
         if !qp.sq.can_push(1) {
-            return Err(DriverError::QueueFull {
-                needed: 1,
-                free: 0,
-            });
+            return Err(DriverError::QueueFull { needed: 1, free: 0 });
         }
         let _guard = qp.lock.lock();
         let slot = qp.sq.push_slot();
@@ -963,6 +1011,11 @@ impl NvmeDriver {
             .host_posted_write(TrafficClass::Doorbell, 4);
         self.bus.clock.advance(t);
         self.stats.doorbells += 1;
+        // Emitted only for doorbells that actually reached the device; a
+        // fault-dropped ring above leaves no trace, like the wire.
+        self.bus
+            .trace
+            .emit(None, || EventKind::DoorbellRing { tail });
     }
 
     /// Consumes all ready completions on `qid`.
@@ -997,6 +1050,10 @@ impl NvmeDriver {
                     .remove(&c.cid)
                     .map(|i| i.submitted_at)
                     .unwrap_or_else(|| bus.clock.now());
+                bus.trace
+                    .emit_cmd(CmdKey::new(0, c.cid), || EventKind::CompletionConsumed {
+                        status: c.status.to_wire(),
+                    });
                 out.push(Completion {
                     cid: c.cid,
                     status: c.status,
@@ -1052,14 +1109,15 @@ impl NvmeDriver {
                         mem.free_page(p)?;
                     }
                 }
-                for p in inflight
-                    .data_pages
-                    .into_iter()
-                    .chain(inflight.list_pages)
-                {
+                for p in inflight.data_pages.into_iter().chain(inflight.list_pages) {
                     mem.free_page(p)?;
                 }
             }
+            bus.trace.emit_cmd(CmdKey::new(qid.0, cqe.cid()), || {
+                EventKind::CompletionConsumed {
+                    status: cqe.status().to_wire(),
+                }
+            });
             out.push(Completion {
                 cid: cqe.cid(),
                 status: cqe.status(),
@@ -1096,14 +1154,12 @@ impl NvmeDriver {
                         mem.free_page(p)?;
                     }
                 }
-                for p in inflight
-                    .data_pages
-                    .into_iter()
-                    .chain(inflight.list_pages)
-                {
+                for p in inflight.data_pages.into_iter().chain(inflight.list_pages) {
                     mem.free_page(p)?;
                 }
                 reaped += 1;
+                bus.trace
+                    .emit_cmd(CmdKey::new(qid.0, cid), || EventKind::TimeoutReap);
                 out.push(Completion {
                     cid,
                     status: Status::CommandAborted,
@@ -1191,6 +1247,7 @@ impl NvmeDriver {
         if qp.degrade.ops_since_probe >= probe_after {
             qp.degrade.ops_since_probe = 0;
             self.recovery.probes += 1;
+            self.bus.trace.emit(None, || EventKind::ProbeIssued);
             Ok((TransferMethod::ByteExpress, BxRole::Probe))
         } else {
             Ok((TransferMethod::Prp, BxRole::Substituted))
@@ -1230,6 +1287,12 @@ impl NvmeDriver {
         self.recovery.bx_failures += bx_failed as u64;
         self.recovery.fallbacks += fell_back as u64;
         self.recovery.repromotions += repromoted as u64;
+        if fell_back {
+            self.bus.trace.emit(None, || EventKind::QueueDegraded);
+        }
+        if repromoted {
+            self.bus.trace.emit(None, || EventKind::QueueRepromoted);
+        }
     }
 
     /// The recovering execute: deadline-bounded wait, classified retry with
@@ -1319,6 +1382,11 @@ impl NvmeDriver {
                     }
                 });
             }
+            let key = CmdKey::new(ctx.qid.0, ctx.cid);
+            self.bus.trace.emit_cmd(key, || EventKind::Retry {
+                attempt: attempt + 1,
+                backoff: policy.backoff(attempt),
+            });
             self.bus.clock.advance(policy.backoff(attempt));
             self.recovery.retries += 1;
             attempt += 1;

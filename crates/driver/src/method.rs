@@ -53,6 +53,19 @@ impl TransferMethod {
         TransferMethod::Hybrid { threshold: 256 }
     }
 
+    /// Short static label used to tag trace events and metrics
+    /// (`{queue, method, opcode}` label sets want `&'static str`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferMethod::Prp => "prp",
+            TransferMethod::Sgl => "sgl",
+            TransferMethod::BandSlim { .. } => "bandslim",
+            TransferMethod::ByteExpress => "byteexpress",
+            TransferMethod::MmioByte => "mmio",
+            TransferMethod::Hybrid { .. } => "hybrid",
+        }
+    }
+
     /// Resolves threshold switching for a payload of `len` bytes; other
     /// methods return themselves.
     pub fn resolve(self, len: usize) -> TransferMethod {
@@ -110,5 +123,15 @@ mod tests {
             TransferMethod::Hybrid { threshold: 256 }.to_string(),
             "Hybrid(256B)"
         );
+    }
+
+    #[test]
+    fn trace_labels_are_lowercase_and_stable() {
+        assert_eq!(TransferMethod::ByteExpress.label(), "byteexpress");
+        assert_eq!(
+            TransferMethod::BandSlim { embed_first: true }.label(),
+            "bandslim"
+        );
+        assert_eq!(TransferMethod::hybrid_default().label(), "hybrid");
     }
 }

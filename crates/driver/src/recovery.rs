@@ -100,7 +100,7 @@ impl fmt::Display for CmdContext {
 }
 
 /// Counters for the recovery machinery (all zero when no fault ever fired).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct RecoveryStats {
     /// Commands reaped after missing their completion deadline.
     pub timeouts: u64,

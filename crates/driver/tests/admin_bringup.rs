@@ -49,7 +49,11 @@ fn io_through_admin_created_queue() {
         .execute(qid, &mut ctrl, &cmd, TransferMethod::ByteExpress)
         .unwrap();
     assert_eq!(c.status, Status::Success);
-    assert_eq!(ctrl.stats().admin_commands, 3, "identify + create CQ + create SQ");
+    assert_eq!(
+        ctrl.stats().admin_commands,
+        3,
+        "identify + create CQ + create SQ"
+    );
 }
 
 #[test]
@@ -134,7 +138,9 @@ fn controller_without_byteexpress_cap_gates_the_driver() {
         .unwrap_err();
     assert_eq!(err, DriverError::Unsupported("ByteExpress inline transfer"));
     // PRP still works — the compatibility story the paper emphasizes.
-    driver.execute(qid, &mut ctrl, &cmd, TransferMethod::Prp).unwrap();
+    driver
+        .execute(qid, &mut ctrl, &cmd, TransferMethod::Prp)
+        .unwrap();
 }
 
 #[test]

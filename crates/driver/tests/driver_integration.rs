@@ -64,13 +64,23 @@ fn all_methods_round_trip_payload() {
             let data: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
             let c = r
                 .driver
-                .execute(r.qid, &mut r.ctrl, &write_cmd(lba * 8, data.clone()), method)
+                .execute(
+                    r.qid,
+                    &mut r.ctrl,
+                    &write_cmd(lba * 8, data.clone()),
+                    method,
+                )
                 .unwrap();
             assert_eq!(c.status, Status::Success, "{method} write len {len}");
 
             let c = r
                 .driver
-                .execute(r.qid, &mut r.ctrl, &read_cmd(lba * 8, len), TransferMethod::Prp)
+                .execute(
+                    r.qid,
+                    &mut r.ctrl,
+                    &read_cmd(lba * 8, len),
+                    TransferMethod::Prp,
+                )
                 .unwrap();
             assert_eq!(c.status, Status::Success);
             assert_eq!(c.data.unwrap(), data, "{method} integrity at len {len}");
@@ -129,7 +139,10 @@ fn latency_shape_across_sizes() {
     // Crossover: by 1 KiB, PRP is faster (paper: crossover around 256 B).
     let bx_1k = measure(TransferMethod::ByteExpress, 1024);
     let prp_1k = measure(TransferMethod::Prp, 1024);
-    assert!(bx_1k > prp_1k, "PRP should win at 1 KiB: bx={bx_1k} prp={prp_1k}");
+    assert!(
+        bx_1k > prp_1k,
+        "PRP should win at 1 KiB: bx={bx_1k} prp={prp_1k}"
+    );
 
     // BandSlim beyond 64 B: worse than ByteExpress (paper: 72% at 128 B).
     let bs_128 = measure(TransferMethod::BandSlim { embed_first: true }, 128);

@@ -15,8 +15,16 @@ use std::thread;
 /// One SQ slot's worth of content, tagged for post-hoc order checking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Entry {
-    Command { thread: usize, train: usize, chunks: usize },
-    Chunk { thread: usize, train: usize, index: usize },
+    Command {
+        thread: usize,
+        train: usize,
+        chunks: usize,
+    },
+    Chunk {
+        thread: usize,
+        train: usize,
+        index: usize,
+    },
 }
 
 /// A shared ring standing in for one SQ: push-only under a lock, like the

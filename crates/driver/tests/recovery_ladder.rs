@@ -107,7 +107,12 @@ fn dropped_doorbell_recovers_on_first_retry() {
     let data = vec![0x5A; 256];
     let c = r
         .driver
-        .execute(r.qid, &mut r.ctrl, &write_cmd(7, data.clone()), TransferMethod::Prp)
+        .execute(
+            r.qid,
+            &mut r.ctrl,
+            &write_cmd(7, data.clone()),
+            TransferMethod::Prp,
+        )
         .unwrap();
     assert!(c.status.is_success());
 
@@ -144,10 +149,19 @@ fn unbroken_timeouts_exhaust_retries_with_context() {
 
     let err = r
         .driver
-        .execute(r.qid, &mut r.ctrl, &write_cmd(0, vec![1; 64]), TransferMethod::Prp)
+        .execute(
+            r.qid,
+            &mut r.ctrl,
+            &write_cmd(0, vec![1; 64]),
+            TransferMethod::Prp,
+        )
         .unwrap_err();
     match err {
-        DriverError::Timeout { ctx, attempts, waited } => {
+        DriverError::Timeout {
+            ctx,
+            attempts,
+            waited,
+        } => {
             assert_eq!(ctx.qid, r.qid);
             assert_eq!(ctx.opcode, IoOpcode::Write as u8);
             assert_eq!(attempts, 3, "first attempt + two retries");

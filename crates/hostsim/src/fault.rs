@@ -81,7 +81,7 @@ impl Default for FaultConfig {
 
 /// How many times each fault class actually fired (for chaos-test coverage
 /// assertions: "did this run really exercise ≥ N distinct fault classes?").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct FaultCounters {
     /// SQ doorbells dropped on the link.
     pub doorbells_dropped: u64,
@@ -98,6 +98,31 @@ pub struct FaultCounters {
 }
 
 impl FaultCounters {
+    /// The per-class difference against an earlier snapshot (windowed
+    /// reporting). Each count saturates at zero rather than wrapping.
+    pub fn since(&self, earlier: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            doorbells_dropped: self
+                .doorbells_dropped
+                .saturating_sub(earlier.doorbells_dropped),
+            completions_dropped: self
+                .completions_dropped
+                .saturating_sub(earlier.completions_dropped),
+            chunk_headers_corrupted: self
+                .chunk_headers_corrupted
+                .saturating_sub(earlier.chunk_headers_corrupted),
+            trains_truncated: self
+                .trains_truncated
+                .saturating_sub(earlier.trains_truncated),
+            nand_program_failures: self
+                .nand_program_failures
+                .saturating_sub(earlier.nand_program_failures),
+            nand_read_bitflips: self
+                .nand_read_bitflips
+                .saturating_sub(earlier.nand_read_bitflips),
+        }
+    }
+
     /// Number of distinct fault classes that fired at least once.
     pub fn distinct_classes(&self) -> usize {
         [

@@ -37,7 +37,7 @@ impl PhysAddr {
 
     /// Whether this address is page-aligned.
     pub fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE as u64 == 0
+        self.0.is_multiple_of(PAGE_SIZE as u64)
     }
 }
 
@@ -74,7 +74,11 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemError::OutOfBounds { addr, len, capacity } => write!(
+            MemError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "access of {len} bytes at {addr} exceeds capacity {capacity}"
             ),
@@ -134,7 +138,11 @@ impl DmaRegion {
     ///
     /// Panics if `offset` exceeds the region length.
     pub fn at(&self, offset: usize) -> PhysAddr {
-        assert!(offset <= self.len, "offset {offset} beyond region {}", self.len);
+        assert!(
+            offset <= self.len,
+            "offset {offset} beyond region {}",
+            self.len
+        );
         self.base.offset(offset as u64)
     }
 }
@@ -157,7 +165,10 @@ impl PageAllocator {
     pub fn new(capacity: usize) -> Self {
         let total_pages = capacity / PAGE_SIZE;
         // Reversed so that pop() hands out low addresses first.
-        let free = (0..total_pages as u64).rev().map(|i| i * PAGE_SIZE as u64).collect();
+        let free = (0..total_pages as u64)
+            .rev()
+            .map(|i| i * PAGE_SIZE as u64)
+            .collect();
         PageAllocator {
             free,
             total_pages,
@@ -173,7 +184,9 @@ impl PageAllocator {
     pub fn alloc(&mut self) -> Result<PageRef, MemError> {
         let addr = self.free.pop().ok_or(MemError::OutOfPages)?;
         self.allocated[(addr / PAGE_SIZE as u64) as usize] = true;
-        Ok(PageRef { addr: PhysAddr(addr) })
+        Ok(PageRef {
+            addr: PhysAddr(addr),
+        })
     }
 
     /// Allocates `n` pages that are physically contiguous.
@@ -221,7 +234,7 @@ impl PageAllocator {
     /// [`MemError::BadFree`] on double-free or a non-page-aligned address.
     pub fn free(&mut self, page: PageRef) -> Result<(), MemError> {
         let addr = page.addr.0;
-        if addr % PAGE_SIZE as u64 != 0 {
+        if !addr.is_multiple_of(PAGE_SIZE as u64) {
             return Err(MemError::BadFree(page.addr));
         }
         let frame = (addr / PAGE_SIZE as u64) as usize;
@@ -416,7 +429,9 @@ mod tests {
     #[test]
     fn out_of_bounds_is_error() {
         let mut m = HostMemory::with_capacity(PAGE_SIZE);
-        let err = m.write(PhysAddr(PAGE_SIZE as u64 - 2), &[1, 2, 3]).unwrap_err();
+        let err = m
+            .write(PhysAddr(PAGE_SIZE as u64 - 2), &[1, 2, 3])
+            .unwrap_err();
         assert!(matches!(err, MemError::OutOfBounds { .. }));
         let err = m.read_vec(PhysAddr(u64::MAX), 1).unwrap_err();
         assert!(matches!(err, MemError::OutOfBounds { .. }));
@@ -471,7 +486,10 @@ mod tests {
         for _ in 0..4 {
             let p = m.alloc_page().unwrap();
             let within = p.addr().0 >= r.base().0 && p.addr().0 < r.base().0 + r.len() as u64;
-            assert!(!within, "allocator handed out a frame inside the contiguous region");
+            assert!(
+                !within,
+                "allocator handed out a frame inside the contiguous region"
+            );
         }
     }
 
@@ -479,7 +497,7 @@ mod tests {
     fn contiguous_exhaustion() {
         let mut m = HostMemory::with_capacity(4 * PAGE_SIZE);
         let _a = m.alloc_page().unwrap(); // fragment the low end
-        // Frames 1..4 are free: a run of 3 exists, 4 does not.
+                                          // Frames 1..4 are free: a run of 3 exists, 4 does not.
         assert!(m.alloc_contiguous(4).is_err());
         assert!(m.alloc_contiguous(3).is_ok());
     }

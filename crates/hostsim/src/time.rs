@@ -159,6 +159,13 @@ impl From<Nanos> for u64 {
     }
 }
 
+/// Serializes as the raw nanosecond count (reports stay unit-stable).
+impl serde::Serialize for Nanos {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
 impl fmt::Display for Nanos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 1_000_000_000 {

@@ -50,12 +50,8 @@ pub fn key_from_sqe(sqe: &SubmissionEntry) -> PaddedKey {
 /// Writes a padded key into a command's CDW10–13 (host side).
 pub fn key_into_cdws(key: &PaddedKey, cdw10_15: &mut [u32; 6]) {
     for i in 0..4 {
-        cdw10_15[i] = u32::from_le_bytes([
-            key[i * 4],
-            key[i * 4 + 1],
-            key[i * 4 + 2],
-            key[i * 4 + 3],
-        ]);
+        cdw10_15[i] =
+            u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
     }
 }
 
@@ -130,7 +126,11 @@ impl KvFirmware {
     /// keeps the value log entirely in device DRAM (the paper's NAND-off
     /// measurement mode).
     pub fn new(dram: &mut DeviceDram, nand_io: bool) -> Self {
-        Self::with_stats(dram, nand_io, Rc::new(RefCell::new(KvDeviceStats::default())))
+        Self::with_stats(
+            dram,
+            nand_io,
+            Rc::new(RefCell::new(KvDeviceStats::default())),
+        )
     }
 
     /// Like [`KvFirmware::new`], sharing `stats` with the host-side handle.
@@ -209,12 +209,7 @@ impl KvFirmware {
         Ok(done)
     }
 
-    fn put(
-        &mut self,
-        ctx: &mut FirmwareCtx<'_>,
-        key: PaddedKey,
-        value: &[u8],
-    ) -> CommandOutcome {
+    fn put(&mut self, ctx: &mut FirmwareCtx<'_>, key: PaddedKey, value: &[u8]) -> CommandOutcome {
         let mut now = ctx.now + self.timing.index_op + self.timing.log_append;
         if value.len() > MAX_VALUE_LEN {
             return CommandOutcome::fail(Status::KvInvalidSize, now);
@@ -424,11 +419,9 @@ impl KvFirmware {
         if include_staging && self.staging_used > 0 {
             if let Ok(page) = ctx.dram.read(self.staging_off, PAGE_SIZE) {
                 let page = page.to_vec();
-                recovered +=
-                    Self::replay_page(&mut self.index, &page, |off, len| ValueLoc::Staged {
-                        off,
-                        len,
-                    });
+                recovered += Self::replay_page(&mut self.index, &page, |off, len| {
+                    ValueLoc::Staged { off, len }
+                });
             }
         }
         recovered
@@ -603,7 +596,10 @@ mod tests {
         for i in 0..200u32 {
             let key = format!("key-{i:04}");
             let value = vec![(i % 256) as u8; 100];
-            assert!(put(&mut r, key.as_bytes(), &value).status.is_success(), "{i}");
+            assert!(
+                put(&mut r, key.as_bytes(), &value).status.is_success(),
+                "{i}"
+            );
         }
         assert!(r.fw.stats_handle().borrow().flushes > 0);
         assert!(r.nand.stats().programs > 0);

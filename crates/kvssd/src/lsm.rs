@@ -29,6 +29,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+/// Entries produced by a range scan, in key order.
+type ScanResults = Vec<(PaddedKey, Vec<u8>)>;
+
 /// Vendor opcode for ordered range scans (LSM engine only).
 pub const KV_RANGE_SCAN_OPCODE: u8 = 0xC7;
 
@@ -101,11 +104,7 @@ impl LsmKvFirmware {
     }
 
     /// Like [`LsmKvFirmware::new`], sharing `stats` with the host handle.
-    pub fn with_stats(
-        dram: &mut DeviceDram,
-        nand_io: bool,
-        stats: Rc<RefCell<LsmStats>>,
-    ) -> Self {
+    pub fn with_stats(dram: &mut DeviceDram, nand_io: bool, stats: Rc<RefCell<LsmStats>>) -> Self {
         let log_pages = (dram.remaining() / 2) / PAGE_SIZE;
         let log = dram
             .alloc_region("lsm-dram-log", log_pages * PAGE_SIZE)
@@ -213,23 +212,33 @@ impl LsmKvFirmware {
         let mut count = 0u32;
         let mut first_in_page: Option<PaddedKey> = None;
 
-        let finish =
-            |page: &mut Vec<u8>, off: &mut usize, count: &mut u32, first: &mut Option<PaddedKey>,
-             pages: &mut Vec<Vec<u8>>, page_index: &mut Vec<PaddedKey>| {
-                if *count > 0 {
-                    page[..4].copy_from_slice(&count.to_le_bytes());
-                    pages.push(std::mem::replace(page, vec![0u8; PAGE_SIZE]));
-                    page_index.push(first.take().expect("page has entries"));
-                    *off = 4;
-                    *count = 0;
-                }
-            };
+        let finish = |page: &mut Vec<u8>,
+                      off: &mut usize,
+                      count: &mut u32,
+                      first: &mut Option<PaddedKey>,
+                      pages: &mut Vec<Vec<u8>>,
+                      page_index: &mut Vec<PaddedKey>| {
+            if *count > 0 {
+                page[..4].copy_from_slice(&count.to_le_bytes());
+                pages.push(std::mem::replace(page, vec![0u8; PAGE_SIZE]));
+                page_index.push(first.take().expect("page has entries"));
+                *off = 4;
+                *count = 0;
+            }
+        };
 
         for (key, value) in entries {
             let vlen = value.as_ref().map_or(0, Vec::len);
             let need = RUN_ENTRY_HEADER + vlen;
             if off + need > PAGE_SIZE {
-                finish(&mut page, &mut off, &mut count, &mut first_in_page, &mut pages, &mut page_index);
+                finish(
+                    &mut page,
+                    &mut off,
+                    &mut count,
+                    &mut first_in_page,
+                    &mut pages,
+                    &mut page_index,
+                );
             }
             if first_in_page.is_none() {
                 first_in_page = Some(*key);
@@ -244,7 +253,14 @@ impl LsmKvFirmware {
             off += need;
             count += 1;
         }
-        finish(&mut page, &mut off, &mut count, &mut first_in_page, &mut pages, &mut page_index);
+        finish(
+            &mut page,
+            &mut off,
+            &mut count,
+            &mut first_in_page,
+            &mut pages,
+            &mut page_index,
+        );
         (pages, page_index)
     }
 
@@ -256,10 +272,9 @@ impl LsmKvFirmware {
             let mut key = [0u8; MAX_KEY_LEN];
             key.copy_from_slice(&page[off..off + MAX_KEY_LEN]);
             let tombstone = page[off + MAX_KEY_LEN] & FLAG_TOMBSTONE != 0;
-            let vlen = u16::from_le_bytes([
-                page[off + MAX_KEY_LEN + 1],
-                page[off + MAX_KEY_LEN + 2],
-            ]) as usize;
+            let vlen =
+                u16::from_le_bytes([page[off + MAX_KEY_LEN + 1], page[off + MAX_KEY_LEN + 2]])
+                    as usize;
             off += RUN_ENTRY_HEADER;
             let value = (!tombstone).then(|| page[off..off + vlen].to_vec());
             out.push((key, value));
@@ -296,11 +311,7 @@ impl LsmKvFirmware {
         ))
     }
 
-    fn flush_memtable(
-        &mut self,
-        ctx: &mut FirmwareCtx<'_>,
-        now: Nanos,
-    ) -> Result<Nanos, Status> {
+    fn flush_memtable(&mut self, ctx: &mut FirmwareCtx<'_>, now: Nanos) -> Result<Nanos, Status> {
         if self.memtable.is_empty() {
             return Ok(now);
         }
@@ -338,10 +349,8 @@ impl LsmKvFirmware {
             }
         }
         // Bottom level: tombstones are resolved.
-        let live: Vec<(PaddedKey, Option<Vec<u8>>)> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let live: Vec<(PaddedKey, Option<Vec<u8>>)> =
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
         for run in sources {
             self.free_run(ctx, run);
         }
@@ -421,35 +430,35 @@ impl LsmKvFirmware {
         start: PaddedKey,
         limit: usize,
         mut now: Nanos,
-    ) -> Result<(Vec<(PaddedKey, Vec<u8>)>, Nanos), Status> {
+    ) -> Result<(ScanResults, Nanos), Status> {
         // Merge via a BTreeMap seeded oldest→newest so newer versions win.
         let mut merged: BTreeMap<PaddedKey, Option<Vec<u8>>> = BTreeMap::new();
-        let mut absorb_run = |run: &RunMeta, now: &mut Nanos, ctx: &mut FirmwareCtx<'_>|
-         -> Result<(), Status> {
-            if run.last < start {
-                return Ok(());
-            }
-            let start_page = match run.page_index.binary_search(&start) {
-                Ok(i) => i,
-                Err(0) => 0,
-                Err(i) => i - 1,
-            };
-            for &lpn in &run.pages[start_page..] {
-                let (page, t) = self.read_page(ctx, lpn, *now)?;
-                *now = t;
-                for (k, v) in Self::decode_page(&page) {
-                    if k >= start {
-                        merged.insert(k, v);
+        let mut absorb_run =
+            |run: &RunMeta, now: &mut Nanos, ctx: &mut FirmwareCtx<'_>| -> Result<(), Status> {
+                if run.last < start {
+                    return Ok(());
+                }
+                let start_page = match run.page_index.binary_search(&start) {
+                    Ok(i) => i,
+                    Err(0) => 0,
+                    Err(i) => i - 1,
+                };
+                for &lpn in &run.pages[start_page..] {
+                    let (page, t) = self.read_page(ctx, lpn, *now)?;
+                    *now = t;
+                    for (k, v) in Self::decode_page(&page) {
+                        if k >= start {
+                            merged.insert(k, v);
+                        }
+                    }
+                    // Enough keys gathered to satisfy the limit even after
+                    // tombstone removal? Keep a safety margin of one page.
+                    if merged.len() >= limit * 2 + 64 {
+                        break;
                     }
                 }
-                // Enough keys gathered to satisfy the limit even after
-                // tombstone removal? Keep a safety margin of one page.
-                if merged.len() >= limit * 2 + 64 {
-                    break;
-                }
-            }
-            Ok(())
-        };
+                Ok(())
+            };
         if let Some(l1) = &self.l1 {
             absorb_run(l1, &mut now, ctx)?;
         }
@@ -519,7 +528,7 @@ impl FirmwareHandler for LsmKvFirmware {
                     return CommandOutcome::fail(Status::InvalidField, ctx.now);
                 }
                 // Conservative entry budget: header + key per entry minimum.
-                let limit = (sqe.cdw(14) as usize).min(4096).max(1);
+                let limit = (sqe.cdw(14) as usize).clamp(1, 4096);
                 let start = ctx.now + self.timing.index_op;
                 match self.range_scan(&mut ctx, key, limit, start) {
                     Ok((entries, now)) => {
@@ -640,7 +649,11 @@ mod tests {
         let mut r = rig(true);
         // ~100 B values; 32 KB budget → flush every ~270 entries.
         for i in 0..1000u32 {
-            let out = put(&mut r, format!("key{i:05}").as_bytes(), &vec![(i % 251) as u8; 100]);
+            let out = put(
+                &mut r,
+                format!("key{i:05}").as_bytes(),
+                &[(i % 251) as u8; 100],
+            );
             assert!(out.status.is_success(), "{i}");
         }
         let stats = *r.fw.stats_handle().borrow();
@@ -661,7 +674,7 @@ mod tests {
         // over heavily garbage-laden runs.
         for round in 0..40u8 {
             for i in 0..200u32 {
-                put(&mut r, format!("k{i:04}").as_bytes(), &vec![round; 150]);
+                put(&mut r, format!("k{i:04}").as_bytes(), &[round; 150]);
             }
         }
         let stats = *r.fw.stats_handle().borrow();
@@ -693,7 +706,11 @@ mod tests {
         let mut r = rig(true);
         // Data spread across runs and memtable.
         for i in (0..400u32).rev() {
-            put(&mut r, format!("r{i:04}").as_bytes(), format!("v{i}").as_bytes());
+            put(
+                &mut r,
+                format!("r{i:04}").as_bytes(),
+                format!("v{i}").as_bytes(),
+            );
         }
         // Overwrite some in the memtable to prove newest-wins.
         put(&mut r, b"r0100", b"newest");
@@ -709,8 +726,7 @@ mod tests {
         let mut values = Vec::new();
         for _ in 0..count {
             let key = data[off..off + 16].to_vec();
-            let vlen =
-                u16::from_le_bytes([data[off + 16], data[off + 17]]) as usize;
+            let vlen = u16::from_le_bytes([data[off + 16], data[off + 17]]) as usize;
             values.push(data[off + 18..off + 18 + vlen].to_vec());
             keys.push(key);
             off += 18 + vlen;
@@ -727,7 +743,7 @@ mod tests {
     fn nand_off_mode_works() {
         let mut r = rig(false);
         for i in 0..500u32 {
-            put(&mut r, format!("m{i:04}").as_bytes(), &vec![3u8; 120]);
+            put(&mut r, format!("m{i:04}").as_bytes(), &[3u8; 120]);
         }
         assert_eq!(r.nand.stats().programs, 0);
         assert_eq!(get(&mut r, b"m0123").response.unwrap(), vec![3u8; 120]);
@@ -738,7 +754,11 @@ mod tests {
         let mut r = rig(true);
         for round in 0..60u32 {
             for i in 0..150u32 {
-                put(&mut r, format!("t{i:03}").as_bytes(), &vec![round as u8; 250]);
+                put(
+                    &mut r,
+                    format!("t{i:03}").as_bytes(),
+                    &vec![round as u8; 250],
+                );
             }
         }
         let stats = *r.fw.stats_handle().borrow();

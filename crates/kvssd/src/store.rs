@@ -4,10 +4,13 @@ use crate::firmware::{
     key_into_cdws, pad_key, KvDeviceStats, KvFirmware, MAX_KEY_LEN, MAX_VALUE_LEN,
 };
 use crate::lsm::{LsmKvFirmware, LsmStats, KV_RANGE_SCAN_OPCODE};
+use bx_ssd::NandConfig;
+
+/// An owned key-value pair as returned by range scans.
+pub type KvPair = (Vec<u8>, Vec<u8>);
 use byteexpress::{
     Completion, Device, DeviceError, IoOpcode, Nanos, PassthruCmd, Status, TransferMethod,
 };
-use bx_ssd::NandConfig;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -165,11 +168,7 @@ impl KvStore {
     ///
     /// [`KvError::Device`] with `InvalidOpcode` on the hash-log engine;
     /// [`KvError::CorruptResponse`] on malformed responses.
-    pub fn range(
-        &mut self,
-        start: &[u8],
-        limit: usize,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+    pub fn range(&mut self, start: &[u8], limit: usize) -> Result<Vec<KvPair>, KvError> {
         const BUF: usize = 64 << 10;
         let mut cmd = PassthruCmd::from_device(IoOpcode::KvGet, 1, BUF);
         cmd.opcode = KV_RANGE_SCAN_OPCODE;
@@ -193,8 +192,8 @@ impl KvStore {
             let raw_key = &data[off..off + MAX_KEY_LEN];
             let end = raw_key.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
             let key = raw_key[..end].to_vec();
-            let vlen = u16::from_le_bytes([data[off + MAX_KEY_LEN], data[off + MAX_KEY_LEN + 1]])
-                as usize;
+            let vlen =
+                u16::from_le_bytes([data[off + MAX_KEY_LEN], data[off + MAX_KEY_LEN + 1]]) as usize;
             off += MAX_KEY_LEN + 2;
             if off + vlen > data.len() {
                 return Err(KvError::CorruptResponse);
@@ -471,7 +470,7 @@ mod tests {
             let mut s = store(method);
             let before = s.device().traffic();
             for i in 0..100u32 {
-                s.put(format!("k{i:04}").as_bytes(), &vec![7u8; 64]).unwrap();
+                s.put(format!("k{i:04}").as_bytes(), &[7u8; 64]).unwrap();
             }
             s.device().traffic().since(&before).total_bytes()
         };

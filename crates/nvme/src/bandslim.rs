@@ -48,7 +48,10 @@ const FRAG_REGION: (usize, usize) = (16, 64);
 /// Panics if `len` exceeds 24 bits or `embed_cap > HEAD_CAPACITY`.
 pub fn encode_head(sqe: &mut SubmissionEntry, payload: &[u8], embed_cap: usize) -> usize {
     assert!(payload.len() < (1 << 24), "bandslim payload too large");
-    assert!(embed_cap <= HEAD_CAPACITY, "embed_cap exceeds head capacity");
+    assert!(
+        embed_cap <= HEAD_CAPACITY,
+        "embed_cap exceeds head capacity"
+    );
     sqe.set_cdw2((BANDSLIM_MAGIC << 24) | payload.len() as u32);
     let mut img = sqe.to_bytes();
     let mut taken = 0usize;
@@ -105,11 +108,11 @@ pub fn decode_head(sqe: &SubmissionEntry, embedded: usize) -> Vec<u8> {
     let img = sqe.to_bytes();
     let mut out = Vec::with_capacity(embedded);
     for (start, end) in HEAD_REGIONS {
-        for off in start..end {
+        for &b in &img[start..end] {
             if out.len() == embedded {
                 return out;
             }
-            out.push(img[off]);
+            out.push(b);
         }
     }
     out
@@ -231,7 +234,7 @@ mod tests {
         assert_eq!(commands_for_len(33, HEAD_CAPACITY), 2);
         assert_eq!(commands_for_len(128, HEAD_CAPACITY), 3); // 32 + 48 + 48
         assert_eq!(commands_for_len(4096, HEAD_CAPACITY), 1 + 85); // (4096-32)/48 = 84.6
-        // CSD-style: no head embedding.
+                                                                   // CSD-style: no head embedding.
         assert_eq!(commands_for_len(20, 0), 2);
         assert_eq!(commands_for_len(96, 0), 3);
     }

@@ -26,9 +26,7 @@ impl CompletionEntry {
     pub fn new(cid: u16, sq_id: u16, sq_head: u16, status: Status, phase: bool) -> Self {
         let mut e = CompletionEntry { raw: [0; 4] };
         e.raw[2] = sq_head as u32 | ((sq_id as u32) << 16);
-        e.raw[3] = cid as u32
-            | ((phase as u32) << 16)
-            | ((status.to_wire() as u32 & 0x7FFF) << 17);
+        e.raw[3] = cid as u32 | ((phase as u32) << 16) | ((status.to_wire() as u32 & 0x7FFF) << 17);
         e
     }
 
@@ -139,7 +137,10 @@ mod tests {
 
     #[test]
     fn debug_contains_status() {
-        let s = format!("{:?}", CompletionEntry::new(1, 2, 3, Status::InvalidField, true));
+        let s = format!(
+            "{:?}",
+            CompletionEntry::new(1, 2, 3, Status::InvalidField, true)
+        );
         assert!(s.contains("InvalidField"));
     }
 }

@@ -171,9 +171,7 @@ pub fn encode_reassembly_chunks(
 }
 
 /// Splits a reassembly-mode chunk into its header and payload slice.
-pub fn split_reassembly_chunk(
-    chunk: &[u8; BYTEEXPRESS_CHUNK_SIZE],
-) -> (ChunkHeader, &[u8]) {
+pub fn split_reassembly_chunk(chunk: &[u8; BYTEEXPRESS_CHUNK_SIZE]) -> (ChunkHeader, &[u8]) {
     let mut hdr = [0u8; REASSEMBLY_HEADER_BYTES];
     hdr.copy_from_slice(&chunk[..REASSEMBLY_HEADER_BYTES]);
     (

@@ -42,8 +42,8 @@ pub mod opcode;
 pub mod passthru;
 pub mod prp;
 pub mod queue;
-pub mod sqe;
 pub mod sgl;
+pub mod sqe;
 pub mod status;
 
 pub use cqe::CompletionEntry;
@@ -52,7 +52,7 @@ pub use inline::{ChunkHeader, BYTEEXPRESS_CHUNK_SIZE, REASSEMBLY_HEADER_BYTES};
 pub use opcode::{AdminOpcode, IoOpcode, Opcode};
 pub use passthru::PassthruCmd;
 pub use prp::{PrpError, PrpSegments};
-pub use queue::{CqRing, DoorbellArray, QueueId, SqRing, SQE_BYTES, CQE_BYTES};
-pub use sqe::SubmissionEntry;
+pub use queue::{CqRing, DoorbellArray, QueueId, SqRing, CQE_BYTES, SQE_BYTES};
 pub use sgl::{SglDescriptor, SglError};
+pub use sqe::SubmissionEntry;
 pub use status::{Status, STATUS_DNR_BIT};

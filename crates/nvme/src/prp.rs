@@ -117,8 +117,7 @@ impl PrpSegments {
             _ => {
                 // Entries 1..need go into a chained list.
                 let tail = &pages[1..need];
-                let first_list = write_list(mem, tail, &mut list_pages)?;
-                first_list
+                write_list(mem, tail, &mut list_pages)?
             }
         };
 
@@ -173,7 +172,10 @@ fn write_list(
     }
     if !fits {
         let next = write_list(mem, &entries[direct..], list_pages)?;
-        mem.write_u64(base.offset(((ENTRIES_PER_LIST_PAGE - 1) * 8) as u64), next.0)?;
+        mem.write_u64(
+            base.offset(((ENTRIES_PER_LIST_PAGE - 1) * 8) as u64),
+            next.0,
+        )?;
     }
     Ok(base)
 }
@@ -270,9 +272,8 @@ pub fn walk(
         }
         entries_left -= in_this_page;
         if entries_left > 0 {
-            let next = PhysAddr(
-                mem.read_u64(list_addr.offset(((ENTRIES_PER_LIST_PAGE - 1) * 8) as u64))?,
-            );
+            let next =
+                PhysAddr(mem.read_u64(list_addr.offset(((ENTRIES_PER_LIST_PAGE - 1) * 8) as u64))?);
             if !next.is_page_aligned() {
                 return Err(PrpError::Misaligned(next));
             }
@@ -365,7 +366,10 @@ mod tests {
         let pages = alloc_pages(&mut m, 8);
         let prp = PrpSegments::build(&mut m, &pages, 0, 8 * PAGE_SIZE).unwrap();
         let mut list_reads = Vec::new();
-        walk(&m, prp.prp1, prp.prp2, 8 * PAGE_SIZE, |a, b| list_reads.push((a, b))).unwrap();
+        walk(&m, prp.prp1, prp.prp2, 8 * PAGE_SIZE, |a, b| {
+            list_reads.push((a, b))
+        })
+        .unwrap();
         assert_eq!(list_reads.len(), 1);
         assert_eq!(list_reads[0].0, prp.prp2);
         assert_eq!(list_reads[0].1, 7 * 8); // seven remaining entries

@@ -68,8 +68,14 @@ impl fmt::Display for SglError {
         match self {
             SglError::UnknownType(t) => write!(f, "unknown sgl descriptor type {t:#x}"),
             SglError::Mem(e) => write!(f, "sgl memory error: {e}"),
-            SglError::LengthMismatch { described, expected } => {
-                write!(f, "sgl length mismatch: described {described}, expected {expected}")
+            SglError::LengthMismatch {
+                described,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "sgl length mismatch: described {described}, expected {expected}"
+                )
             }
             SglError::TooDeep => write!(f, "sgl segment chain too deep"),
         }
@@ -151,7 +157,8 @@ impl SglDescriptor {
     ///
     /// [`SglError::UnknownType`] for unrecognized descriptor type codes.
     pub fn from_bytes(b: &[u8; 16]) -> Result<Self, SglError> {
-        let kind = SglDescriptorType::from_code(b[15] >> 4).ok_or(SglError::UnknownType(b[15] >> 4))?;
+        let kind =
+            SglDescriptorType::from_code(b[15] >> 4).ok_or(SglError::UnknownType(b[15] >> 4))?;
         Ok(SglDescriptor {
             kind,
             addr: PhysAddr(u64::from_le_bytes([

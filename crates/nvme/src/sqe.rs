@@ -172,8 +172,12 @@ impl SubmissionEntry {
     /// Writes an SGL descriptor image into DPTR.
     pub fn set_sgl_bytes(&mut self, bytes: &[u8; 16]) {
         for i in 0..4 {
-            self.raw[6 + i] =
-                u32::from_le_bytes([bytes[i * 4], bytes[i * 4 + 1], bytes[i * 4 + 2], bytes[i * 4 + 3]]);
+            self.raw[6 + i] = u32::from_le_bytes([
+                bytes[i * 4],
+                bytes[i * 4 + 1],
+                bytes[i * 4 + 2],
+                bytes[i * 4 + 3],
+            ]);
         }
     }
 

@@ -46,6 +46,24 @@ impl TrafficClass {
         TrafficClass::DeviceToHostData,
     ];
 
+    /// Stable short label (also the `Display` form). `&'static` so layers
+    /// below this crate (e.g. the trace recorder) can carry it without a
+    /// type dependency.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Doorbell => "doorbell",
+            TrafficClass::SqeFetch => "sqe-fetch",
+            TrafficClass::PrpList => "prp-list",
+            TrafficClass::PrpData => "prp-data",
+            TrafficClass::SglDescriptor => "sgl-desc",
+            TrafficClass::SglData => "sgl-data",
+            TrafficClass::Cqe => "cqe",
+            TrafficClass::Interrupt => "interrupt",
+            TrafficClass::Mmio => "mmio",
+            TrafficClass::DeviceToHostData => "dev-to-host-data",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             TrafficClass::Doorbell => 0,
@@ -64,19 +82,7 @@ impl TrafficClass {
 
 impl fmt::Display for TrafficClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TrafficClass::Doorbell => "doorbell",
-            TrafficClass::SqeFetch => "sqe-fetch",
-            TrafficClass::PrpList => "prp-list",
-            TrafficClass::PrpData => "prp-data",
-            TrafficClass::SglDescriptor => "sgl-desc",
-            TrafficClass::SglData => "sgl-data",
-            TrafficClass::Cqe => "cqe",
-            TrafficClass::Interrupt => "interrupt",
-            TrafficClass::Mmio => "mmio",
-            TrafficClass::DeviceToHostData => "dev-to-host-data",
-        };
-        f.write_str(s)
+        f.write_str(self.label())
     }
 }
 
@@ -166,18 +172,23 @@ impl TrafficCounters {
 
     /// Difference `self - earlier`, for interval measurements.
     ///
-    /// # Panics
-    ///
-    /// Panics if `earlier` has larger counts than `self` (i.e. is not actually
-    /// an earlier snapshot of the same counters).
+    /// Each count saturates at zero: if `earlier` is not actually an earlier
+    /// snapshot of the same counters (e.g. the counters were `reset()`
+    /// between the two reads), the mismatched components clamp to zero
+    /// instead of wrapping or panicking — interval math must never take a
+    /// measurement run down.
     pub fn since(&self, earlier: &TrafficCounters) -> TrafficCounters {
         let mut out = self.clone();
-        out.host_to_device_wire -= earlier.host_to_device_wire;
-        out.device_to_host_wire -= earlier.device_to_host_wire;
+        out.host_to_device_wire = out
+            .host_to_device_wire
+            .saturating_sub(earlier.host_to_device_wire);
+        out.device_to_host_wire = out
+            .device_to_host_wire
+            .saturating_sub(earlier.device_to_host_wire);
         for (o, e) in out.per_class.iter_mut().zip(earlier.per_class.iter()) {
-            o.wire_bytes -= e.wire_bytes;
-            o.payload_bytes -= e.payload_bytes;
-            o.tlps -= e.tlps;
+            o.wire_bytes = o.wire_bytes.saturating_sub(e.wire_bytes);
+            o.payload_bytes = o.payload_bytes.saturating_sub(e.payload_bytes);
+            o.tlps = o.tlps.saturating_sub(e.tlps);
         }
         out
     }
@@ -295,6 +306,69 @@ mod tests {
         let delta = c.since(&snap);
         assert_eq!(delta.total_bytes(), 28);
         assert_eq!(delta.class(TrafficClass::Doorbell).tlps, 1);
+    }
+
+    /// A "later" snapshot smaller than the baseline (counters reset mid
+    /// interval) must saturate to zero, never wrap or panic.
+    #[test]
+    fn since_saturates_on_underflow() {
+        let mut c = TrafficCounters::new();
+        c.record(
+            TrafficClass::Doorbell,
+            Direction::HostToDevice,
+            &segment_write(4, 256),
+        );
+        c.record(
+            TrafficClass::Cqe,
+            Direction::DeviceToHost,
+            &segment_write(16, 256),
+        );
+        let baseline = c.clone();
+        c.reset();
+        c.record(
+            TrafficClass::Mmio,
+            Direction::HostToDevice,
+            &segment_write(4, 256),
+        );
+
+        let delta = c.since(&baseline);
+        // Components smaller than the baseline clamp to zero...
+        assert_eq!(delta.class(TrafficClass::Doorbell), ClassBytes::default());
+        assert_eq!(delta.class(TrafficClass::Cqe), ClassBytes::default());
+        assert_eq!(delta.device_to_host_bytes(), 0);
+        // ...while genuinely new traffic still shows (h2d shrank overall, so
+        // the direction total clamps, but the fresh class survives).
+        assert_eq!(delta.class(TrafficClass::Mmio).tlps, 1);
+        assert!(delta.total_bytes() < baseline.total_bytes());
+    }
+
+    /// The PCM facade measures exactly the traffic between start and stop.
+    #[test]
+    fn pcm_counters_measure_the_interval() {
+        use crate::config::LinkConfig;
+        use crate::link::PcieLink;
+
+        let mut link = PcieLink::new(LinkConfig::gen2_x8());
+        // Traffic before the window must not be attributed to it.
+        link.host_posted_write(TrafficClass::Mmio, 64);
+
+        let pcm = PcmCounters::start(&link);
+        link.device_read(TrafficClass::PrpData, 4096);
+        link.device_posted_write(TrafficClass::Cqe, 16);
+        let delta = pcm.stop(&link);
+
+        assert_eq!(delta.class(TrafficClass::Mmio), ClassBytes::default());
+        assert_eq!(delta.class(TrafficClass::PrpData).payload_bytes, 4096);
+        assert_eq!(delta.class(TrafficClass::Cqe).payload_bytes, 16);
+
+        // Traffic after stop() is likewise excluded: stop() is a pure read.
+        link.host_posted_write(TrafficClass::Doorbell, 4);
+        assert_eq!(
+            pcm.stop(&link).class(TrafficClass::Doorbell).tlps,
+            1,
+            "a second stop() sees the extra doorbell"
+        );
+        assert_eq!(delta.class(TrafficClass::Doorbell), ClassBytes::default());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod link;
 pub mod tlp;
 
 pub use config::{Generation, LinkConfig};
-pub use energy::{EnergyModel, Picojoules};
 pub use counters::{ClassBytes, PcmCounters, TrafficClass, TrafficCounters};
+pub use energy::{EnergyModel, Picojoules};
 pub use link::PcieLink;
 pub use tlp::{TlpKind, TlpStream};

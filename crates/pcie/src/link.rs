@@ -5,6 +5,7 @@ use crate::config::LinkConfig;
 use crate::counters::{Direction, TrafficClass, TrafficCounters};
 use crate::tlp::{segment_read_completions, segment_read_requests, segment_write, TlpStream};
 use bx_hostsim::Nanos;
+use bx_trace::{Dir, EventKind, TraceSink};
 
 /// The simulated PCIe link.
 ///
@@ -17,6 +18,7 @@ use bx_hostsim::Nanos;
 pub struct PcieLink {
     cfg: LinkConfig,
     counters: TrafficCounters,
+    trace: TraceSink,
 }
 
 impl PcieLink {
@@ -25,7 +27,24 @@ impl PcieLink {
         PcieLink {
             cfg,
             counters: TrafficCounters::new(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs a flight-recorder sink; every TLP stream emits one event
+    /// tagged with its [`TrafficClass`] label. Disabled sinks cost nothing.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    fn trace_tlp(&self, class: TrafficClass, dir: Dir, stream: &TlpStream) {
+        self.trace.emit(None, || EventKind::Tlp {
+            class: class.label(),
+            dir,
+            wire_bytes: stream.wire_bytes() as u64,
+            payload_bytes: stream.payload_bytes as u64,
+            tlps: stream.count as u64,
+        });
     }
 
     /// The link configuration.
@@ -53,7 +72,9 @@ impl PcieLink {
     pub fn host_posted_write(&mut self, class: TrafficClass, len: usize) -> Nanos {
         let stream = segment_write(len, self.cfg.max_payload_size);
         let t = self.wire_time_of(&stream) + self.cfg.propagation;
-        self.counters.record(class, Direction::HostToDevice, &stream);
+        self.counters
+            .record(class, Direction::HostToDevice, &stream);
+        self.trace_tlp(class, Dir::HostToDevice, &stream);
         t
     }
 
@@ -62,7 +83,9 @@ impl PcieLink {
     pub fn device_posted_write(&mut self, class: TrafficClass, len: usize) -> Nanos {
         let stream = segment_write(len, self.cfg.max_payload_size);
         let t = self.wire_time_of(&stream) + self.cfg.propagation;
-        self.counters.record(class, Direction::DeviceToHost, &stream);
+        self.counters
+            .record(class, Direction::DeviceToHost, &stream);
+        self.trace_tlp(class, Dir::DeviceToHost, &stream);
         t
     }
 
@@ -82,6 +105,8 @@ impl PcieLink {
         // Requests flow upstream, completions (with data) flow downstream.
         self.counters.record(class, Direction::DeviceToHost, &req);
         self.counters.record(class, Direction::HostToDevice, &cpl);
+        self.trace_tlp(class, Dir::DeviceToHost, &req);
+        self.trace_tlp(class, Dir::HostToDevice, &cpl);
         t
     }
 
@@ -96,6 +121,8 @@ impl PcieLink {
             + self.wire_time_of(&cpl);
         self.counters.record(class, Direction::HostToDevice, &req);
         self.counters.record(class, Direction::DeviceToHost, &cpl);
+        self.trace_tlp(class, Dir::HostToDevice, &req);
+        self.trace_tlp(class, Dir::DeviceToHost, &cpl);
         t
     }
 }
@@ -124,7 +151,10 @@ mod tests {
         assert_eq!(l.counters().device_to_host_bytes(), 24);
         assert_eq!(l.counters().host_to_device_bytes(), 84);
         // 2*100 propagation + 250 mem + wire times (6+21 rounded) + 2 TLP overheads.
-        assert!(t >= Nanos::from_ns(450) && t <= Nanos::from_ns(550), "t={t}");
+        assert!(
+            t >= Nanos::from_ns(450) && t <= Nanos::from_ns(550),
+            "t={t}"
+        );
     }
 
     #[test]

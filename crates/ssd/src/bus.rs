@@ -10,6 +10,7 @@
 use bx_hostsim::{FaultConfig, FaultCounters, FaultInjector, HostMemory, SimClock};
 use bx_nvme::{DoorbellArray, Status, SubmissionEntry};
 use bx_pcie::{LinkConfig, PcieLink, TrafficCounters};
+use bx_trace::TraceSink;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -67,6 +68,9 @@ pub struct SystemBus {
     /// The shared fault injector (disabled by default; see
     /// [`SystemBus::install_faults`]).
     pub faults: FaultHandle,
+    /// The flight-recorder sink (disabled by default; see
+    /// [`SystemBus::enable_trace`]). Clones share the event buffer.
+    pub trace: TraceSink,
 }
 
 impl SystemBus {
@@ -80,7 +84,20 @@ impl SystemBus {
             mmio_window: Rc::new(RefCell::new(MmioWindow::default())),
             clock: SimClock::new(),
             faults: Rc::new(RefCell::new(FaultInjector::disabled())),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Turns on the flight recorder for every component built from this bus,
+    /// stamping events with the shared clock. Must be called **before** the
+    /// driver/controller are constructed (they copy the sink handle); the
+    /// [`PcieLink`] hook is installed here. Returns the sink for reading
+    /// events back.
+    pub fn enable_trace(&mut self) -> TraceSink {
+        let sink = TraceSink::recording(self.clock.clone());
+        self.trace = sink.clone();
+        self.link.borrow_mut().set_trace(sink.clone());
+        sink
     }
 
     /// Replaces the fault schedule for every component sharing this bus

@@ -30,8 +30,9 @@ use bx_nvme::{
     admin, bandslim, inline, prp, sgl, AdminOpcode, CompletionEntry, IdentifyController, IoOpcode,
     QueueId, Status, SubmissionEntry, CQE_BYTES, SQE_BYTES,
 };
-use std::collections::BTreeMap;
 use bx_pcie::TrafficClass;
+use bx_trace::{CmdKey, EventKind};
+use std::collections::BTreeMap;
 
 /// How the controller gathers ByteExpress chunk trains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -187,7 +188,9 @@ impl Controller {
         let mut nand = NandArray::new(cfg.nand.clone());
         // Media faults share the platform's one deterministic schedule.
         nand.set_fault_injector(bus.faults.clone());
-        let ftl = Ftl::new(&nand, cfg.over_provision);
+        nand.set_trace(bus.trace.clone());
+        let mut ftl = Ftl::new(&nand, cfg.over_provision);
+        ftl.set_trace(bus.trace.clone());
         let mut dram = DeviceDram::new(cfg.dram_capacity);
         let firmware = firmware(&mut dram);
         Controller {
@@ -410,6 +413,8 @@ impl Controller {
             if expired && !self.queue_has_work(qi) {
                 let pending = self.queues[qi].inline_pending.take().expect("checked");
                 let outcome = CommandOutcome::fail(Status::DataTransferError, now);
+                let key = CmdKey::new(self.queues[qi].id.0, pending.sqe.cid());
+                self.bus.trace.emit_cmd(key, || EventKind::ReassemblyEvict);
                 self.post_completion(qi, pending.sqe.cid(), &outcome);
                 self.stats.stalled_evictions += 1;
                 completed += 1;
@@ -426,6 +431,16 @@ impl Controller {
             return false;
         };
         self.bus.clock.advance(self.timing.mmio_detect);
+        // The byte-interface path has no SQ; spans use queue id 0 by
+        // convention (mirrored by the driver's MMIO submit hook).
+        let key = CmdKey::new(0, sub.sqe.cid());
+        self.bus.trace.emit_cmd(key, || EventKind::SqeFetch {
+            opcode: sub.sqe.opcode_raw(),
+        });
+        self.bus.trace.emit_cmd(key, || EventKind::DataFetch {
+            kind: "mmio",
+            bytes: sub.payload.len(),
+        });
         let ctx = FirmwareCtx {
             nand: &mut self.nand,
             ftl: &mut self.ftl,
@@ -444,6 +459,9 @@ impl Controller {
                 status: outcome.status,
                 result: outcome.result,
             });
+        self.bus.trace.emit_cmd(key, || EventKind::CqePost {
+            status: outcome.status.to_wire(),
+        });
         self.stats.commands_completed += 1;
         true
     }
@@ -590,11 +608,22 @@ impl Controller {
             return self.absorb_bandslim_frag(qi, &sqe);
         }
         self.stats.sqes_fetched += 1;
+        let key = CmdKey::new(self.queues[qi].id.0, sqe.cid());
+        self.bus.trace.emit_cmd(key, || EventKind::SqeFetch {
+            opcode: sqe.opcode_raw(),
+        });
 
         // Gather the host→device payload per transfer method.
         let payload: Option<Vec<u8>> = if let Some(len) = inline::inline_len(&sqe) {
             match self.fetch_policy {
-                FetchPolicy::QueueLocal => Some(self.gather_inline(qi, len)),
+                FetchPolicy::QueueLocal => {
+                    let payload = self.gather_inline(qi, len);
+                    self.bus.trace.emit_cmd(key, || EventKind::InlineGather {
+                        chunks: inline::chunks_for_len(len) as u16,
+                        bytes: payload.len(),
+                    });
+                    Some(payload)
+                }
                 FetchPolicy::Reassembly => {
                     // Chunks are self-describing: park the command and let
                     // the main loop fetch its chunks interleaved with other
@@ -609,11 +638,28 @@ impl Controller {
             }
         } else if let Some(total) = bandslim::head_len(&sqe) {
             match self.begin_bandslim(qi, &sqe, total) {
-                Some(p) => Some(p),
+                Some(p) => {
+                    self.bus.trace.emit_cmd(key, || EventKind::DataFetch {
+                        kind: "bandslim",
+                        bytes: p.len(),
+                    });
+                    Some(p)
+                }
                 None => return 0, // fragments still to come
             }
         } else if opcode_moves_data_in(&sqe) {
-            self.gather_dptr(&sqe)
+            let payload = self.gather_dptr(&sqe);
+            if let Some(p) = &payload {
+                let kind = match sqe.data_pointer_kind() {
+                    DataPointerKind::Prp => "prp",
+                    DataPointerKind::Sgl => "sgl",
+                };
+                self.bus.trace.emit_cmd(key, || EventKind::DataFetch {
+                    kind,
+                    bytes: p.len(),
+                });
+            }
+            payload
         } else {
             None
         };
@@ -670,12 +716,19 @@ impl Controller {
 
         let (hdr, data) = inline::split_reassembly_chunk(&img);
         let accepted = self.reassembly.accept_at(hdr, data, self.bus.clock.now());
+        let qid = self.queues[qi].id.0;
         let pending = self.queues[qi]
             .inline_pending
             .as_mut()
             .expect("chunk fetch requires a parked command");
         pending.remaining -= 1;
         let last = pending.remaining == 0;
+        let key = CmdKey::new(qid, pending.sqe.cid());
+        if accepted.is_ok() {
+            self.bus
+                .trace
+                .emit_cmd(key, || EventKind::ReassemblyAccept { seq: hdr.chunk_no });
+        }
 
         match (accepted, last) {
             (Ok(Some(completed)), true) => {
@@ -691,8 +744,7 @@ impl Controller {
             // (duplicate ids, wrong totals). Fail the command visibly.
             (Ok(None), true) | (Err(_), true) => {
                 let pending = self.queues[qi].inline_pending.take().expect("parked");
-                let outcome =
-                    CommandOutcome::fail(Status::DataTransferError, self.bus.clock.now());
+                let outcome = CommandOutcome::fail(Status::DataTransferError, self.bus.clock.now());
                 self.post_completion(qi, pending.sqe.cid(), &outcome);
                 1
             }
@@ -751,6 +803,11 @@ impl Controller {
         if pending.buf.len() >= pending.total {
             let head = pending.head;
             let payload = pending.buf;
+            let key = CmdKey::new(self.queues[qi].id.0, head.cid());
+            self.bus.trace.emit_cmd(key, || EventKind::DataFetch {
+                kind: "bandslim",
+                bytes: payload.len(),
+            });
             return self.dispatch_and_complete(qi, &head, Some(&payload));
         }
         self.queues[qi].bandslim_pending = Some(pending);
@@ -770,9 +827,7 @@ impl Controller {
                 let link = &self.bus.link;
                 let clock = &self.bus.clock;
                 let segments = prp::walk(&mem, sqe.prp1(), sqe.prp2(), len, |_, bytes| {
-                    let t = link
-                        .borrow_mut()
-                        .device_read(TrafficClass::PrpList, bytes);
+                    let t = link.borrow_mut().device_read(TrafficClass::PrpList, bytes);
                     clock.advance(t);
                 })
                 .ok()?;
@@ -789,7 +844,7 @@ impl Controller {
                         .borrow_mut()
                         .device_read(TrafficClass::PrpData, wire_len);
                     self.bus.clock.advance(t);
-                    out.extend_from_slice(&mem.slice(seg.addr, seg.len).ok()?);
+                    out.extend_from_slice(mem.slice(seg.addr, seg.len).ok()?);
                 }
                 self.stats.prp_payload_bytes += out.len() as u64;
                 Some(out)
@@ -815,7 +870,7 @@ impl Controller {
                         .device_read(TrafficClass::SglData, ext.len);
                     self.bus.clock.advance(t);
                     match ext.addr {
-                        Some(addr) => out.extend_from_slice(&mem.slice(addr, ext.len).ok()?),
+                        Some(addr) => out.extend_from_slice(mem.slice(addr, ext.len).ok()?),
                         None => out.extend(std::iter::repeat_n(0u8, ext.len)),
                     }
                 }
@@ -941,6 +996,10 @@ fn post_to_queue(
             + link.device_posted_write(TrafficClass::Interrupt, 4)
     };
     bus.clock.advance(t);
+    bus.trace
+        .emit_cmd(CmdKey::new(q.id.0, cid), || EventKind::CqePost {
+            status: outcome.status.to_wire(),
+        });
 }
 
 /// Whether this command's data phase is host→device via the data pointer.

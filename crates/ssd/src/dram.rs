@@ -37,10 +37,20 @@ pub enum DramError {
 impl fmt::Display for DramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DramError::OutOfMemory { requested, remaining } => {
-                write!(f, "device dram exhausted: requested {requested}, remaining {remaining}")
+            DramError::OutOfMemory {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "device dram exhausted: requested {requested}, remaining {remaining}"
+                )
             }
-            DramError::OutOfBounds { offset, len, capacity } => {
+            DramError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => {
                 write!(f, "device dram access out of bounds: {len} bytes at {offset} (capacity {capacity})")
             }
             DramError::RegionExists(n) => write!(f, "region already exists: {n}"),
@@ -126,7 +136,10 @@ impl DeviceDram {
     }
 
     fn check(&self, offset: usize, len: usize) -> Result<(), DramError> {
-        if offset.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(DramError::OutOfBounds {
                 offset,
                 len,
@@ -201,8 +214,14 @@ mod tests {
     #[test]
     fn oob_detected() {
         let mut d = DeviceDram::new(100);
-        assert!(matches!(d.write(99, &[1, 2]), Err(DramError::OutOfBounds { .. })));
-        assert!(matches!(d.read(usize::MAX, 1), Err(DramError::OutOfBounds { .. })));
+        assert!(matches!(
+            d.write(99, &[1, 2]),
+            Err(DramError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            d.read(usize::MAX, 1),
+            Err(DramError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

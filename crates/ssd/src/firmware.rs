@@ -297,7 +297,10 @@ mod tests {
     fn vendor_opcode_rejected_by_block_firmware() {
         let mut r = rig(true);
         let sqe = SubmissionEntry::io(IoOpcode::KvPut, 1, 1);
-        assert_eq!(handle(&mut r, &sqe, Some(&[1])).status, Status::InvalidOpcode);
+        assert_eq!(
+            handle(&mut r, &sqe, Some(&[1])).status,
+            Status::InvalidOpcode
+        );
     }
 
     #[test]

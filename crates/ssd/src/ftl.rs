@@ -8,6 +8,7 @@
 
 use crate::nand::{NandArray, NandError, Ppa};
 use bx_hostsim::Nanos;
+use bx_trace::{EventKind, TraceSink};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -136,6 +137,8 @@ pub struct Ftl {
     /// free list and from GC victim selection forever. Pages programmed
     /// before the failure stay readable until migrated off.
     bad: HashSet<BlockId>,
+    /// Flight-recorder sink (inert unless recording).
+    trace: TraceSink,
 }
 
 impl Ftl {
@@ -152,8 +155,7 @@ impl Ftl {
         );
         let cfg = nand.config();
         let dies = cfg.total_dies();
-        let exported =
-            ((cfg.total_pages() as f64) * (1.0 - over_provision)).floor() as u64;
+        let exported = ((cfg.total_pages() as f64) * (1.0 - over_provision)).floor() as u64;
         let free_blocks: Vec<Vec<u32>> = (0..dies)
             .map(|_| (0..cfg.blocks_per_die).rev().collect())
             .collect();
@@ -170,7 +172,14 @@ impl Ftl {
             stats: FtlStats::default(),
             erase_counts: HashMap::new(),
             bad: HashSet::new(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs a flight-recorder sink; each GC victim reclaimed emits an
+    /// [`EventKind::GcCycle`] event. Disabled sinks cost nothing.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Exported logical capacity in pages.
@@ -242,8 +251,7 @@ impl Ftl {
     }
 
     fn invalidate(&mut self, ppa: Ppa) {
-        let die =
-            ppa.channel as usize * self.dies_per_channel as usize + ppa.die as usize;
+        let die = ppa.channel as usize * self.dies_per_channel as usize + ppa.die as usize;
         let id = BlockId {
             die,
             block: ppa.block,
@@ -320,8 +328,7 @@ impl Ftl {
         depth: u32,
     ) -> Result<Nanos, FtlError> {
         for page in 0..self.pages_per_block {
-            let Some(lpn) = self.blocks.get(&id).and_then(|i| i.owner[page as usize])
-            else {
+            let Some(lpn) = self.blocks.get(&id).and_then(|i| i.owner[page as usize]) else {
                 continue;
             };
             let src = self.die_to_ppa(id.die, id.block, page);
@@ -442,6 +449,7 @@ impl Ftl {
             }
 
             // Relocate live pages.
+            let mut moved = 0u32;
             for page in 0..self.pages_per_block {
                 if let Some(lpn) = info.owner[page as usize] {
                     let src = self.die_to_ppa(victim.die, victim.block, page);
@@ -451,6 +459,7 @@ impl Ftl {
                     now = t_prog;
                     self.map[lpn as usize] = Some(dst);
                     self.stats.gc_writes += 1;
+                    moved += 1;
                 }
             }
             let ppa0 = self.die_to_ppa(victim.die, victim.block, 0);
@@ -459,6 +468,10 @@ impl Ftl {
             self.free_blocks[victim.die].push(victim.block);
             self.stats.gc_erases += 1;
             *self.erase_counts.entry(victim).or_insert(0) += 1;
+            self.trace.emit(None, || EventKind::GcCycle {
+                moved_pages: moved,
+                erased_blocks: 1,
+            });
         }
         Ok(now)
     }
@@ -509,7 +522,10 @@ mod tests {
     fn unmapped_read_is_error() {
         let mut nand = tiny_nand();
         let mut ftl = Ftl::new(&nand, 0.25);
-        assert_eq!(ftl.read(0, &mut nand, Nanos::ZERO).unwrap_err(), FtlError::Unmapped(0));
+        assert_eq!(
+            ftl.read(0, &mut nand, Nanos::ZERO).unwrap_err(),
+            FtlError::Unmapped(0)
+        );
     }
 
     #[test]
@@ -549,7 +565,9 @@ mod tests {
         let mut t = Nanos::ZERO;
         // Cold pages written once.
         for lpn in 0..8u64 {
-            t = ftl.write(lpn, &page(100 + lpn as u8), &mut nand, t).unwrap();
+            t = ftl
+                .write(lpn, &page(100 + lpn as u8), &mut nand, t)
+                .unwrap();
         }
         // Hot page hammered to force GC cycles.
         for i in 0..500u32 {
@@ -557,7 +575,11 @@ mod tests {
         }
         for lpn in 0..8u64 {
             let (data, _) = ftl.read(lpn, &mut nand, t).unwrap();
-            assert_eq!(data, page(100 + lpn as u8), "cold lpn {lpn} corrupted by GC");
+            assert_eq!(
+                data,
+                page(100 + lpn as u8),
+                "cold lpn {lpn} corrupted by GC"
+            );
         }
     }
 
@@ -567,7 +589,9 @@ mod tests {
         let mut ftl = Ftl::new(&nand, 0.25);
         let mut t = Nanos::ZERO;
         for i in 0..400u32 {
-            t = ftl.write((i % 8) as u64, &page(i as u8), &mut nand, t).unwrap();
+            t = ftl
+                .write((i % 8) as u64, &page(i as u8), &mut nand, t)
+                .unwrap();
         }
         let s = ftl.stats();
         assert_eq!(s.host_writes, 400);
@@ -629,7 +653,9 @@ mod tests {
         let mut t = Nanos::ZERO;
         // Enough writes over a small working set that several programs fail.
         for i in 0..300u32 {
-            t = ftl.write((i % 6) as u64, &page(i as u8), &mut nand, t).unwrap();
+            t = ftl
+                .write((i % 6) as u64, &page(i as u8), &mut nand, t)
+                .unwrap();
         }
         let s = ftl.stats();
         assert!(s.bad_blocks > 0, "fault rate should have retired blocks");
@@ -658,10 +684,15 @@ mod tests {
         let mut ftl = Ftl::new(&nand, 0.25);
         let mut t = Nanos::ZERO;
         for i in 0..1500u32 {
-            t = ftl.write((i % 4) as u64, &page(i as u8), &mut nand, t).unwrap();
+            t = ftl
+                .write((i % 4) as u64, &page(i as u8), &mut nand, t)
+                .unwrap();
         }
         assert!(ftl.stats().bad_blocks > 0);
-        assert!(ftl.stats().gc_erases > 0, "GC must still run around bad blocks");
+        assert!(
+            ftl.stats().gc_erases > 0,
+            "GC must still run around bad blocks"
+        );
         for id in &ftl.bad {
             assert!(
                 !ftl.free_blocks[id.die].contains(&id.block),
@@ -682,7 +713,10 @@ mod tests {
         let mut t = Nanos::ZERO;
         t = ftl.write(5, &page(1), &mut nand, t).unwrap();
         ftl.trim(5).unwrap();
-        assert_eq!(ftl.read(5, &mut nand, t).unwrap_err(), FtlError::Unmapped(5));
+        assert_eq!(
+            ftl.read(5, &mut nand, t).unwrap_err(),
+            FtlError::Unmapped(5)
+        );
         // Trimming again is a no-op; out of range errors.
         ftl.trim(5).unwrap();
         assert!(matches!(

@@ -12,6 +12,7 @@
 
 use crate::bus::FaultHandle;
 use bx_hostsim::Nanos;
+use bx_trace::{EventKind, TraceSink};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -175,6 +176,8 @@ pub struct NandArray {
     stats: NandStats,
     /// Shared fault injector (media faults fire only when installed).
     faults: Option<FaultHandle>,
+    /// Flight-recorder sink (inert unless recording).
+    trace: TraceSink,
 }
 
 /// Operation counters.
@@ -205,6 +208,7 @@ impl NandArray {
             die_busy_until: vec![Nanos::ZERO; dies],
             stats: NandStats::default(),
             faults: None,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -212,6 +216,21 @@ impl NandArray {
     /// failures, read bit flips) fire only once this is set.
     pub fn set_fault_injector(&mut self, faults: FaultHandle) {
         self.faults = Some(faults);
+    }
+
+    /// Installs a flight-recorder sink; program/read/erase operations emit
+    /// [`EventKind::NandOp`] events. Disabled sinks cost nothing.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    fn trace_op(&self, op: &'static str, ppa: Ppa, start: Nanos, done: Nanos) {
+        self.trace.emit(None, || EventKind::NandOp {
+            op,
+            channel: ppa.channel as u32,
+            die: ppa.die as u32,
+            busy: done.saturating_sub(start),
+        });
     }
 
     /// The configuration.
@@ -291,6 +310,7 @@ impl NandArray {
         let start = self.die_busy_until[die].max(now);
         let done = start + self.cfg.transfer_time(self.cfg.page_size) + self.cfg.program_latency;
         self.die_busy_until[die] = done;
+        self.trace_op("program", ppa, start, done);
         Ok(done)
     }
 
@@ -330,6 +350,7 @@ impl NandArray {
                 }
             }
         }
+        self.trace_op("read", ppa, start, done);
         Ok((data, done))
     }
 
@@ -338,7 +359,13 @@ impl NandArray {
     /// # Errors
     ///
     /// [`NandError::BadAddress`] outside the geometry.
-    pub fn erase(&mut self, channel: u16, die: u16, block: u32, now: Nanos) -> Result<Nanos, NandError> {
+    pub fn erase(
+        &mut self,
+        channel: u16,
+        die: u16,
+        block: u32,
+        now: Nanos,
+    ) -> Result<Nanos, NandError> {
         let probe = Ppa {
             channel,
             die,
@@ -359,13 +386,16 @@ impl NandArray {
             };
             self.data.remove(&ppa);
         }
-        self.page_state
-            .insert((channel, die, block), vec![PageState::Erased; pages as usize]);
+        self.page_state.insert(
+            (channel, die, block),
+            vec![PageState::Erased; pages as usize],
+        );
         self.stats.erases += 1;
         let die_idx = self.cfg.die_index(probe);
         let start = self.die_busy_until[die_idx].max(now);
         let done = start + self.cfg.erase_latency;
         self.die_busy_until[die_idx] = done;
+        self.trace_op("erase", probe, start, done);
         Ok(done)
     }
 
@@ -429,7 +459,8 @@ mod tests {
     #[test]
     fn erase_wipes_data() {
         let mut n = array();
-        n.program(ppa(0, 0, 1, 3), &vec![7; 4096], Nanos::ZERO).unwrap();
+        n.program(ppa(0, 0, 1, 3), &vec![7; 4096], Nanos::ZERO)
+            .unwrap();
         n.erase(0, 0, 1, Nanos::ZERO).unwrap();
         assert_eq!(
             n.read(ppa(0, 0, 1, 3), Nanos::ZERO).unwrap_err(),
@@ -463,7 +494,8 @@ mod tests {
     fn bad_length_rejected() {
         let mut n = array();
         assert_eq!(
-            n.program(ppa(0, 0, 0, 0), &[1, 2, 3], Nanos::ZERO).unwrap_err(),
+            n.program(ppa(0, 0, 0, 0), &[1, 2, 3], Nanos::ZERO)
+                .unwrap_err(),
             NandError::BadLength { got: 3, want: 4096 }
         );
     }
@@ -489,7 +521,9 @@ mod tests {
     #[test]
     fn disabled_nand_is_free_and_stateless() {
         let mut n = NandArray::new(NandConfig::disabled());
-        let t = n.program(ppa(0, 0, 0, 0), &[1, 2, 3], Nanos::from_ns(5)).unwrap();
+        let t = n
+            .program(ppa(0, 0, 0, 0), &[1, 2, 3], Nanos::from_ns(5))
+            .unwrap();
         assert_eq!(t, Nanos::from_ns(5));
         let (data, t2) = n.read(ppa(0, 0, 0, 0), t).unwrap();
         assert_eq!(t2, t);

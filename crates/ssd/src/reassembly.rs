@@ -55,13 +55,26 @@ impl fmt::Display for ReassemblyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReassemblyError::SramExhausted { needed, remaining } => {
-                write!(f, "reassembly sram exhausted: need {needed}, have {remaining}")
+                write!(
+                    f,
+                    "reassembly sram exhausted: need {needed}, have {remaining}"
+                )
             }
-            ReassemblyError::DuplicateChunk { payload_id, chunk_no } => {
+            ReassemblyError::DuplicateChunk {
+                payload_id,
+                chunk_no,
+            } => {
                 write!(f, "duplicate chunk {chunk_no} for payload {payload_id}")
             }
-            ReassemblyError::ChunkOutOfRange { payload_id, chunk_no, total } => {
-                write!(f, "chunk {chunk_no} out of range (total {total}) for payload {payload_id}")
+            ReassemblyError::ChunkOutOfRange {
+                payload_id,
+                chunk_no,
+                total,
+            } => {
+                write!(
+                    f,
+                    "chunk {chunk_no} out of range (total {total}) for payload {payload_id}"
+                )
             }
             ReassemblyError::InconsistentTotal { payload_id } => {
                 write!(f, "inconsistent total count for payload {payload_id}")
@@ -218,10 +231,14 @@ impl ReassemblyEngine {
                 return Err(ReassemblyError::SramExhausted { needed, remaining });
             }
             self.sram_used += needed;
-            self.inflight.insert(hdr.payload_id, InFlight::new(hdr.total, now));
+            self.inflight
+                .insert(hdr.payload_id, InFlight::new(hdr.total, now));
             self.peak_inflight = self.peak_inflight.max(self.inflight.len());
         }
-        let entry = self.inflight.get_mut(&hdr.payload_id).expect("just inserted");
+        let entry = self
+            .inflight
+            .get_mut(&hdr.payload_id)
+            .expect("just inserted");
         if entry.total != hdr.total {
             return Err(ReassemblyError::InconsistentTotal {
                 payload_id: hdr.payload_id,
@@ -369,13 +386,21 @@ mod tests {
     fn inconsistent_total_rejected() {
         let mut eng = ReassemblyEngine::new(1024);
         eng.accept(
-            ChunkHeader { payload_id: 9, chunk_no: 0, total: 4 },
+            ChunkHeader {
+                payload_id: 9,
+                chunk_no: 0,
+                total: 4,
+            },
             &[0; 56],
         )
         .unwrap();
         assert_eq!(
             eng.accept(
-                ChunkHeader { payload_id: 9, chunk_no: 1, total: 5 },
+                ChunkHeader {
+                    payload_id: 9,
+                    chunk_no: 1,
+                    total: 5
+                },
                 &[0; 56],
             )
             .unwrap_err(),
@@ -388,26 +413,42 @@ mod tests {
         // Budget fits exactly one small payload record (16 + 1 bitmap byte).
         let mut eng = ReassemblyEngine::new(20);
         eng.accept(
-            ChunkHeader { payload_id: 1, chunk_no: 0, total: 2 },
+            ChunkHeader {
+                payload_id: 1,
+                chunk_no: 0,
+                total: 2,
+            },
             &[0; 56],
         )
         .unwrap();
         let err = eng
             .accept(
-                ChunkHeader { payload_id: 2, chunk_no: 0, total: 2 },
+                ChunkHeader {
+                    payload_id: 2,
+                    chunk_no: 0,
+                    total: 2,
+                },
                 &[0; 56],
             )
             .unwrap_err();
         assert!(matches!(err, ReassemblyError::SramExhausted { .. }));
         // Finishing payload 1 releases budget for payload 2.
         eng.accept(
-            ChunkHeader { payload_id: 1, chunk_no: 1, total: 2 },
+            ChunkHeader {
+                payload_id: 1,
+                chunk_no: 1,
+                total: 2,
+            },
             &[0; 56],
         )
         .unwrap()
         .expect("complete");
         eng.accept(
-            ChunkHeader { payload_id: 2, chunk_no: 0, total: 2 },
+            ChunkHeader {
+                payload_id: 2,
+                chunk_no: 0,
+                total: 2,
+            },
             &[0; 56],
         )
         .unwrap();
@@ -419,14 +460,22 @@ mod tests {
         let mut eng = ReassemblyEngine::new(1024);
         // Payload 1 gets only its first chunk — it will stall.
         eng.accept_at(
-            ChunkHeader { payload_id: 1, chunk_no: 0, total: 3 },
+            ChunkHeader {
+                payload_id: 1,
+                chunk_no: 0,
+                total: 3,
+            },
             &[0; 56],
             Nanos::from_us(1),
         )
         .unwrap();
         // Payload 2 starts later and keeps making progress.
         eng.accept_at(
-            ChunkHeader { payload_id: 2, chunk_no: 0, total: 2 },
+            ChunkHeader {
+                payload_id: 2,
+                chunk_no: 0,
+                total: 2,
+            },
             &[0; 56],
             Nanos::from_us(90),
         )
@@ -444,7 +493,11 @@ mod tests {
         // The survivor still completes.
         let done = eng
             .accept_at(
-                ChunkHeader { payload_id: 2, chunk_no: 1, total: 2 },
+                ChunkHeader {
+                    payload_id: 2,
+                    chunk_no: 1,
+                    total: 2,
+                },
                 &[0; 56],
                 Nanos::from_us(110),
             )
@@ -457,7 +510,11 @@ mod tests {
     fn eviction_is_a_noop_within_deadline() {
         let mut eng = ReassemblyEngine::new(1024);
         eng.accept_at(
-            ChunkHeader { payload_id: 7, chunk_no: 0, total: 2 },
+            ChunkHeader {
+                payload_id: 7,
+                chunk_no: 0,
+                total: 2,
+            },
             &[0; 56],
             Nanos::from_us(10),
         )
@@ -473,7 +530,11 @@ mod tests {
         let mut eng = ReassemblyEngine::new(1024);
         let done = eng
             .accept(
-                ChunkHeader { payload_id: 3, chunk_no: 0, total: 1 },
+                ChunkHeader {
+                    payload_id: 3,
+                    chunk_no: 0,
+                    total: 1,
+                },
                 &[9; 56],
             )
             .unwrap();

@@ -1,0 +1,325 @@
+//! The flight-recorder event taxonomy.
+//!
+//! Every layer of the simulated stack emits [`Event`]s into a shared
+//! [`crate::TraceSink`]: the driver (submit path and recovery ladder), the
+//! PCIe link (one event per TLP batch), the controller (fetch, reassembly,
+//! completion) and the backend (NAND operations, garbage collection). Events
+//! are timestamped in virtual time and — where a command is in scope — tagged
+//! with a [`CmdKey`] so a command's full lifecycle can be reconstructed as a
+//! span (see [`crate::reconstruct_spans`]).
+//!
+//! Cross-crate references (transfer method, traffic class) are carried as
+//! `&'static str` labels rather than typed enums so this crate can sit below
+//! `bx-pcie`/`bx-driver` in the dependency graph.
+
+use bx_hostsim::Nanos;
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Identifies one submission-queue slot occupancy: queue id + command id.
+///
+/// Command ids are reused once a slot completes, so a `CmdKey` alone is not
+/// globally unique — a new `SqeInsert` event for the same key starts a new
+/// span instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct CmdKey {
+    pub qid: u16,
+    pub cid: u16,
+}
+
+impl CmdKey {
+    pub fn new(qid: u16, cid: u16) -> Self {
+        Self { qid, cid }
+    }
+}
+
+impl fmt::Display for CmdKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}/c{}", self.qid, self.cid)
+    }
+}
+
+/// Direction of a link-level transfer, host perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Dir {
+    HostToDevice,
+    DeviceToHost,
+}
+
+impl Dir {
+    pub fn label(self) -> &'static str {
+        match self {
+            Dir::HostToDevice => "h2d",
+            Dir::DeviceToHost => "d2h",
+        }
+    }
+}
+
+/// What happened. Grouped by the layer that emits it; [`EventKind::layer`]
+/// recovers the grouping for display and export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    // ---- driver: submit path -------------------------------------------
+    /// A command SQE was written into a submission-queue slot.
+    SqeInsert {
+        method: &'static str,
+        opcode: u8,
+        len: usize,
+    },
+    /// A ByteExpress chunk train was written into the SQ behind its command.
+    ChunkTrainWrite { chunks: u16, bytes: usize },
+    /// The SQ tail doorbell was rung.
+    DoorbellRing { tail: u16 },
+    /// The driver consumed a CQE for this command (phase-matched poll).
+    CompletionConsumed { status: u16 },
+
+    // ---- driver: recovery ladder ---------------------------------------
+    /// The command's deadline lapsed; the driver reaped it with a synthetic
+    /// aborted status.
+    TimeoutReap,
+    /// The command is being retried after a backoff wait.
+    Retry { attempt: u32, backoff: Nanos },
+    /// The queue's ByteExpress path was degraded to PRP.
+    QueueDegraded,
+    /// A probe succeeded and the queue was re-promoted to ByteExpress.
+    QueueRepromoted,
+    /// This command doubles as a ByteExpress probe on a degraded queue.
+    ProbeIssued,
+
+    // ---- PCIe link ------------------------------------------------------
+    /// One logical transfer on the link (possibly several TLPs).
+    Tlp {
+        class: &'static str,
+        dir: Dir,
+        wire_bytes: u64,
+        payload_bytes: u64,
+        tlps: u64,
+    },
+
+    // ---- controller -----------------------------------------------------
+    /// The controller fetched and parsed a command SQE.
+    SqeFetch { opcode: u8 },
+    /// The controller gathered an inline chunk train from SQ slots.
+    InlineGather { chunks: u16, bytes: usize },
+    /// A reassembly-mode chunk was accepted into device SRAM.
+    ReassemblyAccept { seq: u16 },
+    /// A stalled reassembly payload was evicted and its command failed.
+    ReassemblyEvict,
+    /// The controller moved payload data via a descriptor walk
+    /// (`kind` is `"prp"`, `"sgl"`, `"bandslim"` or `"mmio"`).
+    DataFetch { kind: &'static str, bytes: usize },
+    /// A CQE was posted to the host (includes the interrupt).
+    CqePost { status: u16 },
+
+    // ---- FTL / NAND -----------------------------------------------------
+    /// A NAND array operation (`op` is `"program"`, `"read"` or `"erase"`).
+    NandOp {
+        op: &'static str,
+        channel: u32,
+        die: u32,
+        busy: Nanos,
+    },
+    /// A foreground garbage-collection cycle inside the FTL.
+    GcCycle {
+        moved_pages: u32,
+        erased_blocks: u32,
+    },
+}
+
+impl EventKind {
+    /// The layer that emits this event, for grouping in exports.
+    pub fn layer(&self) -> &'static str {
+        use EventKind::*;
+        match self {
+            SqeInsert { .. }
+            | ChunkTrainWrite { .. }
+            | DoorbellRing { .. }
+            | CompletionConsumed { .. } => "driver",
+            TimeoutReap | Retry { .. } | QueueDegraded | QueueRepromoted | ProbeIssued => {
+                "recovery"
+            }
+            Tlp { .. } => "link",
+            SqeFetch { .. }
+            | InlineGather { .. }
+            | ReassemblyAccept { .. }
+            | ReassemblyEvict
+            | DataFetch { .. }
+            | CqePost { .. } => "controller",
+            NandOp { .. } | GcCycle { .. } => "nand",
+        }
+    }
+
+    /// Short stable name, used as the Chrome-trace event name.
+    pub fn name(&self) -> &'static str {
+        use EventKind::*;
+        match self {
+            SqeInsert { .. } => "sqe_insert",
+            ChunkTrainWrite { .. } => "chunk_train_write",
+            DoorbellRing { .. } => "doorbell_ring",
+            CompletionConsumed { .. } => "completion_consumed",
+            TimeoutReap => "timeout_reap",
+            Retry { .. } => "retry",
+            QueueDegraded => "queue_degraded",
+            QueueRepromoted => "queue_repromoted",
+            ProbeIssued => "probe_issued",
+            Tlp { .. } => "tlp",
+            SqeFetch { .. } => "sqe_fetch",
+            InlineGather { .. } => "inline_gather",
+            ReassemblyAccept { .. } => "reassembly_accept",
+            ReassemblyEvict => "reassembly_evict",
+            DataFetch { .. } => "data_fetch",
+            CqePost { .. } => "cqe_post",
+            NandOp { .. } => "nand_op",
+            GcCycle { .. } => "gc_cycle",
+        }
+    }
+
+    /// Event payload as a serialization tree (Chrome-trace `args`).
+    pub fn args(&self) -> Value {
+        use EventKind::*;
+        match self {
+            SqeInsert {
+                method,
+                opcode,
+                len,
+            } => Value::object([
+                ("method", method.to_value()),
+                ("opcode", opcode.to_value()),
+                ("len", len.to_value()),
+            ]),
+            ChunkTrainWrite { chunks, bytes } => {
+                Value::object([("chunks", chunks.to_value()), ("bytes", bytes.to_value())])
+            }
+            DoorbellRing { tail } => Value::object([("tail", tail.to_value())]),
+            CompletionConsumed { status } => Value::object([("status", status.to_value())]),
+            TimeoutReap | QueueDegraded | QueueRepromoted | ProbeIssued => {
+                Value::object(Vec::<(&str, Value)>::new())
+            }
+            Retry { attempt, backoff } => Value::object([
+                ("attempt", attempt.to_value()),
+                ("backoff_ns", backoff.as_ns().to_value()),
+            ]),
+            Tlp {
+                class,
+                dir,
+                wire_bytes,
+                payload_bytes,
+                tlps,
+            } => Value::object([
+                ("class", class.to_value()),
+                ("dir", dir.label().to_value()),
+                ("wire_bytes", wire_bytes.to_value()),
+                ("payload_bytes", payload_bytes.to_value()),
+                ("tlps", tlps.to_value()),
+            ]),
+            SqeFetch { opcode } => Value::object([("opcode", opcode.to_value())]),
+            InlineGather { chunks, bytes } => {
+                Value::object([("chunks", chunks.to_value()), ("bytes", bytes.to_value())])
+            }
+            ReassemblyAccept { seq } => Value::object([("seq", seq.to_value())]),
+            ReassemblyEvict => Value::object(Vec::<(&str, Value)>::new()),
+            DataFetch { kind, bytes } => {
+                Value::object([("kind", kind.to_value()), ("bytes", bytes.to_value())])
+            }
+            CqePost { status } => Value::object([("status", status.to_value())]),
+            NandOp {
+                op,
+                channel,
+                die,
+                busy,
+            } => Value::object([
+                ("op", op.to_value()),
+                ("channel", channel.to_value()),
+                ("die", die.to_value()),
+                ("busy_ns", busy.as_ns().to_value()),
+            ]),
+            GcCycle {
+                moved_pages,
+                erased_blocks,
+            } => Value::object([
+                ("moved_pages", moved_pages.to_value()),
+                ("erased_blocks", erased_blocks.to_value()),
+            ]),
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use EventKind::*;
+        match self {
+            SqeInsert {
+                method,
+                opcode,
+                len,
+            } => {
+                write!(f, "sqe-insert {method} op={opcode:#04x} len={len}")
+            }
+            ChunkTrainWrite { chunks, bytes } => {
+                write!(f, "chunk-train {chunks} chunks / {bytes} B")
+            }
+            DoorbellRing { tail } => write!(f, "doorbell tail={tail}"),
+            CompletionConsumed { status } => write!(f, "completion status={status:#06x}"),
+            TimeoutReap => write!(f, "timeout reap"),
+            Retry { attempt, backoff } => write!(f, "retry #{attempt} after {backoff}"),
+            QueueDegraded => write!(f, "queue degraded to PRP"),
+            QueueRepromoted => write!(f, "queue re-promoted to ByteExpress"),
+            ProbeIssued => write!(f, "ByteExpress probe"),
+            Tlp {
+                class,
+                dir,
+                wire_bytes,
+                payload_bytes,
+                tlps,
+            } => write!(
+                f,
+                "{class} {dir} wire={wire_bytes}B payload={payload_bytes}B tlps={tlps}",
+                dir = dir.label()
+            ),
+            SqeFetch { opcode } => write!(f, "sqe-fetch op={opcode:#04x}"),
+            InlineGather { chunks, bytes } => {
+                write!(f, "inline-gather {chunks} chunks / {bytes} B")
+            }
+            ReassemblyAccept { seq } => write!(f, "reassembly-accept seq={seq}"),
+            ReassemblyEvict => write!(f, "reassembly-evict"),
+            DataFetch { kind, bytes } => write!(f, "data-fetch {kind} {bytes} B"),
+            CqePost { status } => write!(f, "cqe-post status={status:#06x}"),
+            NandOp {
+                op,
+                channel,
+                die,
+                busy,
+            } => write!(f, "nand-{op} ch{channel}/die{die} busy={busy}"),
+            GcCycle {
+                moved_pages,
+                erased_blocks,
+            } => write!(f, "gc moved={moved_pages}p erased={erased_blocks}blk"),
+        }
+    }
+}
+
+/// One recorded event: a virtual-time stamp, an optional command tag, and
+/// what happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub at: Nanos,
+    pub cmd: Option<CmdKey>,
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Serialization tree for the raw event stream dump.
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("ts_ns".to_string(), self.at.as_ns().to_value()),
+            ("layer".to_string(), self.kind.layer().to_value()),
+            ("name".to_string(), self.kind.name().to_value()),
+        ];
+        if let Some(cmd) = self.cmd {
+            pairs.push(("qid".to_string(), cmd.qid.to_value()));
+            pairs.push(("cid".to_string(), cmd.cid.to_value()));
+        }
+        pairs.push(("args".to_string(), self.kind.args()));
+        Value::Object(pairs)
+    }
+}

@@ -1,0 +1,33 @@
+//! # bx-trace — the cross-layer flight recorder
+//!
+//! A zero-overhead-when-disabled, virtual-time event sink threaded through
+//! every layer of the ByteExpress stack: driver submit paths, the PCIe link,
+//! the controller's fetch/reassembly/completion machinery, the FTL/NAND
+//! backend, and the recovery ladder.
+//!
+//! The design splits hot path from analysis:
+//!
+//! - **Recording** ([`TraceSink`]) is a clock-stamped `Vec` push behind an
+//!   `Option<Rc<...>>`. Disabled (the default) it is inert: the event
+//!   closure is never evaluated, nothing allocates, and wire traffic +
+//!   virtual time are byte-identical to an untraced run.
+//! - **Analysis** is offline over the recorded stream: span reconstruction
+//!   ([`reconstruct_spans`]), a label-aware [`MetricsRegistry`] with
+//!   log2-bucketed [`Histogram`]s, and exporters ([`chrome_trace_json`] for
+//!   `chrome://tracing`/Perfetto, [`timeline`] for terminals).
+//!
+//! See DESIGN.md §8 for the event taxonomy and span model.
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod export;
+mod metrics;
+mod recorder;
+mod span;
+
+pub use event::{CmdKey, Dir, Event, EventKind};
+pub use export::{chrome_trace, chrome_trace_json, timeline};
+pub use metrics::{Histogram, LabelSet, MetricsRegistry};
+pub use recorder::TraceSink;
+pub use span::{reconstruct_spans, Span};

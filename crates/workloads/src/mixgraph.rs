@@ -141,8 +141,7 @@ mod tests {
         let mut g = MixGraph::with_defaults();
         let analytic = g.value_cdf(32.0);
         let n = 200_000;
-        let empirical =
-            (0..n).filter(|_| g.sample_value_size() <= 32).count() as f64 / n as f64;
+        let empirical = (0..n).filter(|_| g.sample_value_size() <= 32).count() as f64 / n as f64;
         assert!(
             (analytic - empirical).abs() < 0.02,
             "analytic {analytic:.3} vs empirical {empirical:.3}"

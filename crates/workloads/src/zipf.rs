@@ -63,7 +63,9 @@ fn zeta(n: u64, theta: f64) -> f64 {
     if n <= EXACT_LIMIT {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     } else {
-        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let head: f64 = (1..=EXACT_LIMIT)
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
         // ∫ x^-θ dx from EXACT_LIMIT to n.
         head + ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta))
             / (1.0 - theta)

@@ -9,9 +9,7 @@
 //! Run with: `cargo run --example fault_recovery --release`
 
 use byteexpress::ssd::FetchPolicy;
-use byteexpress::{
-    Device, FaultConfig, IoOpcode, Nanos, PassthruCmd, RetryPolicy, TransferMethod,
-};
+use byteexpress::{Device, FaultConfig, IoOpcode, Nanos, PassthruCmd, RetryPolicy, TransferMethod};
 
 fn write_cmd(lba: u64, data: Vec<u8>) -> PassthruCmd {
     let mut cmd = PassthruCmd::to_device(IoOpcode::Write, 1, data);
@@ -64,7 +62,10 @@ fn main() {
         }
     }
 
-    println!("storm: 200 writes -> {} acked, {failed} failed, {gave_up} gave up", acked.len());
+    println!(
+        "storm: 200 writes -> {} acked, {failed} failed, {gave_up} gave up",
+        acked.len()
+    );
     println!("\nfault layer:    {:?}", dev.fault_counters());
     println!("driver ladder:  {:?}", dev.recovery_stats());
 
@@ -81,9 +82,16 @@ fn main() {
         assert_eq!(&c.data.unwrap(), data, "acked lba {lba} corrupted");
         verified += 1;
     }
-    println!("\nread-back: {verified}/{} acknowledged writes bit-exact", acked.len());
+    println!(
+        "\nread-back: {verified}/{} acknowledged writes bit-exact",
+        acked.len()
+    );
     let re = dev.controller().reassembly();
-    println!("reassembly SRAM after quiesce: {} B, {} in flight", re.sram_used(), re.inflight_count());
+    println!(
+        "reassembly SRAM after quiesce: {} B, {} in flight",
+        re.sram_used(),
+        re.inflight_count()
+    );
 
     // Zero overhead when off: armed-but-disabled == never built.
     let workload = |dev: &mut Device| {
@@ -94,7 +102,9 @@ fn main() {
         }
         (format!("{:?}", dev.traffic()), dev.now())
     };
-    let mut plain = Device::builder().fetch_policy(FetchPolicy::Reassembly).build();
+    let mut plain = Device::builder()
+        .fetch_policy(FetchPolicy::Reassembly)
+        .build();
     let mut armed = Device::builder()
         .fetch_policy(FetchPolicy::Reassembly)
         .fault_config(FaultConfig::disabled())
@@ -104,5 +114,7 @@ fn main() {
     let (ta, na) = workload(&mut armed);
     assert_eq!(tp, ta);
     assert_eq!(np, na);
-    println!("\nzero-overhead-off: armed-but-disabled device is byte-identical ({np} virtual ns both)");
+    println!(
+        "\nzero-overhead-off: armed-but-disabled device is byte-identical ({np} virtual ns both)"
+    );
 }

@@ -48,8 +48,9 @@ fn main() -> Result<(), byteexpress::DeviceError> {
         }
         let mean = total / n as u64;
         let traffic = dev.traffic();
-        let inline_share = traffic.class(byteexpress::TrafficClass::SqeFetch).payload_bytes
-            as f64
+        let inline_share = traffic
+            .class(byteexpress::TrafficClass::SqeFetch)
+            .payload_bytes as f64
             / traffic.total_payload_bytes().max(1) as f64;
         println!(
             "{:>10}B {:>14} {:>12} B {:>13.1}%",

@@ -25,8 +25,8 @@ fn main() -> Result<(), byteexpress::DeviceError> {
         let bx = dev.measure_writes(n, size, TransferMethod::ByteExpress)?;
         dev.reset_measurements();
 
-        let reduction = 100.0 * (1.0 - bx.traffic.total_bytes() as f64
-            / prp.traffic.total_bytes() as f64);
+        let reduction =
+            100.0 * (1.0 - bx.traffic.total_bytes() as f64 / prp.traffic.total_bytes() as f64);
         println!(
             "{:>7}B {:>12} B {:>12} B {:>11.1}% {:>12} {:>12}",
             size,

@@ -14,7 +14,11 @@ use byteexpress::{Device, FetchPolicy, TransferMethod};
 
 fn main() -> Result<(), byteexpress::DeviceError> {
     let payloads: Vec<Vec<u8>> = (0..200)
-        .map(|i| (0..(17 + i * 13) % 900 + 1).map(|b| (b % 251) as u8).collect())
+        .map(|i| {
+            (0..(17 + i * 13) % 900 + 1)
+                .map(|b| (b % 251) as u8)
+                .collect()
+        })
         .collect();
 
     for policy in [FetchPolicy::QueueLocal, FetchPolicy::Reassembly] {

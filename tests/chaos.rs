@@ -130,14 +130,21 @@ fn chaos_storm_preserves_acknowledged_writes() {
     // pump the controller once so parked/orphaned state drains.
     dev.disable_faults();
     dev.bus().clock.advance(Nanos::from_ms(10));
-    let _ = dev.passthru(&write_cmd(1000, vec![0xFE; 32]), TransferMethod::ByteExpress);
+    let _ = dev.passthru(
+        &write_cmd(1000, vec![0xFE; 32]),
+        TransferMethod::ByteExpress,
+    );
 
     // Invariant 1: every acknowledged write reads back bit-exact.
     for (lba, data) in &acked {
         let c = dev
             .passthru(&read_cmd(*lba, data.len()), TransferMethod::Prp)
             .expect("clean-phase read must not error");
-        assert!(c.status.is_success(), "read of acked lba {lba}: {:?}", c.status);
+        assert!(
+            c.status.is_success(),
+            "read of acked lba {lba}: {:?}",
+            c.status
+        );
         assert_eq!(&c.data.unwrap(), data, "acked lba {lba} lost or corrupted");
     }
 
@@ -154,7 +161,9 @@ fn chaos_storm_preserves_acknowledged_writes() {
         .passthru(&write_cmd(2000, data.clone()), TransferMethod::ByteExpress)
         .unwrap();
     assert!(c.status.is_success());
-    let c = dev.passthru(&read_cmd(2000, 200), TransferMethod::Prp).unwrap();
+    let c = dev
+        .passthru(&read_cmd(2000, 200), TransferMethod::Prp)
+        .unwrap();
     assert_eq!(c.data.unwrap(), data);
 }
 
@@ -187,8 +196,11 @@ fn disabled_faults_are_byte_identical_on_the_wire() {
         for i in 0..40 {
             let data = payload(i);
             let lba = i as u64;
-            dev.passthru(&write_cmd(lba, data.clone()), method(i)).unwrap();
-            let c = dev.passthru(&read_cmd(lba, data.len()), TransferMethod::Prp).unwrap();
+            dev.passthru(&write_cmd(lba, data.clone()), method(i))
+                .unwrap();
+            let c = dev
+                .passthru(&read_cmd(lba, data.len()), TransferMethod::Prp)
+                .unwrap();
             assert_eq!(c.data.unwrap(), data);
         }
         (format!("{:?}", dev.traffic()), dev.now())
@@ -209,4 +221,81 @@ fn disabled_faults_are_byte_identical_on_the_wire() {
     assert_eq!(t_plain, t_armed, "virtual time must not change");
     assert_eq!(armed.fault_counters().distinct_classes(), 0);
     assert!(armed.recovery_stats().is_quiet());
+}
+
+/// The flight recorder is provably inert: enabling it changes neither the
+/// final virtual time nor a single wire byte of a fixed-seed chaos run —
+/// the sink observes, it never participates.
+#[test]
+fn trace_recorder_is_inert_under_chaos() {
+    let storm = |trace: bool| {
+        let mut dev = Device::builder()
+            .fetch_policy(FetchPolicy::Reassembly)
+            .fault_config(chaos_config())
+            .retry_policy(RetryPolicy::default())
+            .trace(trace)
+            .build();
+        for i in 0..80 {
+            let _ = dev.passthru(&write_cmd(i as u64, payload(i)), method(i));
+        }
+        (
+            format!("{:?}", dev.traffic()),
+            dev.now(),
+            format!("{:?}", dev.fault_counters()),
+            format!("{:?}", dev.recovery_stats()),
+        )
+    };
+
+    let untraced = storm(false);
+    let traced = storm(true);
+    assert_eq!(untraced.0, traced.0, "wire traffic must not change");
+    assert_eq!(untraced.1, traced.1, "virtual time must not change");
+    assert_eq!(untraced.2, traced.2, "fault schedule must not change");
+    assert_eq!(untraced.3, traced.3, "recovery behaviour must not change");
+}
+
+/// A traced chaos run reconstructs a complete submit → fetch → complete
+/// span for every command the driver acknowledged (the successful attempt's
+/// cid; earlier reaped attempts legitimately stay incomplete).
+#[test]
+fn traced_chaos_run_reconstructs_acked_spans() {
+    let mut dev = Device::builder()
+        .fetch_policy(FetchPolicy::Reassembly)
+        .fault_config(chaos_config())
+        .retry_policy(RetryPolicy::default())
+        .trace(true)
+        .build();
+
+    let qid = dev.queues()[0].0;
+    let mut acked = Vec::new();
+    for i in 0..120 {
+        let data = payload(i);
+        if let Ok(c) = dev.passthru(&write_cmd(i as u64, data), method(i)) {
+            if c.status.is_success() {
+                acked.push(byteexpress::CmdKey::new(qid, c.cid));
+            }
+        }
+    }
+    assert!(!acked.is_empty(), "the storm must land some writes");
+
+    let events = dev.trace_events();
+    assert!(
+        !events.is_empty(),
+        "the recorder must have captured the storm"
+    );
+    let spans = byteexpress::reconstruct_spans(&events);
+    for key in &acked {
+        assert!(
+            spans.iter().any(|s| s.key == *key && s.is_complete()),
+            "no complete span for acknowledged command {key}"
+        );
+    }
+    // The storm's casualties are visible too: at least one span was reaped
+    // (timeout) given the recovery counters say timeouts happened.
+    if dev.recovery_stats().timeouts > 0 {
+        assert!(
+            spans.iter().any(|s| s.reaped),
+            "timeouts occurred but no span records a reap"
+        );
+    }
 }

@@ -179,7 +179,8 @@ fn reassembly_policy_equivalent_to_queue_local() {
     for policy in [FetchPolicy::QueueLocal, FetchPolicy::Reassembly] {
         let mut dev = Device::builder().fetch_policy(policy).build();
         for (i, p) in payloads.iter().enumerate() {
-            dev.write(i as u64 * 8, p, TransferMethod::ByteExpress).unwrap();
+            dev.write(i as u64 * 8, p, TransferMethod::ByteExpress)
+                .unwrap();
         }
         let read_back: Vec<Vec<u8>> = payloads
             .iter()
@@ -214,7 +215,9 @@ fn traffic_counters_are_conserved() {
     // Wire bytes must exceed payload bytes, and per-class payload accounting
     // must match what was actually sent.
     let mut dev = Device::builder().nand_io(false).build();
-    let report = dev.measure_writes(100, 200, TransferMethod::ByteExpress).unwrap();
+    let report = dev
+        .measure_writes(100, 200, TransferMethod::ByteExpress)
+        .unwrap();
     assert!(report.traffic.total_bytes() > report.payload_bytes);
     // 200 B → 4 chunks of 64 B → 256 B fetched per op through the SQE class
     // (plus the command itself).

@@ -38,7 +38,8 @@ fn chunks_interleave_across_queues() {
         // no-op passthru on queue 0 after the fact instead.
         let mut flush = PassthruCmd::no_data(IoOpcode::Flush, 1);
         flush.cdw10_15[0] = 0;
-        dev.passthru_on(qids[0], &flush, TransferMethod::Prp).unwrap();
+        dev.passthru_on(qids[0], &flush, TransferMethod::Prp)
+            .unwrap();
         dev.controller().stats().commands_completed
     };
     assert!(completed >= 5, "4 writes + flush, got {completed}");
@@ -57,9 +58,7 @@ fn chunks_interleave_across_queues() {
     for (q, qid) in qids.iter().enumerate() {
         let completions = dev.driver_mut().poll_completions(*qid).unwrap();
         assert!(
-            completions
-                .iter()
-                .all(|c| c.status == Status::Success),
+            completions.iter().all(|c| c.status == Status::Success),
             "queue {q}: {completions:?}"
         );
     }
@@ -89,7 +88,8 @@ fn queue_local_policy_never_tracks_multiple_payloads() {
             .unwrap();
     }
     let flush = PassthruCmd::no_data(IoOpcode::Flush, 1);
-    dev.passthru_on(qids[0], &flush, TransferMethod::Prp).unwrap();
+    dev.passthru_on(qids[0], &flush, TransferMethod::Prp)
+        .unwrap();
     assert_eq!(dev.controller().reassembly().peak_inflight(), 0);
     for (q, _) in qids.iter().enumerate() {
         assert_eq!(dev.read((q * 64) as u64, 500).unwrap(), vec![q as u8; 500]);

@@ -76,8 +76,11 @@ fn batch_rejects_oversized_entries() {
 fn graceful_restart_preserves_everything() {
     let mut s = store();
     for i in 0..300u32 {
-        s.put(format!("g{i:04}").as_bytes(), format!("value-{i}").as_bytes())
-            .unwrap();
+        s.put(
+            format!("g{i:04}").as_bytes(),
+            format!("value-{i}").as_bytes(),
+        )
+        .unwrap();
     }
     let recovered = s.power_cycle(true).unwrap();
     assert_eq!(recovered, 300);
@@ -96,7 +99,7 @@ fn power_loss_drops_only_unflushed_staging_entries() {
     // flushed to NAND, with a partial page still staged at the "crash".
     let n = 200u32;
     for i in 0..n {
-        s.put(format!("c{i:04}").as_bytes(), &vec![(i % 251) as u8; 100])
+        s.put(format!("c{i:04}").as_bytes(), &[(i % 251) as u8; 100])
             .unwrap();
     }
     let flushes_before = s.device_stats().flushes;
@@ -120,7 +123,7 @@ fn power_loss_drops_only_unflushed_staging_entries() {
             None => {
                 // Lost entries must be the *newest* ones (log suffix).
                 assert!(
-                    i as u32 >= recovered,
+                    i >= recovered,
                     "old key c{i:04} lost while newer ones survived"
                 );
             }

@@ -21,7 +21,7 @@ fn lsm_put_get_delete_through_all_methods() {
     ] {
         let mut s = lsm_store(method);
         for i in 0..400u32 {
-            s.put(format!("k{i:05}").as_bytes(), &vec![(i % 251) as u8; 90])
+            s.put(format!("k{i:05}").as_bytes(), &[(i % 251) as u8; 90])
                 .unwrap();
         }
         for i in (0..400u32).step_by(29) {
@@ -41,8 +41,11 @@ fn lsm_put_get_delete_through_all_methods() {
 fn range_scan_through_the_stack() {
     let mut s = lsm_store(TransferMethod::ByteExpress);
     for i in (0..300u32).rev() {
-        s.put(format!("user{i:04}").as_bytes(), format!("profile-{i}").as_bytes())
-            .unwrap();
+        s.put(
+            format!("user{i:04}").as_bytes(),
+            format!("profile-{i}").as_bytes(),
+        )
+        .unwrap();
     }
     s.delete(b"user0150").unwrap();
 
@@ -81,9 +84,7 @@ fn compaction_shows_up_in_latency_tail() {
     let mut s = lsm_store(TransferMethod::ByteExpress);
     let mut lat = LatencySamples::new();
     for i in 0..4000u32 {
-        let c = s
-            .put(format!("t{i:06}").as_bytes(), &vec![1u8; 100])
-            .unwrap();
+        let c = s.put(format!("t{i:06}").as_bytes(), &[1u8; 100]).unwrap();
         lat.record(c.latency());
     }
     assert!(s.lsm_stats().compactions > 0);
@@ -100,7 +101,7 @@ fn lsm_write_amplification_reported() {
     let mut s = lsm_store(TransferMethod::ByteExpress);
     for round in 0..30u8 {
         for i in 0..300u32 {
-            s.put(format!("w{i:04}").as_bytes(), &vec![round; 120]).unwrap();
+            s.put(format!("w{i:04}").as_bytes(), &[round; 120]).unwrap();
         }
     }
     let stats = s.lsm_stats();

@@ -73,7 +73,11 @@ fn claim_traffic_vs_bandslim_in_range() {
     let mut dev = Device::builder().nand_io(false).build();
     let mut best = 0.0f64;
     for size in [64usize, 128, 256, 512, 1024, 2048, 4096] {
-        let bs = traffic_per_op(&mut dev, size, TransferMethod::BandSlim { embed_first: true });
+        let bs = traffic_per_op(
+            &mut dev,
+            size,
+            TransferMethod::BandSlim { embed_first: true },
+        );
         let bx = traffic_per_op(&mut dev, size, TransferMethod::ByteExpress);
         assert!(bx < bs, "BX must undercut BandSlim at {size} B");
         best = best.max(1.0 - bx / bs);
@@ -113,11 +117,20 @@ fn claim_latency_vs_bandslim() {
     assert!(bs32 < bx32, "single-CMD BandSlim should win at 32 B");
 
     for size in [128usize, 256, 1024] {
-        let bs = latency(&mut dev, size, TransferMethod::BandSlim { embed_first: true });
+        let bs = latency(
+            &mut dev,
+            size,
+            TransferMethod::BandSlim { embed_first: true },
+        );
         let bx = latency(&mut dev, size, TransferMethod::ByteExpress);
         assert!(bx < bs, "BX must win beyond 64 B (size {size})");
     }
-    let bs128 = latency(&mut dev, 128, TransferMethod::BandSlim { embed_first: true }).as_ns();
+    let bs128 = latency(
+        &mut dev,
+        128,
+        TransferMethod::BandSlim { embed_first: true },
+    )
+    .as_ns();
     let bx128 = latency(&mut dev, 128, TransferMethod::ByteExpress).as_ns();
     let cut = 1.0 - bx128 as f64 / bs128 as f64;
     assert!(
@@ -174,7 +187,10 @@ fn claim_sgl_comparison() {
     let sgl = traffic_per_op(&mut dev, 64, TransferMethod::Sgl);
     let prp = traffic_per_op(&mut dev, 64, TransferMethod::Prp);
     let bx = traffic_per_op(&mut dev, 64, TransferMethod::ByteExpress);
-    assert!(sgl < prp / 5.0, "fine-grained SGL avoids page amplification");
+    assert!(
+        sgl < prp / 5.0,
+        "fine-grained SGL avoids page amplification"
+    );
     let bx_lat = latency(&mut dev, 64, TransferMethod::ByteExpress);
     let sgl_lat = latency(&mut dev, 64, TransferMethod::Sgl);
     assert!(

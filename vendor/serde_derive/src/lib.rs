@@ -1,37 +1,246 @@
 //! Offline vendored stand-in for `serde_derive`: `#[derive(Serialize)]`
-//! emits a marker `impl serde::Serialize for T {}`. Only plain (non-generic)
-//! structs and enums are supported, which covers every derive site in the
-//! workspace; a generic item gets no impl rather than a compile error.
+//! generates a real field-wise `Serialize::to_value()` impl without syn/quote.
+//!
+//! Supported shapes (covers every derive site in the workspace):
+//! - named-field structs  → `Value::Object` keyed by field name
+//! - tuple structs        → `Value::Array` of the fields in order
+//! - unit structs         → `Value::Null`
+//! - enums with unit, tuple and struct variants → unit variants become
+//!   `Value::Str("Variant")`; data variants become a one-key object
+//!   `{"Variant": <payload>}` (externally tagged, like real serde).
+//!
+//! Generic items get no impl (rather than a compile error) — none of the
+//! workspace derive sites are generic.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
 
-/// Derives the marker `serde::Serialize` impl.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let mut tokens = input.into_iter().peekable();
-    let mut name: Option<String> = None;
 
-    // Scan for the `struct` / `enum` keyword; the next identifier is the type
-    // name. Attributes and visibility modifiers before it are skipped.
+    // Scan for the `struct` / `enum` keyword; attributes and visibility
+    // modifiers before it are skipped.
+    let mut kind = String::new();
     while let Some(tt) = tokens.next() {
         if let TokenTree::Ident(ident) = &tt {
             let kw = ident.to_string();
             if kw == "struct" || kw == "enum" || kw == "union" {
-                if let Some(TokenTree::Ident(ty)) = tokens.next() {
-                    // Generic items would need where-clause plumbing; skip.
-                    if !matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-                        name = Some(ty.to_string());
-                    }
-                }
+                kind = kw;
                 break;
             }
         }
     }
-
-    match name {
-        Some(n) => format!("impl serde::Serialize for {n} {{}}")
-            .parse()
-            .expect("generated impl must parse"),
-        None => TokenStream::new(),
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ty)) => ty.to_string(),
+        _ => return TokenStream::new(),
+    };
+    // Generic items would need where-clause plumbing; skip.
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return TokenStream::new();
     }
+
+    let body = match kind.as_str() {
+        "struct" => struct_body(&mut tokens),
+        "enum" => enum_body(&name, &mut tokens),
+        _ => return TokenStream::new(),
+    };
+    let Some(body) = body else {
+        return TokenStream::new();
+    };
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl must parse")
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Serialization expression for a struct definition body.
+fn struct_body(tokens: &mut Tokens) -> Option<String> {
+    match tokens.next() {
+        // Named fields: { a: T, b: U } → object keyed by field name.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_fields(g.stream());
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            Some(format!(
+                "serde::Value::Object(vec![{}])",
+                pairs.join(", ")
+            ))
+        }
+        // Tuple struct: (T, U) → array of fields in order.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = tuple_arity(g.stream());
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            Some(format!("serde::Value::Array(vec![{}])", items.join(", ")))
+        }
+        // Unit struct.
+        _ => Some("serde::Value::Null".to_string()),
+    }
+}
+
+/// Serialization match for an enum definition body.
+fn enum_body(name: &str, tokens: &mut Tokens) -> Option<String> {
+    let group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => return None,
+    };
+    let mut arms = Vec::new();
+    let mut toks = group.stream().into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        match tt {
+            // Attribute on the variant: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next();
+            }
+            TokenTree::Ident(var) => {
+                let var = var.to_string();
+                match toks.peek() {
+                    // Tuple variant: V(T, U).
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = tuple_arity(g.stream());
+                        toks.next();
+                        let binds: Vec<String> = (0..arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        let payload = if arity == 1 {
+                            items[0].clone()
+                        } else {
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push(format!(
+                            "{name}::{var}({binds}) => serde::Value::Object(vec![(\"{var}\".to_string(), {payload})]),",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    // Struct variant: V { a: T }.
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = named_fields(g.stream());
+                        toks.next();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{var} {{ {binds} }} => serde::Value::Object(vec![(\"{var}\".to_string(), serde::Value::Object(vec![{pairs}]))]),",
+                            binds = fields.join(", "),
+                            pairs = pairs.join(", ")
+                        ));
+                    }
+                    // Unit variant (possibly with `= discr`).
+                    _ => {
+                        arms.push(format!(
+                            "{name}::{var} => serde::Value::Str(\"{var}\".to_string()),"
+                        ));
+                    }
+                }
+                // Skip everything up to the variant-separating comma
+                // (covers `= discriminant` expressions).
+                for tt in toks.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if arms.is_empty() {
+        // Uninhabited enum: nothing to match; any &self is absurd.
+        return Some("match *self {}".to_string());
+    }
+    Some(format!("match self {{\n{}\n}}", arms.join("\n")))
+}
+
+/// Extracts field names from a named-field body `a: T, #[x] pub b: U, ...`.
+/// Tracks `<`/`>` depth so commas inside generic types don't split fields
+/// (parens/brackets/braces arrive as atomic `Group` tokens).
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Field prelude: attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    // Optional restriction: pub(crate) etc.
+                    if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        toks.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = toks.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Skip `: Type` until the comma that ends this field.
+        let mut angle_depth = 0i32;
+        for tt in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the comma-separated entries of a tuple-struct/-variant body at
+/// angle-depth 0. An empty stream is arity 0.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut in_segment = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if in_segment {
+                        arity += 1;
+                        in_segment = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        arity += 1;
+    }
+    arity
 }
