@@ -12,6 +12,7 @@
 //! | `fig7`   | Fig 7 CSD pushdown traffic + throughput                           |
 //! | `ablation` | Hybrid threshold, reassembly tax, MPS/PCIe-gen/SGL sweeps, MMIO baseline |
 //! | `energy` | Link energy per op / per payload byte (§1's power motivation)   |
+//! | `batch`  | Doorbell-coalesced batched submission + WRR arbitration self-check |
 //!
 //! Run each with `cargo run -p bx-bench --release --bin <name> [-- n_ops]`.
 //! Op counts default to fast-but-stable values; pass a count to match the

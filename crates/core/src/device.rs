@@ -3,14 +3,15 @@
 
 use crate::stats::LatencySamples;
 use bx_driver::{
-    Completion, DriverError, InlineMode, NvmeDriver, RecoveryStats, RetryPolicy, TransferMethod,
+    Completion, DriverError, FlushPolicy, InlineMode, NvmeDriver, RecoveryStats, RetryPolicy,
+    TransferMethod,
 };
 use bx_hostsim::{FaultConfig, FaultCounters, Nanos};
 use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status};
 use bx_pcie::{LinkConfig, TrafficCounters};
 use bx_ssd::{
-    BlockFirmware, Controller, ControllerConfig, ControllerTiming, DeviceDram, FetchPolicy,
-    FirmwareHandler, NandConfig, SystemBus,
+    Arbitration, BlockFirmware, Controller, ControllerConfig, ControllerTiming, DeviceDram,
+    FetchPolicy, FirmwareHandler, NandConfig, SystemBus,
 };
 use std::fmt;
 
@@ -71,6 +72,9 @@ pub struct DeviceBuilder {
     firmware: Option<FirmwareFactory>,
     fault_config: Option<FaultConfig>,
     retry_policy: Option<RetryPolicy>,
+    flush_policy: Option<FlushPolicy>,
+    cq_coalesce: u16,
+    arbitration: Arbitration,
     trace: bool,
 }
 
@@ -89,7 +93,15 @@ impl Default for DeviceBuilder {
         DeviceBuilder {
             link: LinkConfig::gen2_x8(),
             nand: NandConfig::small(),
-            queue_depth: 1024,
+            // BX_QUEUE_DEPTH overrides the default so the whole test suite
+            // can run at, say, a prime depth — the non-power-of-two ring
+            // occupancy regression stays covered end to end. Explicit
+            // `queue_depth()` calls still win.
+            queue_depth: std::env::var("BX_QUEUE_DEPTH")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&d| d >= 2)
+                .unwrap_or(1024),
             queue_count: 1,
             fetch_policy: FetchPolicy::QueueLocal,
             dram_capacity: 64 << 20,
@@ -98,6 +110,9 @@ impl Default for DeviceBuilder {
             firmware: None,
             fault_config: None,
             retry_policy: None,
+            flush_policy: None,
+            cq_coalesce: 0,
+            arbitration: Arbitration::default(),
             trace: false,
         }
     }
@@ -185,6 +200,34 @@ impl DeviceBuilder {
         self
     }
 
+    /// Installs the driver's doorbell-coalescing flush policy: SQ tail
+    /// doorbells are deferred and rung once per batch, bounded by the
+    /// policy's max-batch count and max virtual-time delay. Without one,
+    /// every submission rings its own doorbell. Synchronous `write`/`read`
+    /// calls flush per command either way; the batching win shows through
+    /// [`Device::write_batch`].
+    pub fn flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.flush_policy = Some(policy);
+        self
+    }
+
+    /// Sets the CQ head doorbell cadence: ring after every `n` consumed
+    /// CQEs. `0` (default) rings once per poll sweep; `1` models a naive
+    /// per-CQE driver — the baseline the completion-coalescing comparison
+    /// in the `batch` bench uses.
+    pub fn cq_coalesce(mut self, n: u16) -> Self {
+        self.cq_coalesce = n;
+        self
+    }
+
+    /// Selects the controller's SQ arbitration mode (round-robin or
+    /// weighted-round-robin with an arbitration burst). Per-queue weights
+    /// are set after build via [`Device::set_queue_weight`].
+    pub fn arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
     /// Turns on the cross-layer flight recorder: every layer (driver submit
     /// paths, PCIe TLPs, controller fetch/reassembly/completion, NAND, the
     /// recovery ladder) records virtual-time events into one shared sink,
@@ -217,6 +260,7 @@ impl DeviceBuilder {
             dram_capacity: self.dram_capacity,
             over_provision: 0.25,
             fetch_policy: self.fetch_policy,
+            arbitration: self.arbitration,
             reassembly_sram: 64 << 10,
             // Must stay below RetryPolicy::default().timeout (5 ms): a
             // truncated train must be evicted (DataTransferError CQE)
@@ -244,6 +288,8 @@ impl DeviceBuilder {
             driver.set_inline_mode(InlineMode::Reassembly);
         }
         driver.set_retry_policy(self.retry_policy);
+        driver.set_flush_policy(self.flush_policy);
+        driver.set_cq_coalesce(self.cq_coalesce);
         let identify = driver
             .initialize(&mut ctrl)
             .expect("controller bring-up must succeed");
@@ -338,6 +384,17 @@ impl Device {
     /// Mutable access to the driver (threshold/mode reconfiguration).
     pub fn driver_mut(&mut self) -> &mut NvmeDriver {
         &mut self.driver
+    }
+
+    /// Sets a queue's weighted-round-robin arbitration share (meaningful
+    /// under [`Arbitration::WeightedRoundRobin`]; ignored by plain
+    /// round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown queue id.
+    pub fn set_queue_weight(&mut self, qid: QueueId, weight: u8) {
+        self.ctrl.set_queue_weight(qid, weight);
     }
 
     /// The controller (stats inspection).
@@ -441,6 +498,90 @@ impl Device {
             return Err(DeviceError::Command(completion.status));
         }
         Ok(completion)
+    }
+
+    /// Writes a batch of `(lba, data)` pairs on one queue with a single
+    /// coalesced SQ doorbell for the whole group (intermediate flushes
+    /// only if an installed [`FlushPolicy`]'s bounds trigger), then drives
+    /// the controller and polls until every command completes. Completions
+    /// return in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Driver`] if any submission is rejected (commands
+    /// already placed still execute before the error returns);
+    /// [`DeviceError::Command`] on the first failed completion status.
+    pub fn write_batch(
+        &mut self,
+        qid: QueueId,
+        items: &[(u64, Vec<u8>)],
+        method: TransferMethod,
+    ) -> Result<Vec<Completion>, DeviceError> {
+        let cmds: Vec<(PassthruCmd, TransferMethod)> = items
+            .iter()
+            .map(|(lba, data)| {
+                let mut cmd = PassthruCmd::to_device(IoOpcode::Write, 1, data.clone());
+                cmd.cdw10_15[0] = *lba as u32;
+                cmd.cdw10_15[1] = (*lba >> 32) as u32;
+                (cmd, method)
+            })
+            .collect();
+        let batch = self.driver.submit_batch(qid, &cmds);
+        let completions = self.drain_batch(qid, &batch.submitted)?;
+        if let Some(e) = batch.error {
+            return Err(DeviceError::Driver(e));
+        }
+        if let Some(c) = completions.iter().find(|c| !c.status.is_success()) {
+            return Err(DeviceError::Command(c.status));
+        }
+        Ok(completions)
+    }
+
+    /// Pumps controller + completion poll until every submitted cid of a
+    /// batch has completed; results in submission order.
+    fn drain_batch(
+        &mut self,
+        qid: QueueId,
+        submitted: &[bx_driver::SubmittedCmd],
+    ) -> Result<Vec<Completion>, DeviceError> {
+        let mut pending: std::collections::HashMap<u16, usize> = submitted
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.cid, i))
+            .collect();
+        let mut out: Vec<Option<Completion>> = submitted.iter().map(|_| None).collect();
+        let poll_step = self.driver.retry_policy().map(|p| p.poll_interval);
+        let mut idle_passes = 0u32;
+        while !pending.is_empty() {
+            self.ctrl.process_available();
+            let got = self.driver.poll_completions(qid)?;
+            if got.is_empty() {
+                idle_passes += 1;
+                match poll_step {
+                    // With a retry policy the clock advance drives the
+                    // timeout reaper, which eventually posts a synthetic
+                    // completion for every lost cid — so this terminates.
+                    Some(step) => {
+                        self.bus.clock.advance(step);
+                    }
+                    None => assert!(
+                        idle_passes < 4,
+                        "controller must complete the submitted batch"
+                    ),
+                }
+            } else {
+                idle_passes = 0;
+            }
+            for c in got {
+                if let Some(i) = pending.remove(&c.cid) {
+                    out[i] = Some(c);
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|c| c.expect("filled when pending emptied"))
+            .collect())
     }
 
     /// Reads `len` bytes from logical block `lba`.

@@ -53,14 +53,14 @@ pub use stats::{LatencySamples, Summary};
 
 // The pieces users routinely touch, re-exported at the top level.
 pub use bx_driver::{
-    CmdContext, Completion, DriverError, DriverTiming, InlineMode, NvmeDriver, RecoveryStats,
-    RetryPolicy, TransferMethod,
+    BatchSubmission, CmdContext, Completion, DriverError, DriverTiming, FlushPolicy, InlineMode,
+    NvmeDriver, RecoveryStats, RetryPolicy, TransferMethod,
 };
 pub use bx_hostsim::{FaultConfig, FaultCounters, Nanos, PhysAddr, PAGE_SIZE};
 pub use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status, SubmissionEntry};
 pub use bx_pcie::{LinkConfig, PcmCounters, TrafficClass, TrafficCounters};
 pub use bx_ssd::{
-    ControllerTiming, FetchPolicy, FirmwareCtx, FirmwareHandler, NandConfig, SystemBus,
+    Arbitration, ControllerTiming, FetchPolicy, FirmwareCtx, FirmwareHandler, NandConfig, SystemBus,
 };
 
 // The flight recorder's user-facing pieces.

@@ -1,5 +1,6 @@
 //! The driver proper: queue pairs, submit engines, completion polling.
 
+use crate::batch::{BatchSubmission, FlushPolicy};
 use crate::method::{InlineMode, TransferMethod};
 use crate::recovery::{
     is_idempotent, BxRole, CmdContext, DegradeState, RecoveryStats, RetryPolicy,
@@ -154,6 +155,12 @@ pub struct DriverStats {
     pub pages_mapped: u64,
     /// SGL requests that fell back to PRP below the threshold (§5).
     pub sgl_fallbacks: u64,
+    /// Coalesced SQ doorbell flushes (each rings one tail doorbell for a
+    /// whole group of staged commands).
+    pub batch_flushes: u64,
+    /// Commands whose doorbell rode a coalesced flush instead of ringing
+    /// individually.
+    pub batched_cmds: u64,
 }
 
 /// Handle returned by [`NvmeDriver::submit`].
@@ -220,6 +227,15 @@ struct QueuePair {
     next_cid: u16,
     inflight: HashMap<u16, Inflight>,
     degrade: DegradeState,
+    /// Tail of entries staged in the ring but not yet doorbelled — the
+    /// deferral state behind doorbell coalescing. `None` means the device's
+    /// tail view is current.
+    pending_tail: Option<u16>,
+    /// Commands staged since the last doorbell.
+    pending_cmds: u16,
+    /// When the oldest staged command was placed (for the flush policy's
+    /// max-delay bound).
+    first_pending_at: Nanos,
 }
 
 /// The driver's admin queue pair.
@@ -243,6 +259,13 @@ pub struct NvmeDriver {
     stats: DriverStats,
     retry_policy: Option<RetryPolicy>,
     recovery: RecoveryStats,
+    /// When set, SQ tail doorbells are deferred and coalesced per its
+    /// bounds; when `None` every submission rings immediately.
+    flush_policy: Option<FlushPolicy>,
+    /// CQ head doorbell cadence: ring after every N consumed CQEs.
+    /// 0 means once per poll sweep (the maximally coalesced default);
+    /// 1 reproduces a naive per-CQE driver.
+    cq_coalesce: u16,
 }
 
 impl fmt::Debug for NvmeDriver {
@@ -280,7 +303,28 @@ impl NvmeDriver {
             stats: DriverStats::default(),
             retry_policy: None,
             recovery: RecoveryStats::default(),
+            flush_policy: None,
+            cq_coalesce: 0,
         }
+    }
+
+    /// Installs (or with `None`, removes) the doorbell-coalescing flush
+    /// policy. See [`FlushPolicy`]; without one every submission rings
+    /// the SQ tail doorbell immediately, as a conventional driver does.
+    pub fn set_flush_policy(&mut self, policy: Option<FlushPolicy>) {
+        self.flush_policy = policy;
+    }
+
+    /// The installed flush policy, if any.
+    pub fn flush_policy(&self) -> Option<FlushPolicy> {
+        self.flush_policy
+    }
+
+    /// Sets the CQ head doorbell cadence: ring after every `n` consumed
+    /// CQEs. `0` (the default) rings once per poll sweep; `1` models a
+    /// naive per-CQE driver.
+    pub fn set_cq_coalesce(&mut self, n: u16) {
+        self.cq_coalesce = n;
     }
 
     /// Installs (or with `None`, removes) the timeout/retry/degradation
@@ -499,6 +543,9 @@ impl NvmeDriver {
                 next_cid: 0,
                 inflight: HashMap::new(),
                 degrade: DegradeState::default(),
+                pending_tail: None,
+                pending_cmds: 0,
+                first_pending_at: Nanos::ZERO,
             },
         );
         Ok(id)
@@ -833,8 +880,7 @@ impl NvmeDriver {
                 bytes: data.len(),
             }
         });
-        self.ring_sq_doorbell(qid, tail);
-        Ok(())
+        self.note_sq_tail(qid, tail)
     }
 
     /// BandSlim path (§3.2): payload embedded in the head command plus a
@@ -990,8 +1036,119 @@ impl NvmeDriver {
         bus.clock.advance(insert_cost);
         let tail = qp.sq.tail();
         drop(_guard);
-        self.ring_sq_doorbell(qid, tail);
+        self.note_sq_tail(qid, tail)
+    }
+
+    /// Routes a freshly advanced SQ tail either straight to the doorbell
+    /// (no flush policy) or into the queue's deferral state, ringing only
+    /// when the policy's max-batch or max-delay bound is hit.
+    fn note_sq_tail(&mut self, qid: QueueId, tail: u16) -> Result<(), DriverError> {
+        let Some(policy) = self.flush_policy else {
+            self.ring_sq_doorbell(qid, tail);
+            return Ok(());
+        };
+        let now = self.bus.clock.now();
+        let qp = self.queue_mut(qid)?;
+        if qp.pending_tail.is_none() {
+            qp.first_pending_at = now;
+        }
+        qp.pending_tail = Some(tail);
+        qp.pending_cmds += 1;
+        if qp.pending_cmds >= policy.max_batch.max(1)
+            || now.saturating_sub(qp.first_pending_at) >= policy.max_delay
+        {
+            self.flush_sq(qid)?;
+        }
         Ok(())
+    }
+
+    /// Rings the SQ tail doorbell for any staged-but-unrung entries on
+    /// `qid`: one posted MMIO write covers the whole pending group. Returns
+    /// whether a doorbell was rung (false when nothing was pending).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownQueue`] for a bad queue id.
+    pub fn flush_sq(&mut self, qid: QueueId) -> Result<bool, DriverError> {
+        let qp = self.queue_mut(qid)?;
+        let Some(tail) = qp.pending_tail.take() else {
+            return Ok(false);
+        };
+        let cmds = qp.pending_cmds;
+        qp.pending_cmds = 0;
+        self.stats.batch_flushes += 1;
+        self.stats.batched_cmds += cmds as u64;
+        self.bus
+            .trace
+            .emit(None, || EventKind::BatchFlush { cmds, tail });
+        self.ring_sq_doorbell(qid, tail);
+        Ok(true)
+    }
+
+    /// Flushes `qid` if its oldest staged command has exceeded the flush
+    /// policy's max-delay bound (called from the poll path, where virtual
+    /// time advances while submissions sit staged).
+    fn flush_sq_if_due(&mut self, qid: QueueId) -> Result<(), DriverError> {
+        if let Some(policy) = self.flush_policy {
+            let now = self.bus.clock.now();
+            let due = {
+                let qp = self.queue_mut(qid)?;
+                qp.pending_tail.is_some()
+                    && now.saturating_sub(qp.first_pending_at) >= policy.max_delay
+            };
+            if due {
+                self.flush_sq(qid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Submits a group of commands to one queue, ringing the SQ tail
+    /// doorbell once for the whole group — §3.2's one-doorbell-per-train,
+    /// extended to one doorbell per *batch of trains*. SQEs and ByteExpress
+    /// chunk trains are packed back-to-back in the ring.
+    ///
+    /// If an installed [`FlushPolicy`]'s max-batch bound is hit midway the
+    /// intermediate flushes ring as configured; the final flush always
+    /// happens before this returns, so the controller can fetch every
+    /// accepted command. Without a policy the whole batch coalesces into a
+    /// single doorbell.
+    ///
+    /// On a mid-batch submit error the batch stops early: commands already
+    /// placed are doorbelled and returned in
+    /// [`BatchSubmission::submitted`]; the offending command's error lands
+    /// in [`BatchSubmission::error`] and the rest are not attempted. Each
+    /// accepted command is tracked in flight individually, so the recovery
+    /// ladder (timeout reap, retry, degradation) applies to partially-acked
+    /// batches with no special casing.
+    pub fn submit_batch(
+        &mut self,
+        qid: QueueId,
+        cmds: &[(PassthruCmd, TransferMethod)],
+    ) -> BatchSubmission {
+        // Deferral must be active for the duration of the batch even when
+        // no policy is installed; restored before returning.
+        let restore = self.flush_policy;
+        if restore.is_none() {
+            self.flush_policy = Some(FlushPolicy::unbounded());
+        }
+        let mut submitted = Vec::with_capacity(cmds.len());
+        let mut error = None;
+        for (cmd, method) in cmds {
+            match self.submit(qid, cmd, *method) {
+                Ok(s) => submitted.push(s),
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        self.flush_policy = restore;
+        match self.flush_sq(qid) {
+            Ok(_) => {}
+            Err(e) => error = error.or(Some(e)),
+        }
+        BatchSubmission { submitted, error }
     }
 
     fn ring_sq_doorbell(&mut self, qid: QueueId, tail: u16) {
@@ -1028,9 +1185,16 @@ impl NvmeDriver {
     ///
     /// [`DriverError::UnknownQueue`] for a bad queue id.
     pub fn poll_completions(&mut self, qid: QueueId) -> Result<Vec<Completion>, DriverError> {
+        // Staged SQ tails past the flush policy's delay bound ring here —
+        // the poll loop is where virtual time advances while submissions
+        // sit deferred.
+        self.flush_sq_if_due(qid)?;
         let bus = self.bus.clone();
         let timing = self.timing.clone();
         let policy = self.retry_policy;
+        let coalesce = self.cq_coalesce as u64;
+        let mut cq_rings = 0u64;
+        let mut consumed_since_ring = 0u64;
         let mut spurious = 0u64;
         // Byte-interface completions are polled from the BAR status area
         // (one synchronous MMIO read per poll sweep when any are pending).
@@ -1040,7 +1204,6 @@ impl NvmeDriver {
         };
         let qp = self.queue_mut(qid)?;
         let mut out = Vec::new();
-        let mut consumed_cqe = false;
         if !mmio.is_empty() {
             let t = bus.link.borrow_mut().host_mmio_read(TrafficClass::Mmio, 8);
             bus.clock.advance(t);
@@ -1075,8 +1238,21 @@ impl NvmeDriver {
             }
             qp.cq.pop_slot();
             qp.sq.complete_up_to(cqe.sq_head());
-            consumed_cqe = true;
             bus.clock.advance(timing.completion_handling);
+            consumed_since_ring += 1;
+            if coalesce > 0 && consumed_since_ring >= coalesce {
+                // Reap-limit reached: acknowledge this group of CQEs with
+                // a head doorbell write and keep draining.
+                let head = qp.cq.head();
+                bus.doorbells.borrow_mut().ring_cq_head(qid, head);
+                let t = bus
+                    .link
+                    .borrow_mut()
+                    .host_posted_write(TrafficClass::Doorbell, 4);
+                bus.clock.advance(t);
+                cq_rings += 1;
+                consumed_since_ring = 0;
+            }
 
             let inflight = qp.inflight.remove(&cqe.cid());
             if inflight.is_none() && policy.is_some() {
@@ -1170,7 +1346,7 @@ impl NvmeDriver {
                 });
             }
         }
-        if consumed_cqe {
+        if consumed_since_ring > 0 {
             let head = qp.cq.head();
             bus.doorbells.borrow_mut().ring_cq_head(qid, head);
             let t = bus
@@ -1178,8 +1354,9 @@ impl NvmeDriver {
                 .borrow_mut()
                 .host_posted_write(TrafficClass::Doorbell, 4);
             bus.clock.advance(t);
-            self.stats.doorbells += 1;
+            cq_rings += 1;
         }
+        self.stats.doorbells += cq_rings;
         self.recovery.timeouts += reaped;
         self.recovery.spurious_completions += spurious;
         Ok(out)
@@ -1209,6 +1386,9 @@ impl NvmeDriver {
             return self.execute_recover(qid, ctrl, cmd, method);
         }
         let submitted = self.submit(qid, cmd, method)?;
+        // Synchronous callers see one doorbell per command regardless of
+        // any installed flush policy.
+        self.flush_sq(qid)?;
         ctrl.process_available();
         let mut completions = self.poll_completions(qid)?;
         let idx = completions
@@ -1328,6 +1508,10 @@ impl NvmeDriver {
                     });
                 }
             };
+            // A deferred doorbell would stall the attempt until the delay
+            // bound; the recovery ladder wants its deadline clock to start
+            // against a visible submission.
+            self.flush_sq(qid)?;
             let ctx = CmdContext {
                 qid,
                 cid: submitted.cid,

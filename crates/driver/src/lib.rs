@@ -18,15 +18,22 @@
 //! The ByteExpress driver change is deliberately shaped like the paper's
 //! (<30 LoC inside `nvme_queue_rq`): mark the reserved field with the
 //! payload length, append the chunks, ring the doorbell once.
+//!
+//! On top of the per-command engines sits doorbell-coalesced batching
+//! ([`NvmeDriver::submit_batch`] + [`FlushPolicy`]): SQEs and chunk trains
+//! for many commands are packed back-to-back and the tail doorbell rings
+//! once per batch, with CQ-side completion coalescing to match.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod driver;
 pub mod method;
 pub mod recovery;
 pub mod timing;
 
+pub use batch::{BatchSubmission, FlushPolicy};
 pub use driver::{Completion, DriverError, DriverStats, NvmeDriver, SubmittedCmd};
 pub use method::{InlineMode, TransferMethod};
 pub use recovery::{is_idempotent, CmdContext, RecoveryStats, RetryPolicy};

@@ -41,8 +41,18 @@ pub enum TransferMethod {
     MmioByte,
     /// Threshold switching: ByteExpress at or below `threshold` bytes, PRP
     /// above (§4.2's proposed hybrid).
+    ///
+    /// Boundary semantics are deliberately **inclusive**: `threshold` names
+    /// the *largest payload still sent inline*, so a payload of exactly
+    /// `threshold` bytes goes through ByteExpress. The paper's prose says
+    /// "below the threshold", but its operating point (256 B) is itself a
+    /// size the evaluation sends inline — an exclusive reading would demote
+    /// the headline 256 B case to PRP. `Hybrid { threshold: 256 }` therefore
+    /// means payloads 1..=256 B are inline and 257 B+ take the page path.
+    /// See DESIGN.md ("Hybrid boundary semantics") for the full rationale;
+    /// the exact-boundary behavior is pinned by a unit test.
     Hybrid {
-        /// Largest payload still sent inline.
+        /// Largest payload still sent inline (inclusive bound).
         threshold: usize,
     },
 }
@@ -105,6 +115,33 @@ mod tests {
         assert_eq!(h.resolve(256), TransferMethod::ByteExpress);
         assert_eq!(h.resolve(257), TransferMethod::Prp);
         assert_eq!(h.resolve(1), TransferMethod::ByteExpress);
+    }
+
+    /// Pins the inclusive boundary contract: a payload of *exactly* the
+    /// threshold size is inline, one byte more is PRP. If someone "fixes"
+    /// `resolve` to the exclusive reading (`len < threshold`), this fails.
+    #[test]
+    fn hybrid_boundary_is_inclusive_at_exactly_256() {
+        let h = TransferMethod::Hybrid { threshold: 256 };
+        assert_eq!(
+            h.resolve(255),
+            TransferMethod::ByteExpress,
+            "one byte under the threshold is inline"
+        );
+        assert_eq!(
+            h.resolve(256),
+            TransferMethod::ByteExpress,
+            "the threshold itself is the largest inline payload"
+        );
+        assert_eq!(
+            h.resolve(257),
+            TransferMethod::Prp,
+            "one byte over the threshold takes the page path"
+        );
+        // Degenerate thresholds keep the same contract.
+        let h0 = TransferMethod::Hybrid { threshold: 0 };
+        assert_eq!(h0.resolve(0), TransferMethod::ByteExpress);
+        assert_eq!(h0.resolve(1), TransferMethod::Prp);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use inline::{ChunkHeader, BYTEEXPRESS_CHUNK_SIZE, REASSEMBLY_HEADER_BYTES};
 pub use opcode::{AdminOpcode, IoOpcode, Opcode};
 pub use passthru::PassthruCmd;
 pub use prp::{PrpError, PrpSegments};
-pub use queue::{CqRing, DoorbellArray, QueueId, SqRing, CQE_BYTES, SQE_BYTES};
+pub use queue::{CqProducer, CqRing, DoorbellArray, QueueId, SqRing, CQE_BYTES, SQE_BYTES};
 pub use sgl::{SglDescriptor, SglError};
 pub use sqe::SubmissionEntry;
 pub use status::{Status, STATUS_DNR_BIT};

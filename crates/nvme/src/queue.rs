@@ -97,8 +97,19 @@ impl SqRing {
     }
 
     /// Number of occupied slots.
+    ///
+    /// Both indices stay strictly in `[0, depth)`, so occupancy needs an
+    /// explicit wrap branch: `tail.wrapping_sub(head)` reduces mod 65536,
+    /// and following it with `% depth` only agrees with ring arithmetic
+    /// when `depth` divides 65536. At depth 100 with head 90 / tail 10 it
+    /// reports 56 instead of 20 — under-admitting on some index pairs and
+    /// over-admitting (overwriting unfetched entries) on others.
     pub fn used_slots(&self) -> u16 {
-        self.tail.wrapping_sub(self.head) % self.depth
+        if self.tail >= self.head {
+            self.tail - self.head
+        } else {
+            self.depth - self.head + self.tail
+        }
     }
 
     /// Whether `n` more entries can be placed.
@@ -326,6 +337,64 @@ mod tests {
         assert_eq!(q.push_slot(), 3);
         assert_eq!(q.tail(), 0);
         assert_eq!(q.push_slot(), 0);
+    }
+
+    #[test]
+    fn occupancy_wraps_at_non_power_of_two_depth() {
+        // The ISSUE example: depth 100, head 90, tail 10 must report 20
+        // occupied slots. The old `wrapping_sub % depth` math said 56.
+        let mut q = sq(100);
+        for _ in 0..90 {
+            q.push_slot();
+        }
+        q.complete_up_to(90);
+        assert_eq!(q.used_slots(), 0);
+        for _ in 0..20 {
+            q.push_slot();
+        }
+        assert_eq!(q.head(), 90);
+        assert_eq!(q.tail(), 10);
+        assert_eq!(q.used_slots(), 20);
+        assert_eq!(q.free_slots(), 79);
+    }
+
+    #[test]
+    fn non_power_of_two_depth_never_over_admits() {
+        // depth 7, head 1, tail 0 is a full ring (6 used, 0 free). The old
+        // math computed 65535 % 7 == 1 used, i.e. 5 free — can_push would
+        // have allowed overwriting five unfetched entries.
+        let mut q = sq(7);
+        q.push_slot();
+        q.complete_up_to(1);
+        for _ in 0..6 {
+            q.push_slot();
+        }
+        assert_eq!(q.head(), 1);
+        assert_eq!(q.tail(), 0);
+        assert_eq!(q.used_slots(), 6);
+        assert_eq!(q.free_slots(), 0);
+        assert!(!q.can_push(1));
+    }
+
+    #[test]
+    fn occupancy_consistent_over_full_lap_at_prime_depth() {
+        // March a prime-depth ring through several laps; occupancy must
+        // track pushes minus completions exactly at every step.
+        let mut q = sq(13);
+        let mut pushed = 0u32;
+        let mut completed = 0u32;
+        for step in 0..100u32 {
+            if q.can_push(1) && (step % 3 != 2 || completed == pushed) {
+                q.push_slot();
+                pushed += 1;
+            } else {
+                completed += 1;
+                q.complete_up_to((completed % 13) as u16);
+            }
+            let outstanding = (pushed - completed) as u16;
+            assert_eq!(q.used_slots(), outstanding, "step {step}");
+            assert_eq!(q.free_slots(), 12 - outstanding, "step {step}");
+        }
     }
 
     #[test]

@@ -165,6 +165,29 @@ impl TrafficCounters {
         self.per_class.iter().map(|c| c.tlps).sum()
     }
 
+    /// Number of doorbell MMIO writes (each SQ tail or CQ head update is one
+    /// posted TLP). The batching benchmarks assert this drops while
+    /// [`TrafficCounters::non_doorbell_wire_bytes`] stays byte-identical.
+    pub fn doorbell_tlps(&self) -> u64 {
+        self.class(TrafficClass::Doorbell).tlps
+    }
+
+    /// Wire bytes in every class *except* doorbells — the command, payload,
+    /// and completion traffic that doorbell coalescing must not perturb.
+    pub fn non_doorbell_wire_bytes(&self) -> u64 {
+        self.total_bytes() - self.class(TrafficClass::Doorbell).wire_bytes
+    }
+
+    /// Wire bytes of pure control traffic (doorbells, CQEs, interrupts,
+    /// non-doorbell MMIO) — the paper's "control overhead" bucket, as
+    /// opposed to command fetch and data movement.
+    pub fn control_wire_bytes(&self) -> u64 {
+        self.class(TrafficClass::Doorbell).wire_bytes
+            + self.class(TrafficClass::Cqe).wire_bytes
+            + self.class(TrafficClass::Interrupt).wire_bytes
+            + self.class(TrafficClass::Mmio).wire_bytes
+    }
+
     /// Zeroes all counters.
     pub fn reset(&mut self) {
         *self = Self::default();
@@ -369,6 +392,60 @@ mod tests {
             "a second stop() sees the extra doorbell"
         );
         assert_eq!(delta.class(TrafficClass::Doorbell), ClassBytes::default());
+    }
+
+    #[test]
+    fn accounting_helpers_partition_traffic() {
+        let mut c = TrafficCounters::new();
+        // Two doorbells, one SQE fetch, one CQE, one interrupt, one admin MMIO.
+        c.record(
+            TrafficClass::Doorbell,
+            Direction::HostToDevice,
+            &segment_write(4, 256),
+        );
+        c.record(
+            TrafficClass::Doorbell,
+            Direction::HostToDevice,
+            &segment_write(4, 256),
+        );
+        c.record(
+            TrafficClass::SqeFetch,
+            Direction::DeviceToHost,
+            &segment_read_completions(64, 256),
+        );
+        c.record(
+            TrafficClass::Cqe,
+            Direction::DeviceToHost,
+            &segment_write(16, 256),
+        );
+        c.record(
+            TrafficClass::Interrupt,
+            Direction::DeviceToHost,
+            &segment_write(4, 256),
+        );
+        c.record(
+            TrafficClass::Mmio,
+            Direction::HostToDevice,
+            &segment_write(4, 256),
+        );
+
+        assert_eq!(c.doorbell_tlps(), 2);
+        // non-doorbell + doorbell == total, always.
+        assert_eq!(
+            c.non_doorbell_wire_bytes() + c.class(TrafficClass::Doorbell).wire_bytes,
+            c.total_bytes()
+        );
+        // control bytes cover exactly the four control classes.
+        let expected_control = c.class(TrafficClass::Doorbell).wire_bytes
+            + c.class(TrafficClass::Cqe).wire_bytes
+            + c.class(TrafficClass::Interrupt).wire_bytes
+            + c.class(TrafficClass::Mmio).wire_bytes;
+        assert_eq!(c.control_wire_bytes(), expected_control);
+        // The SQE fetch is data-plane: not part of the control bucket.
+        assert_eq!(
+            c.total_bytes() - c.control_wire_bytes(),
+            c.class(TrafficClass::SqeFetch).wire_bytes
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! out of order through the [`ReassemblyEngine`] — the paper's future-work
 //! extension.
 
+use crate::arbiter::Arbitration;
 use crate::bus::SystemBus;
 use crate::dram::DeviceDram;
 use crate::firmware::{CommandOutcome, FirmwareCtx, FirmwareHandler};
@@ -60,6 +61,8 @@ pub struct ControllerConfig {
     pub over_provision: f64,
     /// Chunk-gathering policy.
     pub fetch_policy: FetchPolicy,
+    /// How SQE-fetch bandwidth is shared across submission queues.
+    pub arbitration: Arbitration,
     /// SRAM budget for the reassembly engine, bytes.
     pub reassembly_sram: usize,
     /// How long a reassembly-mode command may sit parked without its chunk
@@ -79,6 +82,7 @@ impl Default for ControllerConfig {
             dram_capacity: 64 << 20,
             over_provision: 0.25,
             fetch_policy: FetchPolicy::QueueLocal,
+            arbitration: Arbitration::default(),
             reassembly_sram: 64 << 10,
             inline_stall_deadline: Nanos::from_ms(1),
             identify: IdentifyController::default(),
@@ -128,6 +132,8 @@ struct IoQueue {
     /// A ByteExpress command whose reassembly-mode chunks are still being
     /// fetched (possibly interleaved with other queues).
     inline_pending: Option<PendingInline>,
+    /// Weighted-round-robin share (ignored by plain round-robin).
+    weight: u8,
 }
 
 struct PendingInline {
@@ -157,6 +163,7 @@ pub struct Controller {
     reassembly: ReassemblyEngine,
     stall_deadline: Nanos,
     stats: ControllerStats,
+    arbitration: Arbitration,
     rr: usize,
     regs: RegisterFile,
     identify: IdentifyController,
@@ -205,6 +212,7 @@ impl Controller {
             reassembly: ReassemblyEngine::new(cfg.reassembly_sram),
             stall_deadline: cfg.inline_stall_deadline,
             stats: ControllerStats::default(),
+            arbitration: cfg.arbitration,
             rr: 0,
             regs: RegisterFile::new(4096),
             identify: cfg.identify,
@@ -256,8 +264,35 @@ impl Controller {
             cqid: id.0,
             bandslim_pending: None,
             inline_pending: None,
+            weight: 1,
         });
         id
+    }
+
+    /// Sets a queue's weighted-round-robin share (clamped to at least 1 at
+    /// grant time). No effect under plain round-robin arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown queue id.
+    pub fn set_queue_weight(&mut self, q: QueueId, weight: u8) {
+        let queue = self
+            .queues
+            .iter_mut()
+            .find(|io| io.id == q)
+            .unwrap_or_else(|| panic!("unknown queue {q}"));
+        queue.weight = weight;
+    }
+
+    /// The arbitration mode in force.
+    pub fn arbitration(&self) -> Arbitration {
+        self.arbitration
+    }
+
+    /// Replaces the arbitration mode (takes effect on the next
+    /// [`Controller::process_available`] round).
+    pub fn set_arbitration(&mut self, arbitration: Arbitration) {
+        self.arbitration = arbitration;
     }
 
     /// Writes a BAR register (charged as MMIO traffic). Setting CC.EN
@@ -284,6 +319,7 @@ impl Controller {
                 cqid: 0,
                 bandslim_pending: None,
                 inline_pending: None,
+                weight: 1,
             });
             self.regs.set_ready();
         }
@@ -368,20 +404,35 @@ impl Controller {
                 completed += 1;
                 progressed = true;
             }
-            for _ in 0..self.queues.len() {
-                let qi = self.rr;
-                self.rr = (self.rr + 1) % self.queues.len().max(1);
-                if self.queues[qi].inline_pending.is_some() {
-                    // Reassembly mode: fetch ONE chunk, then move to the
-                    // next queue — the cross-queue interleaving the
-                    // queue-local design forbids and §3.3.2 re-enables.
-                    if self.queue_has_work(qi) {
+            // One arbitration round: every queue gets a credit budget per
+            // the configured mode and spends one credit per scheduling
+            // unit — a fetched command (with any queue-local chunk train)
+            // or one reassembly-mode chunk. At the default
+            // `RoundRobin { burst: 1 }` this is the original one-unit-per-
+            // queue-per-pass interleave: in reassembly mode a queue fetches
+            // ONE chunk then yields — the cross-queue interleaving the
+            // queue-local design forbids and §3.3.2 re-enables.
+            let n = self.queues.len();
+            let start = self.rr;
+            for k in 0..n {
+                let qi = (start + k) % n;
+                let credits = self.arbitration.credits(self.queues[qi].weight);
+                let mut served = 0u32;
+                while served < credits && self.queue_has_work(qi) {
+                    if self.queues[qi].inline_pending.is_some() {
                         completed += self.fetch_reassembly_chunk(qi);
-                        progressed = true;
+                    } else {
+                        completed += self.process_one(qi);
                     }
-                } else if self.queue_has_work(qi) {
-                    completed += self.process_one(qi);
+                    served += 1;
                     progressed = true;
+                }
+                if served > 0 {
+                    let id = self.queues[qi].id.0;
+                    self.bus.trace.emit(None, || EventKind::ArbiterGrant {
+                        qid: id,
+                        served: served.min(u16::MAX as u32) as u16,
+                    });
                 }
             }
             if !progressed {
@@ -547,6 +598,7 @@ impl Controller {
                     cqid: p.cqid,
                     bandslim_pending: None,
                     inline_pending: None,
+                    weight: 1,
                 });
                 self.next_io_qid = self.next_io_qid.max(p.qid + 1);
                 CommandOutcome::ok(now)

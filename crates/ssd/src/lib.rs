@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod bus;
 pub mod controller;
 pub mod dram;
@@ -34,6 +35,7 @@ pub mod reassembly;
 pub mod registers;
 pub mod timing;
 
+pub use arbiter::Arbitration;
 pub use bus::{FaultHandle, MmioCompletion, MmioSubmission, MmioWindow, SystemBus};
 pub use controller::{Controller, ControllerConfig, ControllerStats, FetchPolicy};
 pub use dram::{DeviceDram, DramError, DramRegion};

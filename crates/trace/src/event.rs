@@ -70,6 +70,9 @@ pub enum EventKind {
     ChunkTrainWrite { chunks: u16, bytes: usize },
     /// The SQ tail doorbell was rung.
     DoorbellRing { tail: u16 },
+    /// A coalesced doorbell flush: one SQ tail write covering `cmds`
+    /// staged commands (and their chunk trains).
+    BatchFlush { cmds: u16, tail: u16 },
     /// The driver consumed a CQE for this command (phase-matched poll).
     CompletionConsumed { status: u16 },
 
@@ -108,6 +111,9 @@ pub enum EventKind {
     /// The controller moved payload data via a descriptor walk
     /// (`kind` is `"prp"`, `"sgl"`, `"bandslim"` or `"mmio"`).
     DataFetch { kind: &'static str, bytes: usize },
+    /// The SQ arbiter granted one queue a turn: `served` scheduling units
+    /// (commands or reassembly chunk fetches) were consumed from `qid`.
+    ArbiterGrant { qid: u16, served: u16 },
     /// A CQE was posted to the host (includes the interrupt).
     CqePost { status: u16 },
 
@@ -134,6 +140,7 @@ impl EventKind {
             SqeInsert { .. }
             | ChunkTrainWrite { .. }
             | DoorbellRing { .. }
+            | BatchFlush { .. }
             | CompletionConsumed { .. } => "driver",
             TimeoutReap | Retry { .. } | QueueDegraded | QueueRepromoted | ProbeIssued => {
                 "recovery"
@@ -144,6 +151,7 @@ impl EventKind {
             | ReassemblyAccept { .. }
             | ReassemblyEvict
             | DataFetch { .. }
+            | ArbiterGrant { .. }
             | CqePost { .. } => "controller",
             NandOp { .. } | GcCycle { .. } => "nand",
         }
@@ -156,6 +164,7 @@ impl EventKind {
             SqeInsert { .. } => "sqe_insert",
             ChunkTrainWrite { .. } => "chunk_train_write",
             DoorbellRing { .. } => "doorbell_ring",
+            BatchFlush { .. } => "batch_flush",
             CompletionConsumed { .. } => "completion_consumed",
             TimeoutReap => "timeout_reap",
             Retry { .. } => "retry",
@@ -168,6 +177,7 @@ impl EventKind {
             ReassemblyAccept { .. } => "reassembly_accept",
             ReassemblyEvict => "reassembly_evict",
             DataFetch { .. } => "data_fetch",
+            ArbiterGrant { .. } => "arbiter_grant",
             CqePost { .. } => "cqe_post",
             NandOp { .. } => "nand_op",
             GcCycle { .. } => "gc_cycle",
@@ -191,6 +201,9 @@ impl EventKind {
                 Value::object([("chunks", chunks.to_value()), ("bytes", bytes.to_value())])
             }
             DoorbellRing { tail } => Value::object([("tail", tail.to_value())]),
+            BatchFlush { cmds, tail } => {
+                Value::object([("cmds", cmds.to_value()), ("tail", tail.to_value())])
+            }
             CompletionConsumed { status } => Value::object([("status", status.to_value())]),
             TimeoutReap | QueueDegraded | QueueRepromoted | ProbeIssued => {
                 Value::object(Vec::<(&str, Value)>::new())
@@ -220,6 +233,9 @@ impl EventKind {
             ReassemblyEvict => Value::object(Vec::<(&str, Value)>::new()),
             DataFetch { kind, bytes } => {
                 Value::object([("kind", kind.to_value()), ("bytes", bytes.to_value())])
+            }
+            ArbiterGrant { qid, served } => {
+                Value::object([("qid", qid.to_value()), ("served", served.to_value())])
             }
             CqePost { status } => Value::object([("status", status.to_value())]),
             NandOp {
@@ -259,6 +275,7 @@ impl fmt::Display for EventKind {
                 write!(f, "chunk-train {chunks} chunks / {bytes} B")
             }
             DoorbellRing { tail } => write!(f, "doorbell tail={tail}"),
+            BatchFlush { cmds, tail } => write!(f, "batch-flush {cmds} cmds tail={tail}"),
             CompletionConsumed { status } => write!(f, "completion status={status:#06x}"),
             TimeoutReap => write!(f, "timeout reap"),
             Retry { attempt, backoff } => write!(f, "retry #{attempt} after {backoff}"),
@@ -283,6 +300,7 @@ impl fmt::Display for EventKind {
             ReassemblyAccept { seq } => write!(f, "reassembly-accept seq={seq}"),
             ReassemblyEvict => write!(f, "reassembly-evict"),
             DataFetch { kind, bytes } => write!(f, "data-fetch {kind} {bytes} B"),
+            ArbiterGrant { qid, served } => write!(f, "arbiter-grant q{qid} served={served}"),
             CqePost { status } => write!(f, "cqe-post status={status:#06x}"),
             NandOp {
                 op,
