@@ -255,15 +255,18 @@ fn main() {
         ]),
     );
     report.push("failures", Value::U64(failures as u64));
-    report.finish(args.json);
 
+    if failures == 0 {
+        println!(
+            "\nOK: batching cut doorbells/cmd {:.2} -> {:.2} with byte-identical payload traffic",
+            unbatched.sq_doorbells as f64 / n as f64,
+            batched.sq_doorbells as f64 / n as f64
+        );
+    }
+    // The JSON document is always the final stdout line (CI tails it).
+    report.finish(args.json);
     if failures > 0 {
         eprintln!("batch validation FAILED with {failures} error(s)");
         std::process::exit(1);
     }
-    println!(
-        "\nOK: batching cut doorbells/cmd {:.2} -> {:.2} with byte-identical payload traffic",
-        unbatched.sq_doorbells as f64 / n as f64,
-        batched.sq_doorbells as f64 / n as f64
-    );
 }

@@ -13,6 +13,7 @@
 //! | `ablation` | Hybrid threshold, reassembly tax, MPS/PCIe-gen/SGL sweeps, MMIO baseline |
 //! | `energy` | Link energy per op / per payload byte (§1's power motivation)   |
 //! | `batch`  | Doorbell-coalesced batched submission + WRR arbitration self-check |
+//! | `pipeline` | Serial vs Pipelined execution: IOPS speedup, QD sweep, overlap self-check |
 //!
 //! Run each with `cargo run -p bx-bench --release --bin <name> [-- n_ops]`.
 //! Op counts default to fast-but-stable values; pass a count to match the

@@ -11,7 +11,7 @@ use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status};
 use bx_pcie::{LinkConfig, TrafficCounters};
 use bx_ssd::{
     Arbitration, BlockFirmware, Controller, ControllerConfig, ControllerTiming, DeviceDram,
-    FetchPolicy, FirmwareHandler, NandConfig, SystemBus,
+    ExecutionModel, FetchPolicy, FirmwareHandler, NandConfig, SystemBus,
 };
 use std::fmt;
 
@@ -76,6 +76,7 @@ pub struct DeviceBuilder {
     cq_coalesce: u16,
     arbitration: Arbitration,
     trace: bool,
+    execution_model: ExecutionModel,
 }
 
 impl fmt::Debug for DeviceBuilder {
@@ -114,6 +115,7 @@ impl Default for DeviceBuilder {
             cq_coalesce: 0,
             arbitration: Arbitration::default(),
             trace: false,
+            execution_model: ExecutionModel::Serial,
         }
     }
 }
@@ -228,6 +230,19 @@ impl DeviceBuilder {
         self
     }
 
+    /// Selects the controller's execution model. The default,
+    /// [`ExecutionModel::Serial`], advances the global clock through every
+    /// command's full completion time at dispatch — the historical,
+    /// fully-serialized accounting, bit-identical run to run.
+    /// [`ExecutionModel::Pipelined`] decouples dispatch from completion via
+    /// a deterministic event queue, so commands on different queues and
+    /// NAND dies overlap in virtual time — the regime where queue-depth and
+    /// multi-queue IOPS scaling become visible (`pipeline` bench bin).
+    pub fn execution_model(mut self, model: ExecutionModel) -> Self {
+        self.execution_model = model;
+        self
+    }
+
     /// Turns on the cross-layer flight recorder: every layer (driver submit
     /// paths, PCIe TLPs, controller fetch/reassembly/completion, NAND, the
     /// recovery ladder) records virtual-time events into one shared sink,
@@ -266,6 +281,7 @@ impl DeviceBuilder {
             // truncated train must be evicted (DataTransferError CQE)
             // before the driver's deadline triggers a resubmission.
             inline_stall_deadline: Nanos::from_ms(1),
+            execution_model: self.execution_model,
             identify: bx_nvme::IdentifyController {
                 vendor: bx_nvme::VendorCaps {
                     byteexpress: true,
@@ -332,6 +348,10 @@ impl fmt::Debug for Device {
             .finish_non_exhaustive()
     }
 }
+
+/// One queue's worth of `(lba, payload)` writes, as consumed by
+/// [`Device::write_batch_multi`].
+pub type QueueBatch = (QueueId, Vec<(u64, Vec<u8>)>);
 
 impl Device {
     /// Starts building a device.
@@ -535,6 +555,53 @@ impl Device {
             return Err(DeviceError::Command(c.status));
         }
         Ok(completions)
+    }
+
+    /// Writes batches across *several* queues: every batch is submitted
+    /// (doorbells rung) before any completion is reaped, so all queues'
+    /// commands are visible to the controller at once. Under
+    /// [`ExecutionModel::Pipelined`] their media time overlaps — this is
+    /// the entry point for multi-queue / queue-depth scaling measurements;
+    /// under `Serial` it is equivalent to sequential [`Device::write_batch`]
+    /// calls with deferred draining. Returns per-batch completions in
+    /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Driver`] if any submission is rejected;
+    /// [`DeviceError::Command`] on the first failed completion status.
+    pub fn write_batch_multi(
+        &mut self,
+        batches: &[QueueBatch],
+        method: TransferMethod,
+    ) -> Result<Vec<Vec<Completion>>, DeviceError> {
+        let mut submitted = Vec::with_capacity(batches.len());
+        for (qid, items) in batches {
+            let cmds: Vec<(PassthruCmd, TransferMethod)> = items
+                .iter()
+                .map(|(lba, data)| {
+                    let mut cmd = PassthruCmd::to_device(IoOpcode::Write, 1, data.clone());
+                    cmd.cdw10_15[0] = *lba as u32;
+                    cmd.cdw10_15[1] = (*lba >> 32) as u32;
+                    (cmd, method)
+                })
+                .collect();
+            let batch = self.driver.submit_batch(*qid, &cmds);
+            if let Some(e) = batch.error {
+                return Err(DeviceError::Driver(e));
+            }
+            self.driver.flush_sq(*qid)?;
+            submitted.push((*qid, batch.submitted));
+        }
+        let mut out = Vec::with_capacity(submitted.len());
+        for (qid, cmds) in &submitted {
+            let completions = self.drain_batch(*qid, cmds)?;
+            if let Some(c) = completions.iter().find(|c| !c.status.is_success()) {
+                return Err(DeviceError::Command(c.status));
+            }
+            out.push(completions);
+        }
+        Ok(out)
     }
 
     /// Pumps controller + completion poll until every submitted cid of a

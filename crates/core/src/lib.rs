@@ -48,7 +48,7 @@
 pub mod device;
 pub mod stats;
 
-pub use device::{Device, DeviceBuilder, DeviceError, RunReport};
+pub use device::{Device, DeviceBuilder, DeviceError, QueueBatch, RunReport};
 pub use stats::{LatencySamples, Summary};
 
 // The pieces users routinely touch, re-exported at the top level.
@@ -56,11 +56,12 @@ pub use bx_driver::{
     BatchSubmission, CmdContext, Completion, DriverError, DriverTiming, FlushPolicy, InlineMode,
     NvmeDriver, RecoveryStats, RetryPolicy, TransferMethod,
 };
-pub use bx_hostsim::{FaultConfig, FaultCounters, Nanos, PhysAddr, PAGE_SIZE};
+pub use bx_hostsim::{EventQueue, FaultConfig, FaultCounters, Nanos, PhysAddr, PAGE_SIZE};
 pub use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status, SubmissionEntry};
 pub use bx_pcie::{LinkConfig, PcmCounters, TrafficClass, TrafficCounters};
 pub use bx_ssd::{
-    Arbitration, ControllerTiming, FetchPolicy, FirmwareCtx, FirmwareHandler, NandConfig, SystemBus,
+    Arbitration, ControllerTiming, ExecutionModel, FetchPolicy, FirmwareCtx, FirmwareHandler,
+    NandConfig, SystemBus,
 };
 
 // The flight recorder's user-facing pieces.

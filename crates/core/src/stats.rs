@@ -67,7 +67,13 @@ impl LatencySamples {
         Nanos::from_ns(total / self.samples.len() as u64)
     }
 
-    /// The `p`-th percentile (0.0–100.0) by nearest-rank; zero when empty.
+    /// The `p`-th percentile (0.0–100.0) by true nearest-rank: the
+    /// `⌈p/100 · n⌉`-th smallest sample (1-based), so `p = 0` is the minimum
+    /// and `p = 100` the maximum. Zero when empty.
+    ///
+    /// Nearest-rank always returns a value that actually occurred; at small
+    /// `n` it differs from index-interpolation schemes (e.g. p50 of four
+    /// samples is the 2nd smallest, not the 3rd).
     ///
     /// # Panics
     ///
@@ -78,8 +84,8 @@ impl LatencySamples {
             return Nanos::ZERO;
         }
         let sorted = self.sorted();
-        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-        sorted[rank]
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
     }
 
     /// Smallest sample; zero when empty.
@@ -98,7 +104,9 @@ impl LatencySamples {
     }
 
     /// Operations per second if the samples ran back to back (the
-    /// serialized-pipeline throughput the simulation measures).
+    /// serialized-pipeline throughput the simulation measures). Under
+    /// pipelined execution, per-op latencies overlap and no longer sum to
+    /// elapsed time — use [`LatencySamples::throughput_over_window`] there.
     pub fn throughput_ops_per_sec(&self) -> f64 {
         let total = self.total();
         if total.is_zero() {
@@ -107,9 +115,30 @@ impl LatencySamples {
         self.samples.len() as f64 / total.as_secs_f64()
     }
 
-    /// Throughput computed from a percentile latency — used for Fig 6-style
-    /// percentile error bars (ops/s at the p-th percentile per-op latency).
-    pub fn throughput_at_percentile(&self, p: f64) -> f64 {
+    /// Operations per second over the observed virtual-time window from
+    /// `first_submit` to `last_complete`.
+    ///
+    /// This is the honest throughput once operations overlap: it divides the
+    /// sample count by how long the workload actually took, not by the sum
+    /// of per-op latencies. Returns zero when empty or when the window is
+    /// degenerate (`last_complete <= first_submit`).
+    pub fn throughput_over_window(&self, first_submit: Nanos, last_complete: Nanos) -> f64 {
+        let window = last_complete.saturating_sub(first_submit);
+        if self.samples.is_empty() || window.is_zero() {
+            return 0.0;
+        }
+        self.samples.len() as f64 / window.as_secs_f64()
+    }
+
+    /// Throughput computed as `1 / percentile(p)` — the reciprocal of one
+    /// op's p-th percentile latency, used for Fig 6-style error bars.
+    ///
+    /// Only meaningful for *serialized* execution, where one op occupies the
+    /// whole pipeline and per-op latency is the pipeline period. Once ops
+    /// overlap (see [`ExecutionModel::Pipelined`][bx_ssd::ExecutionModel]),
+    /// this under-reports sustained rate; use
+    /// [`LatencySamples::throughput_over_window`] instead.
+    pub fn serialized_throughput_at_percentile(&self, p: f64) -> f64 {
         let lat = self.percentile(p);
         if lat.is_zero() {
             return 0.0;
@@ -169,6 +198,20 @@ pub struct Summary {
     pub p99: Nanos,
 }
 
+impl Summary {
+    /// Operations per second over the observed virtual-time window — the
+    /// digest-level twin of [`LatencySamples::throughput_over_window`],
+    /// computed from [`Summary::count`]. Zero when the digest is empty or
+    /// the window is degenerate.
+    pub fn throughput_over_window(&self, first_submit: Nanos, last_complete: Nanos) -> f64 {
+        let window = last_complete.saturating_sub(first_submit);
+        if self.count == 0 || window.is_zero() {
+            return 0.0;
+        }
+        self.count as f64 / window.as_secs_f64()
+    }
+}
+
 impl Extend<Nanos> for LatencySamples {
     fn extend<T: IntoIterator<Item = Nanos>>(&mut self, iter: T) {
         self.samples.extend(iter);
@@ -205,10 +248,30 @@ mod tests {
     fn percentiles_by_shared_ref() {
         let s = samples(&(1..=100).collect::<Vec<_>>());
         assert_eq!(s.percentile(0.0), Nanos::from_ns(1));
-        assert_eq!(s.percentile(50.0), Nanos::from_ns(51)); // nearest rank
+        assert_eq!(s.percentile(50.0), Nanos::from_ns(50)); // ⌈0.50·100⌉ = rank 50
         assert_eq!(s.percentile(100.0), Nanos::from_ns(100));
         assert_eq!(s.percentile(99.0), Nanos::from_ns(99));
-        assert_eq!(s.percentile(1.0), Nanos::from_ns(2));
+        assert_eq!(s.percentile(1.0), Nanos::from_ns(1)); // ⌈0.01·100⌉ = rank 1
+    }
+
+    #[test]
+    fn nearest_rank_small_n_regressions() {
+        // Cases where true nearest-rank (⌈p/100·n⌉) disagrees with the old
+        // `round(p/100·(n-1))` indexing; pinned so the fix can't regress.
+        let s = samples(&[10, 20, 30, 40]);
+        assert_eq!(s.percentile(50.0), Nanos::from_ns(20)); // old code: 30
+        assert_eq!(s.percentile(25.0), Nanos::from_ns(10)); // old code: 20
+        assert_eq!(s.percentile(75.0), Nanos::from_ns(30));
+        assert_eq!(s.percentile(100.0), Nanos::from_ns(40));
+
+        let s = samples(&[10, 20]);
+        assert_eq!(s.percentile(50.0), Nanos::from_ns(10)); // old code: 20
+
+        // A single sample answers every percentile with itself.
+        let s = samples(&[42]);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), Nanos::from_ns(42));
+        }
     }
 
     #[test]
@@ -247,6 +310,34 @@ mod tests {
     }
 
     #[test]
+    fn throughput_over_window_counts_overlap() {
+        // The same 4 ops of 1 ms each, but overlapped into a 2 ms window:
+        // the window figure sees 2000 ops/s where the serialized one (above)
+        // would claim 1000.
+        let s = samples(&[1_000_000; 4]);
+        let t0 = Nanos::ZERO;
+        let t1 = Nanos::from_ms(2);
+        assert!((s.throughput_over_window(t0, t1) - 2000.0).abs() < 1e-6);
+        // The Summary digest carries the same computation.
+        assert!((s.summary().throughput_over_window(t0, t1) - 2000.0).abs() < 1e-6);
+        // Degenerate windows and empty sets are safe zeros.
+        assert_eq!(s.throughput_over_window(t1, t1), 0.0);
+        assert_eq!(s.throughput_over_window(t1, t0), 0.0);
+        assert_eq!(LatencySamples::new().throughput_over_window(t0, t1), 0.0);
+    }
+
+    #[test]
+    fn serialized_percentile_throughput_is_reciprocal_latency() {
+        let s = samples(&[1_000_000, 2_000_000]);
+        // p99 → the 2 ms sample → 500 ops/s.
+        assert!((s.serialized_throughput_at_percentile(99.0) - 500.0).abs() < 1e-6);
+        assert_eq!(
+            LatencySamples::new().serialized_throughput_at_percentile(99.0),
+            0.0
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn bad_percentile_panics() {
         samples(&[1]).percentile(101.0);
@@ -260,8 +351,8 @@ mod tests {
         assert_eq!(d.mean, s.mean());
         assert_eq!(d.min, Nanos::from_ns(1));
         assert_eq!(d.max, Nanos::from_ns(100));
-        assert_eq!(d.p1, Nanos::from_ns(2));
-        assert_eq!(d.p50, Nanos::from_ns(51));
+        assert_eq!(d.p1, Nanos::from_ns(1));
+        assert_eq!(d.p50, Nanos::from_ns(50));
         assert_eq!(d.p99, Nanos::from_ns(99));
     }
 

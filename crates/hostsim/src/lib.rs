@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod event;
 pub mod fault;
 pub mod mem;
 pub mod time;
 
 pub use clock::SimClock;
+pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultCounters, FaultInjector};
 pub use mem::{DmaRegion, HostMemory, MemError, PageAllocator, PageRef, PhysAddr, PAGE_SIZE};
 pub use time::Nanos;

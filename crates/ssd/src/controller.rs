@@ -24,7 +24,7 @@ use crate::nand::{NandArray, NandConfig};
 use crate::reassembly::ReassemblyEngine;
 use crate::registers::{Register, RegisterFile};
 use crate::timing::ControllerTiming;
-use bx_hostsim::{DmaRegion, Nanos, PhysAddr};
+use bx_hostsim::{DmaRegion, EventQueue, Nanos, PhysAddr};
 use bx_nvme::queue::CqProducer;
 use bx_nvme::sqe::DataPointerKind;
 use bx_nvme::{
@@ -45,6 +45,28 @@ pub enum FetchPolicy {
     /// The §3.3.2 extension: chunks are self-describing and may be accepted
     /// out of order (the driver must frame them with reassembly headers).
     Reassembly,
+}
+
+/// How the controller accounts virtual time across commands in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionModel {
+    /// The historical (and default) model: after every firmware dispatch the
+    /// global clock advances through the command's full `complete_at` —
+    /// including NAND busy time — before the next SQE is fetched. Simple,
+    /// exactly calibrated to Table 1, but *everything* serializes: no
+    /// queue-depth or multi-queue throughput scaling can ever show.
+    #[default]
+    Serial,
+    /// Event-driven overlap: firmware dispatch returns as soon as the
+    /// command is issued to the media, the completion is scheduled on a
+    /// deterministic event queue at `complete_at`, and the controller keeps
+    /// fetching. Per-resource busy-until state still serializes same-
+    /// resource work (the shared clock covers the PCIe link and controller
+    /// core; `NandArray`'s per-die `busy_until` covers channel/die
+    /// occupancy; CQE posting serializes through time-ordered delivery), so
+    /// commands on different SQs and NAND dies overlap in virtual time
+    /// while contended resources still queue.
+    Pipelined,
 }
 
 /// Controller construction parameters.
@@ -72,6 +94,10 @@ pub struct ControllerConfig {
     pub inline_stall_deadline: Nanos,
     /// Identify data the controller advertises.
     pub identify: IdentifyController,
+    /// Whether command completion times serialize the whole device
+    /// ([`ExecutionModel::Serial`], the default) or overlap via the
+    /// deferred-completion event queue ([`ExecutionModel::Pipelined`]).
+    pub execution_model: ExecutionModel,
 }
 
 impl Default for ControllerConfig {
@@ -86,6 +112,7 @@ impl Default for ControllerConfig {
             reassembly_sram: 64 << 10,
             inline_stall_deadline: Nanos::from_ms(1),
             identify: IdentifyController::default(),
+            execution_model: ExecutionModel::default(),
         }
     }
 }
@@ -150,6 +177,29 @@ struct BandSlimPending {
     next_frag: u32,
 }
 
+/// A completion whose delivery was decoupled from firmware dispatch
+/// ([`ExecutionModel::Pipelined`]): scheduled at `complete_at` on the
+/// controller's event queue, delivered (response DMA + CQE post, or MMIO
+/// status-window push) when virtual time reaches it.
+enum DeferredCompletion {
+    /// An I/O-queue command. Keyed by queue *id*, not index — queues may be
+    /// deleted while a completion is in flight, in which case it is dropped
+    /// (matching real hardware: a CQE for a deleted queue pair goes
+    /// nowhere).
+    Cqe {
+        qid: u16,
+        sqe: SubmissionEntry,
+        outcome: CommandOutcome,
+    },
+    /// A byte-interface (MMIO window) command: posts a status word, not a
+    /// CQE.
+    Mmio {
+        cid: u16,
+        status: Status,
+        result: u32,
+    },
+}
+
 /// The simulated NVMe controller.
 pub struct Controller {
     bus: SystemBus,
@@ -172,6 +222,10 @@ pub struct Controller {
     /// CQs created by admin command but not yet bound to an SQ: cqid → (base, depth).
     pending_cqs: BTreeMap<u16, (PhysAddr, u16)>,
     next_io_qid: u16,
+    execution: ExecutionModel,
+    /// Completions scheduled for future virtual instants (always empty
+    /// under [`ExecutionModel::Serial`]).
+    deferred: EventQueue<DeferredCompletion>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -219,6 +273,8 @@ impl Controller {
             admin: None,
             pending_cqs: BTreeMap::new(),
             next_io_qid: 1,
+            execution: cfg.execution_model,
+            deferred: EventQueue::new(),
         }
     }
 
@@ -324,10 +380,12 @@ impl Controller {
             self.regs.set_ready();
         }
         if reg == Register::Cc && !self.regs.enabled() {
-            // Controller reset: tear down every queue.
+            // Controller reset: tear down every queue and drop any
+            // completions still in flight toward them.
             self.admin = None;
             self.queues.clear();
             self.pending_cqs.clear();
+            self.deferred.clear();
             self.next_io_qid = 1;
         }
     }
@@ -363,6 +421,17 @@ impl Controller {
         self.fetch_policy
     }
 
+    /// The execution model in force.
+    pub fn execution_model(&self) -> ExecutionModel {
+        self.execution
+    }
+
+    /// Completions dispatched but not yet delivered (always 0 under
+    /// [`ExecutionModel::Serial`]).
+    pub fn completions_in_flight(&self) -> usize {
+        self.deferred.len()
+    }
+
     /// Immutable view of device DRAM (tests inspect landed payloads).
     pub fn dram(&self) -> &DeviceDram {
         &self.dram
@@ -386,10 +455,23 @@ impl Controller {
     /// Processes doorbell'd submissions round-robin until every queue is
     /// drained. Returns the number of *commands* completed (chunk entries and
     /// fragments don't count).
+    ///
+    /// Under [`ExecutionModel::Pipelined`] this is also the event loop:
+    /// completions scheduled by earlier dispatches are delivered as their
+    /// instants pass, interleaved with SQE fetches; once no fetchable work
+    /// remains, virtual time advances to the earliest outstanding completion
+    /// instead of idling, so the call returns only when every accepted
+    /// command has completed — same contract as `Serial`, but with the NAND
+    /// busy windows overlapped instead of summed.
     pub fn process_available(&mut self) -> usize {
         let mut completed = 0;
         loop {
             let mut progressed = false;
+            let delivered = self.deliver_due_completions();
+            if delivered > 0 {
+                completed += delivered;
+                progressed = true;
+            }
             let evicted = self.evict_stalled_inline();
             if evicted > 0 {
                 completed += evicted;
@@ -400,8 +482,8 @@ impl Controller {
                 completed += 1;
                 progressed = true;
             }
-            while self.process_mmio_one() {
-                completed += 1;
+            while let Some(n) = self.process_mmio_one() {
+                completed += n;
                 progressed = true;
             }
             // One arbitration round: every queue gets a credit budget per
@@ -436,7 +518,69 @@ impl Controller {
                 }
             }
             if !progressed {
-                return completed;
+                // Nothing fetchable right now. If completions are still in
+                // flight (Pipelined), the controller would really be idle —
+                // jump virtual time to the earliest one and deliver it on
+                // the next pass rather than returning with work pending.
+                match self.deferred.peek_at() {
+                    Some(at) => {
+                        self.bus.clock.advance_to(at);
+                    }
+                    None => return completed,
+                }
+            }
+        }
+    }
+
+    /// Delivers every deferred completion due at or before the current
+    /// virtual time, in `(complete_at, dispatch order)` order. Returns the
+    /// number of commands completed.
+    fn deliver_due_completions(&mut self) -> usize {
+        let mut delivered = 0;
+        let now = self.bus.clock.now();
+        while let Some((_, ev)) = self.deferred.pop_due(now) {
+            delivered += self.deliver_completion(ev);
+        }
+        delivered
+    }
+
+    /// Finishes one deferred command: response DMA + CQE post (or the MMIO
+    /// status-window push). Runs at or after the command's `complete_at`.
+    fn deliver_completion(&mut self, ev: DeferredCompletion) -> usize {
+        match ev {
+            DeferredCompletion::Cqe { qid, sqe, outcome } => {
+                let Some(qi) = self.queues.iter().position(|q| q.id.0 == qid) else {
+                    // Queue pair deleted while the command was in flight;
+                    // the completion has nowhere to land.
+                    return 0;
+                };
+                if let Some(response) = &outcome.response {
+                    if !response.is_empty() {
+                        self.dma_response(&sqe, response);
+                    }
+                }
+                self.post_completion(qi, sqe.cid(), &outcome);
+                1
+            }
+            DeferredCompletion::Mmio {
+                cid,
+                status,
+                result,
+            } => {
+                self.bus.mmio_window.borrow_mut().completions.push_back(
+                    crate::bus::MmioCompletion {
+                        cid,
+                        status,
+                        result,
+                    },
+                );
+                self.bus
+                    .trace
+                    .emit_cmd(CmdKey::new(0, cid), || EventKind::CqePost {
+                        status: status.to_wire(),
+                    });
+                self.stats.commands_completed += 1;
+                1
             }
         }
     }
@@ -456,6 +600,11 @@ impl Controller {
         self.reassembly.evict_stalled(now, self.stall_deadline);
         let mut completed = 0;
         for qi in 0..self.queues.len() {
+            // Deadline boundary is EXCLUSIVE: a train whose age equals the
+            // deadline exactly survives one more pass; eviction requires
+            // age strictly greater. Must agree with the engine sweep in
+            // `ReassemblyEngine::evict_stalled` (pinned by
+            // `stall_eviction_boundary_is_exclusive` tests in both files).
             let expired = self.queues[qi]
                 .inline_pending
                 .as_ref()
@@ -477,10 +626,12 @@ impl Controller {
     /// Consumes one byte-interface submission from the BAR window, if any
     /// (§3.1 baseline: no SQE fetch, no CQE — the buffer monitor hands the
     /// committed bytes straight to the firmware and posts a status word).
-    fn process_mmio_one(&mut self) -> bool {
-        let Some(sub) = self.bus.mmio_window.borrow_mut().submissions.pop_front() else {
-            return false;
-        };
+    ///
+    /// Returns `None` when the window is empty, otherwise the number of
+    /// completions posted: 1 under `Serial`, 0 under `Pipelined` (the status
+    /// word posts later, when the scheduled completion is delivered).
+    fn process_mmio_one(&mut self) -> Option<usize> {
+        let sub = self.bus.mmio_window.borrow_mut().submissions.pop_front()?;
         self.bus.clock.advance(self.timing.mmio_detect);
         // The byte-interface path has no SQ; spans use queue id 0 by
         // convention (mirrored by the driver's MMIO submit hook).
@@ -500,6 +651,21 @@ impl Controller {
         };
         let payload = (!sub.payload.is_empty()).then_some(sub.payload.as_slice());
         let outcome = self.firmware.handle(ctx, &sub.sqe, payload);
+        if self.execution == ExecutionModel::Pipelined {
+            let until = outcome.complete_at.max(self.bus.clock.now());
+            self.bus
+                .trace
+                .emit_cmd(key, || EventKind::CqeDeferred { until });
+            self.deferred.push(
+                until,
+                DeferredCompletion::Mmio {
+                    cid: sub.sqe.cid(),
+                    status: outcome.status,
+                    result: outcome.result,
+                },
+            );
+            return Some(0);
+        }
         self.bus.clock.advance_to(outcome.complete_at);
         self.bus
             .mmio_window
@@ -514,7 +680,7 @@ impl Controller {
             status: outcome.status.to_wire(),
         });
         self.stats.commands_completed += 1;
-        true
+        Some(1)
     }
 
     fn admin_has_work(&self) -> bool {
@@ -933,7 +1099,15 @@ impl Controller {
     }
 
     /// Runs firmware and posts the completion (including any device→host
-    /// response DMA).
+    /// response DMA). Returns the number of completions posted *now*.
+    ///
+    /// Under `Serial` the clock advances through the command's full
+    /// `complete_at` — the controller is frozen until the media finishes.
+    /// Under `Pipelined` the dispatch returns immediately (the firmware has
+    /// issued the program/read; per-die busy-until state in [`NandArray`]
+    /// keeps same-die work queued) and the completion — response DMA
+    /// included, since the data only exists once the media op finishes — is
+    /// scheduled for `complete_at` on the deferred-event queue.
     fn dispatch_and_complete(
         &mut self,
         qi: usize,
@@ -947,6 +1121,24 @@ impl Controller {
             now: self.bus.clock.now(),
         };
         let outcome = self.firmware.handle(ctx, sqe, payload);
+        if self.execution == ExecutionModel::Pipelined {
+            let qid = self.queues[qi].id.0;
+            let until = outcome.complete_at.max(self.bus.clock.now());
+            self.bus
+                .trace
+                .emit_cmd(CmdKey::new(qid, sqe.cid()), || EventKind::CqeDeferred {
+                    until,
+                });
+            self.deferred.push(
+                until,
+                DeferredCompletion::Cqe {
+                    qid,
+                    sqe: *sqe,
+                    outcome,
+                },
+            );
+            return 0;
+        }
         self.bus.clock.advance_to(outcome.complete_at);
 
         // Device→host response: DMA into the command's PRP-described buffer.

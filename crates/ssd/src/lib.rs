@@ -37,7 +37,7 @@ pub mod timing;
 
 pub use arbiter::Arbitration;
 pub use bus::{FaultHandle, MmioCompletion, MmioSubmission, MmioWindow, SystemBus};
-pub use controller::{Controller, ControllerConfig, ControllerStats, FetchPolicy};
+pub use controller::{Controller, ControllerConfig, ControllerStats, ExecutionModel, FetchPolicy};
 pub use dram::{DeviceDram, DramError, DramRegion};
 pub use firmware::{BlockFirmware, CommandOutcome, FirmwareCtx, FirmwareHandler};
 pub use ftl::{Ftl, FtlError, FtlStats};

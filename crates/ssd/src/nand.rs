@@ -229,6 +229,7 @@ impl NandArray {
             op,
             channel: ppa.channel as u32,
             die: ppa.die as u32,
+            start,
             busy: done.saturating_sub(start),
         });
     }

@@ -272,6 +272,12 @@ impl ReassemblyEngine {
     /// tracking SRAM is reclaimed and the evicted payload ids are returned so
     /// the controller can fail the owning commands instead of leaking SRAM
     /// until reset.
+    ///
+    /// The deadline boundary is EXCLUSIVE: a payload aged exactly `deadline`
+    /// survives; eviction requires age strictly greater. This must agree
+    /// with the parked-command check in the controller's
+    /// `evict_stalled_inline` — both sides are pinned by
+    /// `stall_eviction_boundary_is_exclusive` tests.
     pub fn evict_stalled(&mut self, now: Nanos, deadline: Nanos) -> Vec<u32> {
         let expired: Vec<u32> = self
             .inflight
@@ -295,6 +301,30 @@ mod tests {
 
     fn payload(len: usize) -> Vec<u8> {
         (0..len).map(|i| (i % 253) as u8).collect()
+    }
+
+    #[test]
+    fn stall_eviction_boundary_is_exclusive() {
+        // Pins the engine-sweep half of the eviction boundary (the
+        // controller's parked-command half lives in controller.rs): a
+        // payload aged *exactly* the deadline survives, one nanosecond more
+        // evicts it.
+        let deadline = Nanos::from_us(10);
+        let t0 = Nanos::from_us(3);
+        let mut eng = ReassemblyEngine::new(1024);
+        let chunks = encode_reassembly_chunks(7, &payload(120));
+        assert!(chunks.len() >= 2, "needs a truncatable train");
+        let (h, d) = split_reassembly_chunk(&chunks[0]);
+        eng.accept_at(h, d, t0).unwrap();
+
+        assert!(eng.evict_stalled(t0 + deadline, deadline).is_empty());
+        assert_eq!(eng.evicted_count(), 0);
+        assert_eq!(eng.inflight_count(), 1, "at-deadline payload survives");
+
+        let evicted = eng.evict_stalled(t0 + deadline + Nanos::from_ns(1), deadline);
+        assert_eq!(evicted, vec![7]);
+        assert_eq!(eng.evicted_count(), 1);
+        assert_eq!(eng.sram_used(), 0, "sram reclaimed on eviction");
     }
 
     #[test]

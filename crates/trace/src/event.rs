@@ -116,13 +116,21 @@ pub enum EventKind {
     ArbiterGrant { qid: u16, served: u16 },
     /// A CQE was posted to the host (includes the interrupt).
     CqePost { status: u16 },
+    /// Pipelined execution deferred this command's completion: firmware
+    /// dispatch returned immediately and the CQE is scheduled for `until`
+    /// (the controller is free to fetch the next SQE in the meantime).
+    CqeDeferred { until: Nanos },
 
     // ---- FTL / NAND -----------------------------------------------------
     /// A NAND array operation (`op` is `"program"`, `"read"` or `"erase"`).
+    /// The die is occupied over the absolute span `[start, start + busy]` —
+    /// `start` may lie past the emission timestamp when the op queued
+    /// behind earlier work on the same die.
     NandOp {
         op: &'static str,
         channel: u32,
         die: u32,
+        start: Nanos,
         busy: Nanos,
     },
     /// A foreground garbage-collection cycle inside the FTL.
@@ -152,7 +160,8 @@ impl EventKind {
             | ReassemblyEvict
             | DataFetch { .. }
             | ArbiterGrant { .. }
-            | CqePost { .. } => "controller",
+            | CqePost { .. }
+            | CqeDeferred { .. } => "controller",
             NandOp { .. } | GcCycle { .. } => "nand",
         }
     }
@@ -179,6 +188,7 @@ impl EventKind {
             DataFetch { .. } => "data_fetch",
             ArbiterGrant { .. } => "arbiter_grant",
             CqePost { .. } => "cqe_post",
+            CqeDeferred { .. } => "cqe_deferred",
             NandOp { .. } => "nand_op",
             GcCycle { .. } => "gc_cycle",
         }
@@ -238,15 +248,18 @@ impl EventKind {
                 Value::object([("qid", qid.to_value()), ("served", served.to_value())])
             }
             CqePost { status } => Value::object([("status", status.to_value())]),
+            CqeDeferred { until } => Value::object([("until_ns", until.as_ns().to_value())]),
             NandOp {
                 op,
                 channel,
                 die,
+                start,
                 busy,
             } => Value::object([
                 ("op", op.to_value()),
                 ("channel", channel.to_value()),
                 ("die", die.to_value()),
+                ("start_ns", start.as_ns().to_value()),
                 ("busy_ns", busy.as_ns().to_value()),
             ]),
             GcCycle {
@@ -302,12 +315,17 @@ impl fmt::Display for EventKind {
             DataFetch { kind, bytes } => write!(f, "data-fetch {kind} {bytes} B"),
             ArbiterGrant { qid, served } => write!(f, "arbiter-grant q{qid} served={served}"),
             CqePost { status } => write!(f, "cqe-post status={status:#06x}"),
+            CqeDeferred { until } => write!(f, "cqe-deferred until={until}"),
             NandOp {
                 op,
                 channel,
                 die,
+                start,
                 busy,
-            } => write!(f, "nand-{op} ch{channel}/die{die} busy={busy}"),
+            } => write!(
+                f,
+                "nand-{op} ch{channel}/die{die} start={start} busy={busy}"
+            ),
             GcCycle {
                 moved_pages,
                 erased_blocks,

@@ -167,6 +167,78 @@ fn chaos_storm_preserves_acknowledged_writes() {
     assert_eq!(c.data.unwrap(), data);
 }
 
+/// The full storm with event-driven pipelined execution: out-of-order CQE
+/// delivery from the deferred-completion queue must not confuse the
+/// timeout-reap/retry/degradation ladder. Same invariants as the serial
+/// storm — acked writes survive, recovery machinery works, the device
+/// converges to a clean quiescent state — plus determinism of the whole
+/// pipelined fault schedule.
+#[test]
+fn chaos_storm_converges_under_pipelined_execution() {
+    use byteexpress::ExecutionModel;
+
+    let run = || {
+        let mut dev = Device::builder()
+            .fetch_policy(FetchPolicy::Reassembly)
+            .fault_config(chaos_config())
+            .retry_policy(RetryPolicy::default())
+            .execution_model(ExecutionModel::Pipelined)
+            .nand_io(true)
+            .build();
+        let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
+        for i in 0..150 {
+            let data = payload(i);
+            match dev.passthru(&write_cmd(i as u64, data.clone()), method(i)) {
+                Ok(c) if c.status.is_success() => acked.push((i as u64, data)),
+                Ok(_) => {}
+                Err(DeviceError::Driver(_)) => {}
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        }
+
+        // The storm stormed and the ladder climbed, with NAND media (hence
+        // deferred, out-of-order completion times) in the loop.
+        let fc = dev.fault_counters();
+        assert!(fc.distinct_classes() >= 4, "fault diversity: {fc:?}");
+        let rec = dev.recovery_stats();
+        assert!(rec.timeouts > 0, "timeouts detected: {rec:?}");
+        assert!(rec.retries > 0, "retries performed: {rec:?}");
+        assert!(!acked.is_empty(), "the ladder must land most writes");
+
+        // Quiesce and verify convergence: no deferred completion is stuck,
+        // no reassembly state leaks, every acked write reads back bit-exact.
+        dev.disable_faults();
+        dev.bus().clock.advance(Nanos::from_ms(10));
+        let _ = dev.passthru(
+            &write_cmd(1000, vec![0xFE; 32]),
+            TransferMethod::ByteExpress,
+        );
+        assert_eq!(
+            dev.controller().completions_in_flight(),
+            0,
+            "deferred CQEs must drain at quiescence"
+        );
+        let re = dev.controller().reassembly();
+        assert_eq!(re.sram_used(), 0, "reassembly SRAM leaked");
+        assert_eq!(re.inflight_count(), 0, "phantom in-flight payloads remain");
+        for (lba, data) in &acked {
+            let c = dev
+                .passthru(&read_cmd(*lba, data.len()), TransferMethod::Prp)
+                .expect("clean-phase read must not error");
+            assert!(c.status.is_success(), "read of acked lba {lba}");
+            assert_eq!(&c.data.unwrap(), data, "acked lba {lba} lost or corrupted");
+        }
+        (
+            format!("{:?}", dev.fault_counters()),
+            format!("{:?}", dev.recovery_stats()),
+            dev.now(),
+            dev.traffic().total_bytes(),
+            acked.len(),
+        )
+    };
+    assert_eq!(run(), run(), "pipelined storm must be reproducible");
+}
+
 /// The same storm seed twice produces the exact same fault counts and
 /// recovery behaviour: the chaos harness is reproducible by construction.
 #[test]
