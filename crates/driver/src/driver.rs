@@ -405,7 +405,7 @@ impl NvmeDriver {
 
         // Identify controller.
         let buf = self.bus.mem.borrow_mut().alloc_page()?;
-        let cid = self.admin_cid();
+        let cid = self.admin_cid()?;
         let sqe = admin::identify_controller(cid, buf.addr());
         let cqe = self.admin_execute(ctrl, sqe)?;
         if !cqe.status().is_success() {
@@ -428,11 +428,11 @@ impl NvmeDriver {
         self.identify.as_ref()
     }
 
-    fn admin_cid(&mut self) -> u16 {
-        let a = self.admin.as_mut().expect("admin queue initialized");
+    fn admin_cid(&mut self) -> Result<u16, DriverError> {
+        let a = self.admin.as_mut().ok_or(DriverError::NotReady)?;
         let cid = a.next_cid;
         a.next_cid = a.next_cid.wrapping_add(1);
-        cid
+        Ok(cid)
     }
 
     /// Synchronously executes one admin command.
@@ -443,7 +443,7 @@ impl NvmeDriver {
     ) -> Result<CompletionEntry, DriverError> {
         let bus = self.bus.clone();
         let timing = self.timing.clone();
-        let a = self.admin.as_mut().expect("admin queue initialized");
+        let a = self.admin.as_mut().ok_or(DriverError::NotReady)?;
         let slot = a.sq.push_slot();
         bus.mem
             .borrow_mut()
@@ -460,7 +460,7 @@ impl NvmeDriver {
 
         ctrl.process_available();
 
-        let a = self.admin.as_mut().expect("admin queue initialized");
+        let a = self.admin.as_mut().ok_or(DriverError::NotReady)?;
         let slot = a.cq.head();
         let mut img = [0u8; CQE_BYTES];
         bus.mem.borrow().read(a.cq.slot_addr(slot), &mut img)?;
@@ -515,13 +515,13 @@ impl NvmeDriver {
         let (sq_region, cq_region) = self.alloc_rings(depth)?;
         let id = if self.admin.is_some() {
             let qid = self.next_io_qid;
-            let cid = self.admin_cid();
+            let cid = self.admin_cid()?;
             let cqe =
                 self.admin_execute(ctrl, admin::create_io_cq(cid, qid, depth, cq_region.base()))?;
             if !cqe.status().is_success() {
                 return Err(DriverError::AdminFailed(cqe.status()));
             }
-            let cid = self.admin_cid();
+            let cid = self.admin_cid()?;
             let cqe = self.admin_execute(
                 ctrl,
                 admin::create_io_sq(cid, qid, depth, sq_region.base(), qid),
@@ -569,12 +569,12 @@ impl NvmeDriver {
         if !self.queues.contains_key(&qid.0) {
             return Err(DriverError::UnknownQueue(qid));
         }
-        let cid = self.admin_cid();
+        let cid = self.admin_cid()?;
         let cqe = self.admin_execute(ctrl, admin::delete_io_sq(cid, qid.0))?;
         if !cqe.status().is_success() {
             return Err(DriverError::AdminFailed(cqe.status()));
         }
-        let cid = self.admin_cid();
+        let cid = self.admin_cid()?;
         let cqe = self.admin_execute(ctrl, admin::delete_io_cq(cid, qid.0))?;
         if !cqe.status().is_success() {
             return Err(DriverError::AdminFailed(cqe.status()));
@@ -666,6 +666,7 @@ impl NvmeDriver {
                         self.trace_sqe_insert(0, cid, TransferMethod::MmioByte, cmd);
                         self.submit_mmio_byte(sqe, &cmd.data)?;
                     }
+                    // bx-lint: allow(panic-freedom, reason = "resolve() above maps Hybrid to a concrete method; this arm is a driver bug, not a reachable state")
                     TransferMethod::Hybrid { .. } => unreachable!("resolved above"),
                 }
             }
@@ -1322,6 +1323,7 @@ impl NvmeDriver {
             // fault seed yields one reproducible completion order.
             expired.sort_unstable();
             for cid in expired {
+                // bx-lint: allow(panic-freedom, reason = "cids were collected from this map two lines up with no intervening removal")
                 let inflight = qp.inflight.remove(&cid).expect("listed above");
                 let submitted_at = inflight.submitted_at;
                 let mut mem = bus.mem.borrow_mut();
@@ -1394,6 +1396,7 @@ impl NvmeDriver {
         let idx = completions
             .iter()
             .position(|c| c.cid == submitted.cid)
+            // bx-lint: allow(panic-freedom, reason = "the synchronous controller model drains every in-flight command inside process_available()")
             .expect("controller must complete the submitted command");
         let mut completion = completions.swap_remove(idx);
         completion.submitted_at = submitted.submitted_at;
@@ -1417,6 +1420,7 @@ impl NvmeDriver {
         }
         let probe_after = self
             .retry_policy
+            // bx-lint: allow(panic-freedom, reason = "plan_method is private to execute_recover, which requires an installed RetryPolicy")
             .expect("plan_method is only called on the recovery path")
             .probe_after;
         let qp = self.queue_mut(qid)?;
@@ -1484,6 +1488,7 @@ impl NvmeDriver {
         cmd: &PassthruCmd,
         method: TransferMethod,
     ) -> Result<Completion, DriverError> {
+        // bx-lint: allow(panic-freedom, reason = "execute_with_recovery verifies a RetryPolicy is installed before dispatching here")
         let policy = self.retry_policy.expect("caller checked");
         let started = self.bus.clock.now();
         let mut attempt: u32 = 0;
@@ -1588,6 +1593,7 @@ impl QueuePair {
                 return cid;
             }
         }
+        // bx-lint: allow(panic-freedom, reason = "queue depth is bounded far below 65536 in-flight cids; exhaustion is unrepresentable")
         panic!("no free command identifiers");
     }
 }

@@ -1,0 +1,13 @@
+//! Bad fixture: allow annotations that do not carry a usable justification.
+//! Expected findings: `annotation` (missing reason; empty rule list) and the
+//! unsuppressed `panic-freedom` finding underneath each.
+
+pub fn first(values: &[u64]) -> u64 {
+    // bx-lint: allow(panic-freedom)
+    values.first().copied().unwrap()
+}
+
+pub fn second(values: &[u64]) -> u64 {
+    // bx-lint: allow(, reason = "no rule named")
+    values.last().copied().unwrap()
+}

@@ -1,0 +1,30 @@
+//! Bad fixture: abort paths in non-test hot-path code. Expected findings:
+//! `panic-freedom` (unwrap, expect, panic!, unreachable!, non-literal index).
+
+pub fn take_first(values: &[u64]) -> u64 {
+    values.first().copied().unwrap()
+}
+
+pub fn must_get(map: &std::collections::HashMap<u32, u64>, key: u32) -> u64 {
+    *map.get(&key).expect("key must exist")
+}
+
+pub fn dispatch(op: u8) -> u64 {
+    match op {
+        0x01 => 1,
+        0x02 => 2,
+        _ => panic!("unknown opcode {op}"),
+    }
+}
+
+pub fn never(flag: bool) -> u64 {
+    if flag {
+        unreachable!("flag is never set")
+    } else {
+        0
+    }
+}
+
+pub fn slot(ring: &[u64], tail: usize) -> u64 {
+    ring[tail]
+}

@@ -1,0 +1,54 @@
+//! Bad fixture: an event taxonomy where one handler hides a variant behind a
+//! wildcard arm — rustc's exhaustiveness check passes, but a new variant
+//! would silently export as "other" and the timeline would drop `Gc`.
+//! Expected findings: `trace-exhaustiveness` (missing variants in `name`,
+//! wildcard arm in `name`, `Gc` missing from `fmt`).
+
+pub enum EventKind {
+    Submit { opcode: u8 },
+    Complete { status: u16 },
+    Gc,
+}
+
+impl EventKind {
+    pub fn layer(&self) -> &'static str {
+        match self {
+            EventKind::Submit { .. } => "driver",
+            EventKind::Complete { .. } => "driver",
+            EventKind::Gc => "nand",
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Submit { .. } => "submit",
+            _ => "other",
+        }
+    }
+
+    pub fn args(&self) -> u32 {
+        match self {
+            EventKind::Submit { opcode } => *opcode as u32,
+            EventKind::Complete { status } => *status as u32,
+            EventKind::Gc => 0,
+        }
+    }
+}
+
+impl core::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EventKind::Submit { opcode } => write!(f, "submit {opcode}"),
+            EventKind::Complete { status } => write!(f, "complete {status}"),
+            _ => Ok(()),
+        }
+    }
+}
+
+pub fn chrome_trace(events: &[EventKind]) -> usize {
+    events.len()
+}
+
+pub fn timeline(events: &[EventKind]) -> usize {
+    events.len()
+}

@@ -1,0 +1,7 @@
+//! Bad fixture: an `unsafe` block in a file that is not on the allowlist.
+//! Expected findings: `unsafe-confinement`.
+
+pub fn reinterpret(bytes: &[u8; 8]) -> u64 {
+    // A "fast path" someone might be tempted to add to the chunk codec.
+    unsafe { core::mem::transmute::<[u8; 8], u64>(*bytes) }
+}

@@ -1,0 +1,22 @@
+//! Bad fixture: wall-clock time smuggled into simulator code. Expected
+//! findings: `virtual-time-purity` (Instant, SystemTime, std::time,
+//! thread::sleep).
+
+use std::time::{Instant, SystemTime};
+
+pub fn measure<F: FnOnce()>(f: F) -> u64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn wall_clock_seed() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+pub fn settle() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,28 @@
+//! Bad fixture: a wire type with an encode/decode pair but no const-asserted
+//! encoded size, and a second rogue codec type that is not registered at all.
+//! Expected findings: `wire-layout` (missing const assert; unregistered
+//! `Rogue::to_bytes`).
+
+pub struct WireThing {
+    raw: [u8; 64],
+}
+
+impl WireThing {
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.raw
+    }
+
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        WireThing { raw: *bytes }
+    }
+}
+
+pub struct Rogue {
+    word: u32,
+}
+
+impl Rogue {
+    pub fn to_bytes(&self) -> [u8; 4] {
+        self.word.to_le_bytes()
+    }
+}

@@ -1,0 +1,37 @@
+//! Good fixture: hot-path code that satisfies every rule — Result
+//! propagation instead of unwraps, a reasoned allow annotation where an
+//! invariant genuinely holds, literal/range indexing only, and test-gated
+//! code free to use the conveniences. Expected findings: none.
+
+pub fn first(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}
+
+pub fn checked_slot(ring: &[u64], tail: usize) -> Option<u64> {
+    ring.get(tail).copied()
+}
+
+pub fn head_word(ring: &[u64]) -> u64 {
+    ring[0]
+}
+
+pub fn window(ring: &[u64], from: usize, to: usize) -> &[u64] {
+    &ring[from..to]
+}
+
+pub fn admitted_slot(ring: &[u64], tail: usize) -> u64 {
+    debug_assert!(tail < ring.len(), "caller admits via can_push");
+    // bx-lint: allow(panic-freedom, reason = "tail < depth is the ring admission invariant, debug_assert'd above")
+    ring[tail]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+        assert_eq!(checked_slot(&[1, 2], 5), None);
+    }
+}

@@ -1,0 +1,19 @@
+//! Good fixture: the same wire type done right — a compile-time size pin
+//! naming the type and its 64-byte encoded size, plus the registered
+//! encode/decode pair. Expected findings: none.
+
+pub struct WireThing {
+    raw: [u8; 64],
+}
+
+const _: () = assert!(core::mem::size_of::<WireThing>() == 64);
+
+impl WireThing {
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.raw
+    }
+
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        WireThing { raw: *bytes }
+    }
+}

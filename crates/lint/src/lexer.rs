@@ -1,0 +1,614 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! bx-lint deliberately avoids `syn`/`proc-macro2` (the vendored offline
+//! build has no registry access, and the lints below need tokens, not a full
+//! AST). The scanner produces a flat token stream with line numbers, strips
+//! comments and string/char literals (so `"unwrap"` in a message or
+//! `Instant` in a doc comment never trips a rule), and records two pieces of
+//! side-band information the rules need:
+//!
+//! * **allow annotations** — `// bx-lint: allow(<rule>, reason = "...")`
+//!   comments, which suppress findings of `<rule>` on the annotation's own
+//!   line and the next source line;
+//! * **`#[cfg(test)]` spans** — the line ranges of test-gated modules,
+//!   functions and blocks, so panic-freedom and virtual-time rules can
+//!   exempt test code.
+
+use std::collections::HashMap;
+
+/// Token classification. Strings/chars are kept as placeholder tokens so
+/// bracket matching stays balanced, but their *content* is discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`.`, `!`, `[`, ...).
+    Punct,
+    /// Integer literal (normalized: underscores stripped).
+    Int,
+    /// Float literal.
+    Float,
+    /// String / raw-string / byte-string literal (content dropped).
+    Str,
+    /// Char literal (content dropped).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token: kind, text and the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What class of token this is.
+    pub kind: TokKind,
+    /// Token text (`""` for dropped literal content).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A malformed `bx-lint:` annotation (bad rule list or missing reason).
+/// Surfaced as a finding by the driver so escape hatches can't rot silently.
+#[derive(Debug, Clone)]
+pub struct BadAnnotation {
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// What was wrong with it.
+    pub why: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The token stream (comments and literal contents stripped).
+    pub tokens: Vec<Tok>,
+    /// `line -> rules allowed on that line and the next` from annotations.
+    pub allows: HashMap<u32, Vec<String>>,
+    /// Malformed annotations found while scanning comments.
+    pub bad_annotations: Vec<BadAnnotation>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Whether findings of `rule` are allowed (suppressed) on `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        let hit = |l: u32| {
+            self.allows
+                .get(&l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        };
+        hit(line) || (line > 0 && hit(line - 1))
+    }
+}
+
+/// Lexes `src`, returning the token stream plus annotation/test-span
+/// side-band data.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+    let mut bad_annotations = Vec::new();
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                // Line comment: scan for a bx-lint annotation, then drop.
+                let start = i;
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = bytes[start..i].iter().collect();
+                parse_annotation(&comment, line, &mut allows, &mut bad_annotations);
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let tok_line = line;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            'r' | 'b' if is_raw_or_byte_string(&bytes, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte_string(&bytes, i, &mut line);
+                tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Lifetime vs char literal. A lifetime is `'ident` NOT
+                // followed by a closing quote; everything else is a char.
+                let tok_line = line;
+                if is_lifetime(&bytes, i) {
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                    tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: bytes[start..i].iter().collect(),
+                        line: tok_line,
+                    });
+                } else {
+                    i += 1;
+                    if i < bytes.len() && bytes[i] == '\\' {
+                        i += 2; // escape + escaped char
+                        while i < bytes.len() && bytes[i] != '\'' {
+                            i += 1; // \u{...}
+                        }
+                        i += 1;
+                    } else {
+                        while i < bytes.len() && bytes[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    tokens.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && !is_float
+                        && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // `1.5` is a float; `0..n` is a range — only consume
+                        // the dot when a digit follows.
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..i].iter().filter(|&&c| c != '_').collect();
+                tokens.push(Tok {
+                    kind: if is_float {
+                        TokKind::Float
+                    } else {
+                        TokKind::Int
+                    },
+                    text,
+                    line: tok_line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let tok_line = line;
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: bytes[start..i].iter().collect(),
+                    line: tok_line,
+                });
+            }
+            _ => {
+                tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    let test_spans = find_test_spans(&tokens);
+    Lexed {
+        tokens,
+        allows,
+        bad_annotations,
+        test_spans,
+    }
+}
+
+/// Parses `// bx-lint: allow(rule, reason = "...")` (multiple rules allowed,
+/// comma-separated before `reason`). Records good annotations in `allows`;
+/// malformed ones (unknown shape, empty reason) in `bad`.
+fn parse_annotation(
+    comment: &str,
+    line: u32,
+    allows: &mut HashMap<u32, Vec<String>>,
+    bad: &mut Vec<BadAnnotation>,
+) {
+    // Only a comment that *leads* with `bx-lint:` (after `//`/`///`/`//!`)
+    // is a directive; prose that merely mentions the syntax is ignored.
+    let lead = comment.trim_start_matches(['/', '!']).trim_start();
+    let Some(directive) = lead.strip_prefix("bx-lint:") else {
+        return;
+    };
+    let rest = directive.trim();
+    let Some(body) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+    else {
+        bad.push(BadAnnotation {
+            line,
+            why: "expected `bx-lint: allow(<rule>, reason = \"...\")`".into(),
+        });
+        return;
+    };
+    // Split off the reason clause.
+    let (rules_part, reason_part) = match body.find("reason") {
+        Some(rpos) => (&body[..rpos], &body[rpos..]),
+        None => {
+            bad.push(BadAnnotation {
+                line,
+                why: "allow annotation is missing a `reason = \"...\"` clause".into(),
+            });
+            return;
+        }
+    };
+    let reason_ok = reason_part
+        .trim_start_matches("reason")
+        .trim_start()
+        .strip_prefix('=')
+        .map(|r| r.trim())
+        .is_some_and(|r| r.len() > 2 && r.starts_with('"'));
+    if !reason_ok {
+        bad.push(BadAnnotation {
+            line,
+            why: "allow annotation has an empty or malformed reason".into(),
+        });
+        return;
+    }
+    let rules: Vec<String> = rules_part
+        .split(',')
+        .map(|r| r.trim().trim_end_matches(',').to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        bad.push(BadAnnotation {
+            line,
+            why: "allow annotation names no rule".into(),
+        });
+        return;
+    }
+    allows.entry(line).or_default().extend(rules);
+}
+
+fn is_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    // r"..."  r#"..."#  b"..."  br#"..."#  rb... (not real Rust, ignore)
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+        while bytes.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&'"');
+    }
+    bytes[i] == 'b' && bytes.get(j) == Some(&'"')
+}
+
+fn skip_raw_or_byte_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == 'b' {
+        i += 1;
+    }
+    let mut raw = false;
+    let mut hashes = 0;
+    if bytes.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+        while bytes.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(bytes.get(i), Some(&'"'), "caller checked string start");
+    i += 1; // opening quote
+    if !raw {
+        // Plain byte string: honours escapes.
+        while i < bytes.len() {
+            match bytes[i] {
+                '\\' => i += 2,
+                '"' => return i + 1,
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    while i < bytes.len() {
+        if bytes[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < hashes && bytes.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn is_lifetime(bytes: &[char], i: usize) -> bool {
+    // `'a` / `'static` (not followed by a closing quote) vs `'a'` / `'\n'`.
+    let Some(&next) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !(next.is_alphabetic() || next == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+        j += 1;
+    }
+    bytes.get(j) != Some(&'\'')
+}
+
+/// Finds line spans of `#[cfg(test)]`-gated items by matching the brace block
+/// (or statement) that follows the attribute.
+fn find_test_spans(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_at(tokens, i) {
+            let attr_line = tokens[i].line;
+            // Skip past the attribute `#[...]`.
+            let mut j = i + 1; // at `[`
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            // Find the end of the gated item: the matching `}` of its first
+            // brace block, or a `;` before any brace opens.
+            let mut brace = 0i32;
+            let mut end_line = attr_line;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('{') {
+                    brace += 1;
+                } else if t.is_punct('}') {
+                    brace -= 1;
+                    if brace <= 0 {
+                        end_line = t.line;
+                        j += 1;
+                        break;
+                    }
+                } else if t.is_punct(';') && brace == 0 {
+                    end_line = t.line;
+                    j += 1;
+                    break;
+                }
+                end_line = t.line;
+                j += 1;
+            }
+            spans.push((attr_line, end_line));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Matches `# [ cfg ( test ) ]` and `# [ cfg ( all ( test , ... ) ) ]`
+/// starting at token `i`.
+fn is_cfg_test_at(tokens: &[Tok], i: usize) -> bool {
+    let t = |k: usize| tokens.get(i + k);
+    if !(t(0).is_some_and(|t| t.is_punct('#'))
+        && t(1).is_some_and(|t| t.is_punct('['))
+        && t(2).is_some_and(|t| t.is_ident("cfg"))
+        && t(3).is_some_and(|t| t.is_punct('(')))
+    {
+        return false;
+    }
+    match t(4) {
+        Some(t4) if t4.is_ident("test") => true,
+        Some(t4) if t4.is_ident("all") || t4.is_ident("any") => {
+            // `cfg(all(test, ...))` — look for `test` within the attr.
+            let mut j = i + 5;
+            let mut depth = 1i32; // inside the outer `(`
+            while let Some(tok) = tokens.get(j) {
+                if tok.is_punct('(') {
+                    depth += 1;
+                } else if tok.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                } else if tok.is_ident("test") {
+                    return true;
+                }
+                j += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let lx = lex("let x = \"unwrap() Instant\"; // Instant in comment\nfoo();");
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(lx.tokens.iter().any(|t| t.is_ident("foo")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* a /* b */ still comment */ real");
+        assert_eq!(lx.tokens.len(), 1);
+        assert!(lx.tokens[0].is_ident("real"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let lx = lex(r####"let s = r#"contains "quotes" and unwrap()"#; tail"####);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("tail")));
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lx.tokens.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let lx = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_vs_ranges() {
+        let lx = lex("for i in 0..10 { let f = 1.5; let h = 0xFF; }");
+        let ints: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0", "10", "0xFF"]);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Float && t.text == "1.5"));
+    }
+
+    #[test]
+    fn allow_annotation_parsed() {
+        let lx = lex("// bx-lint: allow(panic-freedom, reason = \"invariant\")\nfoo.unwrap();");
+        assert!(lx.is_allowed("panic-freedom", 1));
+        assert!(lx.is_allowed("panic-freedom", 2));
+        assert!(!lx.is_allowed("panic-freedom", 3));
+        assert!(!lx.is_allowed("virtual-time-purity", 2));
+        assert!(lx.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_requires_reason() {
+        let lx = lex("// bx-lint: allow(panic-freedom)\nfoo.unwrap();");
+        assert!(!lx.is_allowed("panic-freedom", 2));
+        assert_eq!(lx.bad_annotations.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_mod_span_covers_body() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let lx = lex(src);
+        assert!(!lx.in_test_code(1));
+        assert!(lx.in_test_code(2));
+        assert!(lx.in_test_code(4));
+        assert!(!lx.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_all_test_detected() {
+        let lx = lex("#[cfg(all(test, feature = \"x\"))]\nmod t { }\nfn f() {}");
+        assert!(lx.in_test_code(2));
+        assert!(!lx.in_test_code(3));
+    }
+}

@@ -1,0 +1,183 @@
+//! bx-lint CLI.
+//!
+//! ```text
+//! bx-lint --workspace [--root <path>] [--json]   lint the whole workspace
+//! bx-lint --fixture <file.rs> [--json]           lint one fixture file
+//! bx-lint --self-test [--json]                   run the bundled fixtures
+//! ```
+//!
+//! Exit code 0 means no findings (or, for `--self-test`, that every bad
+//! fixture failed and every good fixture passed); 1 means findings; 2 means
+//! usage or I/O error. With `--json` the final stdout line is a single JSON
+//! document in the bench-bin convention (`results.failures` gates CI).
+
+#![forbid(unsafe_code)]
+
+use bx_lint::{lint_fixture, lint_workspace, Report};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    fixture: Option<PathBuf>,
+    self_test: bool,
+    root: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        fixture: None,
+        self_test: false,
+        root: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--self-test" => args.self_test = true,
+            "--json" => args.json = true,
+            "--fixture" => {
+                let p = it.next().ok_or("--fixture requires a path")?;
+                args.fixture = Some(PathBuf::from(p));
+            }
+            "--root" => {
+                let p = it.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(p));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if [args.workspace, args.fixture.is_some(), args.self_test]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+        != 1
+    {
+        return Err("pass exactly one of --workspace, --fixture <path>, --self-test".into());
+    }
+    Ok(args)
+}
+
+/// The workspace root: `--root`, or two levels up from this crate's
+/// manifest (crates/lint → repo root), which works under `cargo run`.
+fn workspace_root(args: &Args) -> PathBuf {
+    args.root.clone().unwrap_or_else(|| {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    })
+}
+
+fn emit(report: &Report, json: bool) -> ExitCode {
+    for f in &report.findings {
+        eprintln!("{f}");
+    }
+    if report.findings.is_empty() {
+        eprintln!("bx-lint: clean ({} files scanned)", report.files_scanned);
+    } else {
+        eprintln!(
+            "bx-lint: {} finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+    }
+    if json {
+        println!("{}", report.json_line());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the bundled fixtures: every `bad_*.rs` must produce at least one
+/// finding of the rule its name encodes; every `good_*.rs` must be clean.
+fn self_test(json: bool) -> ExitCode {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bx-lint: cannot read fixtures dir {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        let Some(name) = name else { continue };
+        let report = match lint_fixture(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bx-lint: cannot lint {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        checked += 1;
+        if name.starts_with("bad_") {
+            // The expected rule is encoded in the file name with `_` for `-`.
+            let stem = name.trim_start_matches("bad_").trim_end_matches(".rs");
+            let expected = stem.replace('_', "-");
+            let hit = report.findings.iter().any(|f| f.rule == expected);
+            if !hit {
+                eprintln!(
+                    "self-test FAIL: {name} produced no `{expected}` finding (got: {:?})",
+                    report.findings.iter().map(|f| f.rule).collect::<Vec<_>>()
+                );
+                failures += 1;
+            }
+        } else if !report.findings.is_empty() {
+            eprintln!("self-test FAIL: {name} should be clean but produced:");
+            for f in &report.findings {
+                eprintln!("  {f}");
+            }
+            failures += 1;
+        }
+    }
+    if json {
+        println!(
+            "{{\"bin\":\"bx-lint\",\"results\":{{\"mode\":\"self-test\",\"fixtures\":{checked},\"failures\":{failures}}}}}"
+        );
+    }
+    if failures == 0 && checked > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bx-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.self_test {
+        return self_test(args.json);
+    }
+    let report = if let Some(fixture) = &args.fixture {
+        lint_fixture(fixture)
+    } else {
+        lint_workspace(&workspace_root(&args))
+    };
+    match report {
+        Ok(r) => emit(&r, args.json),
+        Err(e) => {
+            eprintln!("bx-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

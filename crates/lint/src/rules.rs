@@ -1,0 +1,699 @@
+//! The five domain lint rules.
+//!
+//! Each rule is a pure function over one lexed file (plus the registry
+//! entries that concern it) returning findings. The driver in `lib.rs`
+//! decides which rules apply to which files and handles allow-annotation
+//! suppression *after* the rule fires, so every suppressed finding still
+//! costs an explicit, reasoned annotation at the site.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::{Finding, WireSpec};
+
+/// Rule names, exactly as they appear in diagnostics and allow annotations.
+pub const WIRE_LAYOUT: &str = "wire-layout";
+/// See [`WIRE_LAYOUT`].
+pub const VIRTUAL_TIME: &str = "virtual-time-purity";
+/// See [`WIRE_LAYOUT`].
+pub const PANIC_FREEDOM: &str = "panic-freedom";
+/// See [`WIRE_LAYOUT`].
+pub const TRACE_EXHAUSTIVE: &str = "trace-exhaustiveness";
+/// See [`WIRE_LAYOUT`].
+pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
+/// Malformed `bx-lint:` annotations are themselves findings under this name.
+pub const ANNOTATION: &str = "annotation";
+
+/// All enforceable rule names (used by `--self-test` and the JSON summary).
+pub const ALL_RULES: [&str; 6] = [
+    WIRE_LAYOUT,
+    VIRTUAL_TIME,
+    PANIC_FREEDOM,
+    TRACE_EXHAUSTIVE,
+    UNSAFE_CONFINEMENT,
+    ANNOTATION,
+];
+
+fn finding(path: &str, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: path.to_string(),
+        line,
+        rule,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// virtual-time-purity
+// ---------------------------------------------------------------------------
+
+/// Wall-clock APIs forbidden in simulation crates: the whole determinism
+/// story (fault injection, flight recorder, golden fingerprints) relies on
+/// virtual time only ever advancing through `bx_hostsim::Nanos`.
+pub fn virtual_time_purity(path: &str, lx: &Lexed) -> Vec<Finding> {
+    const BANNED_IDENTS: [(&str, &str); 5] = [
+        ("Instant", "std::time::Instant is wall-clock time"),
+        ("SystemTime", "std::time::SystemTime is wall-clock time"),
+        ("chrono", "chrono is a wall-clock dependency"),
+        ("coarsetime", "coarsetime is a wall-clock dependency"),
+        ("clock_gettime", "clock_gettime reads the host clock"),
+    ];
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        for (ident, why) in BANNED_IDENTS {
+            if t.text == ident {
+                out.push(finding(
+                    path,
+                    t.line,
+                    VIRTUAL_TIME,
+                    format!("`{ident}` in a sim crate: {why}; use virtual `Nanos` timestamps"),
+                ));
+            }
+        }
+        // `std :: time` (catches Duration-based sleeps and future additions).
+        if t.is_ident("std")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("time"))
+        {
+            out.push(finding(
+                path,
+                t.line,
+                VIRTUAL_TIME,
+                "`std::time` in a sim crate; all timing must flow through bx_hostsim::Nanos"
+                    .to_string(),
+            ));
+        }
+        // `thread :: sleep` — blocks on the host clock.
+        if t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("sleep"))
+        {
+            out.push(finding(
+                path,
+                t.line,
+                VIRTUAL_TIME,
+                "`thread::sleep` in a sim crate; virtual time never blocks the host".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// panic-freedom
+// ---------------------------------------------------------------------------
+
+/// Panic sources in non-test hot-path library code. `assert!` with a message
+/// is the workspace's documented API-contract idiom and is deliberately NOT
+/// flagged; the rule targets the silent ways a refactor introduces aborts.
+pub fn panic_freedom(path: &str, lx: &Lexed, check_indexing: bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if lx.in_test_code(t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(`
+        if t.is_punct('.') {
+            if let Some(next) = toks.get(i + 1) {
+                if next.is_ident("unwrap") && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                    out.push(finding(
+                        path,
+                        next.line,
+                        PANIC_FREEDOM,
+                        "`.unwrap()` in hot-path library code; propagate a Result or justify \
+                         with a bx-lint allow annotation"
+                            .to_string(),
+                    ));
+                }
+                if next.is_ident("expect") && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                    out.push(finding(
+                        path,
+                        next.line,
+                        PANIC_FREEDOM,
+                        "`.expect(..)` in hot-path library code; propagate a Result or justify \
+                         with a bx-lint allow annotation"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        // panic-family macros.
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            out.push(finding(
+                path,
+                t.line,
+                PANIC_FREEDOM,
+                format!(
+                    "`{}!` in hot-path library code; return an error or justify with a \
+                     bx-lint allow annotation",
+                    t.text
+                ),
+            ));
+        }
+        // Non-literal slice indexing (ring/bitmap files only): `x[i]` aborts
+        // on out-of-range; literal indices and range slices are exempt.
+        if check_indexing && t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexable = prev.kind == TokKind::Ident && prev.text != "_"
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            // `foo![...]` macro invocations are not indexing.
+            let is_macro = i >= 2 && toks[i - 2].is_punct('!');
+            if indexable && !is_macro {
+                if let Some(body) = bracket_body(toks, i) {
+                    let single_literal = body.len() == 1 && body[0].kind == TokKind::Int;
+                    let is_range = body
+                        .windows(2)
+                        .any(|w| w[0].is_punct('.') && w[1].is_punct('.'));
+                    if !single_literal && !is_range && !body.is_empty() {
+                        out.push(finding(
+                            path,
+                            t.line,
+                            PANIC_FREEDOM,
+                            "non-literal slice index in ring/bitmap code; use `.get(..)`, a \
+                             debug_assert'd invariant + allow annotation, or a literal index"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tokens strictly inside the bracket opening at `open` (which must be `[`).
+fn bracket_body(toks: &[Tok], open: usize) -> Option<&[Tok]> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(&toks[open + 1..j]);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-confinement
+// ---------------------------------------------------------------------------
+
+/// `unsafe` tokens outside the explicit allowlist.
+pub fn unsafe_confinement(path: &str, lx: &Lexed, allowlisted: bool) -> Vec<Finding> {
+    if allowlisted {
+        return Vec::new();
+    }
+    lx.tokens
+        .iter()
+        .filter(|t| t.is_ident("unsafe"))
+        .map(|t| {
+            finding(
+                path,
+                t.line,
+                UNSAFE_CONFINEMENT,
+                "`unsafe` outside the allowlist; add the file to the bx-lint unsafe \
+                 allowlist with a safety argument, or restructure"
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+/// Crate roots must carry `#![forbid(unsafe_code)]` unless the crate owns an
+/// allowlisted unsafe file.
+pub fn crate_root_forbids_unsafe(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let toks = &lx.tokens;
+    let has_forbid = toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if has_forbid {
+        Vec::new()
+    } else {
+        vec![finding(
+            path,
+            1,
+            UNSAFE_CONFINEMENT,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        )]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wire-layout
+// ---------------------------------------------------------------------------
+
+/// Registered wire types must pin their encoded size with a
+/// `const _: () = assert!(..)` naming the type and the size, and (for codec
+/// types) define the `to_bytes`/`from_bytes` pair.
+pub fn wire_layout_registered(path: &str, lx: &Lexed, spec: &WireSpec) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    if !const_assert_pins(toks, &spec.type_name, spec.bytes) {
+        out.push(finding(
+            path,
+            1,
+            WIRE_LAYOUT,
+            format!(
+                "wire type `{}` has no `const _: () = assert!(..)` pinning its {}-byte \
+                 encoded size",
+                spec.type_name, spec.bytes
+            ),
+        ));
+    }
+    if spec.codec {
+        let has = |name: &str| toks.iter().any(|t| t.is_ident(name));
+        if !(has("to_bytes") && has("from_bytes")) {
+            out.push(finding(
+                path,
+                1,
+                WIRE_LAYOUT,
+                format!(
+                    "wire type `{}` must define the `to_bytes`/`from_bytes` encode/decode pair",
+                    spec.type_name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// True when some `const _ : ( ) = assert ! ( .. )` body mentions both
+/// `name` and the integer `bytes`.
+fn const_assert_pins(toks: &[Tok], name: &str, bytes: u64) -> bool {
+    let mut i = 0;
+    while i + 8 < toks.len() {
+        let w = &toks[i..];
+        let header = w[0].is_ident("const")
+            && w[1].is_ident("_")
+            && w[2].is_punct(':')
+            && w[3].is_punct('(')
+            && w[4].is_punct(')')
+            && w[5].is_punct('=')
+            && w[6].is_ident("assert")
+            && w[7].is_punct('!');
+        if header {
+            // Body: tokens to the matching `)` of the assert's `(`.
+            let mut depth = 0i32;
+            let mut names = false;
+            let mut sizes = false;
+            for t in &toks[i + 8..] {
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if t.is_ident(name) {
+                    names = true;
+                }
+                if t.kind == TokKind::Int && parse_int(&t.text) == Some(bytes) {
+                    sizes = true;
+                }
+            }
+            if names && sizes {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn parse_int(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// In the wire crate, every inherent impl defining `fn to_bytes` must belong
+/// to a registered wire type — a new on-ring encoding cannot land without a
+/// size pin and an entry in the registry.
+pub fn wire_layout_unregistered(path: &str, lx: &Lexed, registered: &[String]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        // Inherent impl: `impl Name {` (trait impls have `for`/`::` between).
+        if toks[i].is_ident("impl")
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].is_punct('{')
+        {
+            let name = toks[i + 1].text.clone();
+            let body_start = i + 2;
+            let mut depth = 0i32;
+            let mut j = body_start;
+            let mut has_to_bytes_line = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("fn")
+                    && toks.get(j + 1).is_some_and(|n| n.is_ident("to_bytes"))
+                {
+                    has_to_bytes_line = Some(t.line);
+                }
+                j += 1;
+            }
+            if let Some(line) = has_to_bytes_line {
+                if !registered.iter().any(|r| r == &name) {
+                    out.push(finding(
+                        path,
+                        line,
+                        WIRE_LAYOUT,
+                        format!(
+                            "`{name}::to_bytes` defines a wire encoding but `{name}` is not in \
+                             the bx-lint wire registry; register it with a const size assertion"
+                        ),
+                    ));
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// trace-exhaustiveness
+// ---------------------------------------------------------------------------
+
+/// Handler functions every `EventKind` variant must flow through. Both
+/// exporters (`chrome_trace` and `timeline`) render events exclusively via
+/// these, so a variant visible in all four is visible in every export.
+pub const TRACE_HANDLERS: [&str; 4] = ["layer", "name", "args", "fmt"];
+
+/// Every `EventKind` variant must appear in each handler match, and no
+/// handler may contain a wildcard `_ =>` arm (rustc's exhaustiveness check
+/// is satisfied by a wildcard — which is exactly how a new variant would
+/// silently export as "unknown" or vanish from one exporter).
+pub fn trace_exhaustiveness(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let toks = &lx.tokens;
+    let Some(variants) = enum_variants(toks, "EventKind") else {
+        return vec![finding(
+            path,
+            1,
+            TRACE_EXHAUSTIVE,
+            "expected `enum EventKind { .. }` in the trace event file".to_string(),
+        )];
+    };
+    let mut out = Vec::new();
+    for handler in TRACE_HANDLERS {
+        // `layer`/`name`/`args` live in the inherent `impl EventKind`;
+        // `fmt` lives in `impl fmt::Display for EventKind`. Scope the search
+        // so e.g. another type's `fn fmt` earlier in the file cannot match.
+        let search_from = if handler == "fmt" {
+            toks.windows(3).position(|w| {
+                w[0].is_ident("Display") && w[1].is_ident("for") && w[2].is_ident("EventKind")
+            })
+        } else {
+            toks.windows(2)
+                .position(|w| w[0].is_ident("impl") && w[1].is_ident("EventKind"))
+        };
+        let Some((line, body)) = search_from.and_then(|from| fn_body(&toks[from..], handler))
+        else {
+            out.push(finding(
+                path,
+                1,
+                TRACE_EXHAUSTIVE,
+                format!("trace handler `fn {handler}` not found"),
+            ));
+            continue;
+        };
+        for v in &variants {
+            if !body.iter().any(|t| t.is_ident(v)) {
+                out.push(finding(
+                    path,
+                    line,
+                    TRACE_EXHAUSTIVE,
+                    format!(
+                        "EventKind variant `{v}` is not handled in `fn {handler}`; both \
+                         exporters would drop or mislabel it"
+                    ),
+                ));
+            }
+        }
+        if let Some(w) = body
+            .windows(3)
+            .find(|w| w[0].is_ident("_") && w[1].is_punct('=') && w[2].is_punct('>'))
+        {
+            out.push(finding(
+                path,
+                w[0].line,
+                TRACE_EXHAUSTIVE,
+                format!(
+                    "wildcard `_ =>` arm in trace handler `fn {handler}`; new EventKind \
+                     variants would silently fall through"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Exporter entry points that must exist in the export file.
+pub fn trace_exporters_present(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for exporter in ["chrome_trace", "timeline"] {
+        if !lx.tokens.iter().any(|t| t.is_ident(exporter)) {
+            out.push(finding(
+                path,
+                1,
+                TRACE_EXHAUSTIVE,
+                format!("exporter `{exporter}` is missing from the trace export file"),
+            ));
+        }
+    }
+    out
+}
+
+/// Variant identifiers of `enum <name> { .. }`, skipping payloads.
+fn enum_variants(toks: &[Tok], name: &str) -> Option<Vec<String>> {
+    let start = toks
+        .windows(3)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident(name) && w[2].is_punct('{'))?;
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    for t in &toks[start + 2..] {
+        if t.is_punct('{') || t.is_punct('(') {
+            if depth == 1 && t.is_punct('{') {
+                // entering a variant's struct payload
+            }
+            depth += 1;
+            expect_variant = false;
+            if depth == 1 {
+                expect_variant = true; // just entered the enum body
+            }
+            continue;
+        }
+        if t.is_punct('}') || t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            if depth == 1 {
+                expect_variant = false; // closed a payload; wait for comma
+            }
+            continue;
+        }
+        if depth == 1 {
+            if t.is_punct(',') {
+                expect_variant = true;
+            } else if t.is_punct('#') || t.is_punct('[') || t.is_punct(']') {
+                // attribute tokens between variants
+            } else if expect_variant && t.kind == TokKind::Ident {
+                variants.push(t.text.clone());
+                expect_variant = false;
+            }
+        }
+    }
+    Some(variants)
+}
+
+/// `(line, body tokens)` of the first `fn <name>` in the stream.
+fn fn_body<'t>(toks: &'t [Tok], name: &str) -> Option<(u32, &'t [Tok])> {
+    let pos = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("fn") && w[1].is_ident(name))?;
+    let line = toks[pos].line;
+    // First `{` after the signature opens the body.
+    let open = (pos..toks.len()).find(|&i| toks[i].is_punct('{'))?;
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((line, &toks[open + 1..j]));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn virtual_time_flags_instant_and_systemtime() {
+        let lx = lex("use std::time::Instant;\nfn f() { let t = SystemTime::now(); }");
+        let f = virtual_time_purity("x.rs", &lx);
+        assert!(f.iter().any(|f| f.message.contains("Instant")));
+        assert!(f.iter().any(|f| f.message.contains("SystemTime")));
+        assert!(f.iter().any(|f| f.message.contains("std::time")));
+    }
+
+    #[test]
+    fn virtual_time_ignores_comments_and_strings() {
+        let lx = lex("// Instant at which ...\nfn f() { let s = \"SystemTime\"; }");
+        assert!(virtual_time_purity("x.rs", &lx).is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_flags_unwrap_expect_macros() {
+        let lx = lex("fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }");
+        let f = panic_freedom("x.rs", &lx, false);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn panic_freedom_exempts_test_modules() {
+        let lx = lex("#[cfg(test)]\nmod tests {\n fn t() { a.unwrap(); }\n}");
+        assert!(panic_freedom("x.rs", &lx, false).is_empty());
+    }
+
+    #[test]
+    fn indexing_literal_and_ranges_exempt() {
+        let lx = lex("fn f(v: &[u8], i: usize) { let a = v[0]; let b = &v[1..3]; let c = v[i]; }");
+        let f = panic_freedom("x.rs", &lx, true);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("slice index"));
+    }
+
+    #[test]
+    fn indexing_skips_macros_attrs_and_types() {
+        let lx = lex("#[derive(Debug)]\nstruct S { a: [u8; 64] }\nfn f() { let v = vec![0; 4]; }");
+        assert!(panic_freedom("x.rs", &lx, true).is_empty());
+    }
+
+    #[test]
+    fn unsafe_flagged_unless_allowlisted() {
+        let lx = lex("fn f() { unsafe { do_it() } }");
+        assert_eq!(unsafe_confinement("x.rs", &lx, false).len(), 1);
+        assert!(unsafe_confinement("x.rs", &lx, true).is_empty());
+    }
+
+    #[test]
+    fn crate_root_forbid_detected() {
+        let lx = lex("#![forbid(unsafe_code)]\npub fn f() {}");
+        assert!(crate_root_forbids_unsafe("lib.rs", &lx).is_empty());
+        let lx = lex("pub fn f() {}");
+        assert_eq!(crate_root_forbids_unsafe("lib.rs", &lx).len(), 1);
+    }
+
+    #[test]
+    fn wire_layout_needs_const_assert_and_codec() {
+        let spec = WireSpec {
+            file: "w.rs".into(),
+            type_name: "Wire".into(),
+            bytes: 64,
+            codec: true,
+        };
+        let good = lex(
+            "pub struct Wire;\nconst _: () = assert!(Wire::BYTES == 64);\n\
+             impl Wire { pub fn to_bytes(&self) {} pub fn from_bytes() {} }",
+        );
+        assert!(wire_layout_registered("w.rs", &good, &spec).is_empty());
+        let bad = lex("pub struct Wire;\nimpl Wire { pub fn to_bytes(&self) {} }");
+        let f = wire_layout_registered("w.rs", &bad, &spec);
+        assert_eq!(f.len(), 2, "{f:?}"); // no assert, no from_bytes
+    }
+
+    #[test]
+    fn unregistered_codec_flagged() {
+        let lx = lex("impl Rogue { pub fn to_bytes(&self) -> [u8; 8] { todo!() } }");
+        let f = wire_layout_unregistered("r.rs", &lx, &["Known".to_string()]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Rogue"));
+        assert!(wire_layout_unregistered("r.rs", &lx, &["Rogue".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn trait_impls_are_not_codec_sites() {
+        let lx = lex("impl Debug for Rogue { fn fmt(&self) {} }");
+        assert!(wire_layout_unregistered("r.rs", &lx, &[]).is_empty());
+    }
+
+    #[test]
+    fn trace_exhaustiveness_catches_missing_variant_and_wildcard() {
+        let src = "\
+            pub enum EventKind { A { x: u8 }, B, C(u32) }\n\
+            impl EventKind {\n\
+              pub fn layer(&self) -> &str { match self { A { .. } => \"l\", B => \"l\", C(_) => \"l\" } }\n\
+              pub fn name(&self) -> &str { match self { A { .. } => \"a\", _ => \"x\" } }\n\
+              pub fn args(&self) { match self { A { .. } => {}, B => {}, C(_) => {} } }\n\
+            }\n\
+            impl Display for EventKind { fn fmt(&self) { match self { A { .. } => {}, B => {}, C(_) => {} } } }";
+        let f = trace_exhaustiveness("e.rs", &lex(src));
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("`B`") && f.message.contains("fn name")),
+            "{f:?}"
+        );
+        assert!(f.iter().any(|f| f.message.contains("wildcard")), "{f:?}");
+    }
+
+    #[test]
+    fn enum_variant_extraction_skips_payload_fields() {
+        let toks = lex("enum E { A { field: u8, other: u16 }, B(u32, u64), C }").tokens;
+        assert_eq!(
+            enum_variants(&toks, "E"),
+            Some(vec!["A".into(), "B".into(), "C".into()])
+        );
+    }
+
+    #[test]
+    fn exporters_must_exist() {
+        let lx = lex("pub fn chrome_trace() {}\npub fn timeline() {}");
+        assert!(trace_exporters_present("x.rs", &lx).is_empty());
+        let lx = lex("pub fn chrome_trace() {}");
+        assert_eq!(trace_exporters_present("x.rs", &lx).len(), 1);
+    }
+}

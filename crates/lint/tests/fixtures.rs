@@ -1,0 +1,132 @@
+//! Fixture-level acceptance tests: one failing fixture per lint rule (each
+//! must produce a finding of exactly that rule) and the clean fixtures must
+//! produce none.
+
+use bx_lint::{lint_fixture, rules};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn rules_hit(name: &str) -> Vec<&'static str> {
+    let report = lint_fixture(&fixture(name)).expect("fixture readable");
+    let mut rules: Vec<&'static str> = report.findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn bad_wire_layout_fixture_fails_wire_layout() {
+    let report = lint_fixture(&fixture("bad_wire_layout.rs")).unwrap();
+    let wire: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::WIRE_LAYOUT)
+        .collect();
+    // Missing const assert on WireThing + unregistered Rogue codec.
+    assert_eq!(wire.len(), 2, "{wire:?}");
+    assert!(wire.iter().any(|f| f.message.contains("const")));
+    assert!(wire.iter().any(|f| f.message.contains("Rogue")));
+}
+
+#[test]
+fn bad_virtual_time_fixture_fails_virtual_time() {
+    let report = lint_fixture(&fixture("bad_virtual_time_purity.rs")).unwrap();
+    let vt: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::VIRTUAL_TIME)
+        .collect();
+    assert!(
+        vt.len() >= 4,
+        "Instant, SystemTime, std::time, sleep: {vt:?}"
+    );
+}
+
+#[test]
+fn bad_panic_freedom_fixture_fails_panic_freedom() {
+    let report = lint_fixture(&fixture("bad_panic_freedom.rs")).unwrap();
+    let pf: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::PANIC_FREEDOM)
+        .collect();
+    // unwrap, expect, panic!, unreachable!, ring[tail].
+    assert_eq!(pf.len(), 5, "{pf:?}");
+}
+
+#[test]
+fn bad_trace_fixture_fails_trace_exhaustiveness() {
+    let report = lint_fixture(&fixture("bad_trace_exhaustiveness.rs")).unwrap();
+    let te: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::TRACE_EXHAUSTIVE)
+        .collect();
+    assert!(
+        te.iter()
+            .any(|f| f.message.contains("wildcard") && f.message.contains("fn name")),
+        "{te:?}"
+    );
+    assert!(
+        te.iter()
+            .any(|f| f.message.contains("`Gc`") && f.message.contains("fn fmt")),
+        "{te:?}"
+    );
+}
+
+#[test]
+fn bad_unsafe_fixture_fails_unsafe_confinement() {
+    assert_eq!(
+        rules_hit("bad_unsafe_confinement.rs"),
+        vec![rules::UNSAFE_CONFINEMENT]
+    );
+}
+
+#[test]
+fn bad_annotation_fixture_fails_annotation() {
+    let report = lint_fixture(&fixture("bad_annotation.rs")).unwrap();
+    let ann: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::ANNOTATION)
+        .collect();
+    assert_eq!(ann.len(), 2, "{ann:?}");
+    // The malformed annotations must NOT have suppressed the unwraps.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == rules::PANIC_FREEDOM));
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for name in ["good_clean.rs", "good_wire_layout.rs"] {
+        let report = lint_fixture(&fixture(name)).unwrap();
+        assert!(
+            report.findings.is_empty(),
+            "{name} should be clean: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn every_enforced_rule_has_a_bad_fixture() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().to_string())
+        .collect();
+    for rule in rules::ALL_RULES {
+        let expected = format!("bad_{}.rs", rule.replace('-', "_"));
+        assert!(
+            names.iter().any(|n| n == &expected),
+            "no failing fixture for rule `{rule}` (expected {expected})"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! The real workspace must lint clean: every invariant the analyzer
+//! enforces holds in the tree as committed, so any new finding is a
+//! regression introduced by the change under review.
+
+use bx_lint::{lint_workspace, rules, Config};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = lint_workspace(&repo_root()).expect("workspace scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "bx-lint found {} regression(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the tree (≈100 files at seed).
+    assert!(
+        report.files_scanned > 80,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_scan_covers_the_registry() {
+    // Every file the wire registry points at must exist, so the rule can't
+    // silently pass because a path went stale after a refactor.
+    let root = repo_root();
+    for spec in Config::workspace().wire {
+        assert!(
+            root.join(&spec.file).is_file(),
+            "wire registry entry points at missing file {}",
+            spec.file
+        );
+    }
+    for f in [
+        Config::workspace().trace_event_file,
+        Config::workspace().trace_export_file,
+    ] {
+        assert!(root.join(&f).is_file(), "trace file {f} missing");
+    }
+}
+
+#[test]
+fn json_summary_reports_zero_failures_on_clean_tree() {
+    let report = lint_workspace(&repo_root()).unwrap();
+    let line = report.json_line();
+    assert!(line.contains("\"failures\":0"), "{line}");
+    assert!(line.contains("\"bin\":\"bx-lint\""), "{line}");
+    for rule in rules::ALL_RULES {
+        assert!(line.contains(&format!("\"{rule}\":0")), "{line}");
+    }
+}

@@ -35,6 +35,15 @@ const HEAD_REGIONS: [(usize, usize); 2] = [(16, 40), (56, 64)];
 /// Fragment: MPTR + DPTR + CDW10..15 (16..64) = 48 B.
 const FRAG_REGION: (usize, usize) = (16, 64);
 
+// Wire-layout pins: the advertised capacities must equal the byte regions the
+// codecs actually read/write, or encode/decode silently truncate payload.
+const _: () = assert!(
+    HEAD_CAPACITY == 32
+        && (HEAD_REGIONS[0].1 - HEAD_REGIONS[0].0) + (HEAD_REGIONS[1].1 - HEAD_REGIONS[1].0)
+            == HEAD_CAPACITY
+);
+const _: () = assert!(FRAG_CAPACITY == 48 && FRAG_REGION.1 - FRAG_REGION.0 == FRAG_CAPACITY);
+
 /// Marks `sqe` as a BandSlim head command with total payload `len`, and
 /// embeds the first [`HEAD_CAPACITY`] bytes (or `embed_cap` if smaller) of
 /// `payload` into its spare fields. Returns the number of bytes embedded.

@@ -18,6 +18,10 @@ pub struct CompletionEntry {
     raw: [u32; 4],
 }
 
+// Wire-layout pin: one CQE is exactly one 16-byte CQ slot.
+const _: () = assert!(CompletionEntry::BYTES == 16);
+const _: () = assert!(core::mem::size_of::<CompletionEntry>() == CompletionEntry::BYTES);
+
 impl CompletionEntry {
     /// Size of the wire image in bytes.
     pub const BYTES: usize = 16;

@@ -26,6 +26,12 @@ pub const REASSEMBLY_HEADER_BYTES: usize = 8;
 /// Payload bytes per chunk in reassembly mode.
 pub const REASSEMBLY_CHUNK_PAYLOAD: usize = BYTEEXPRESS_CHUNK_SIZE - REASSEMBLY_HEADER_BYTES;
 
+// Wire-layout pins: a chunk fills exactly one 64-byte SQ slot, and the
+// reassembly header + payload partition it with no slack.
+const _: () = assert!(BYTEEXPRESS_CHUNK_SIZE == 64);
+const _: () = assert!(REASSEMBLY_HEADER_BYTES + REASSEMBLY_CHUNK_PAYLOAD == BYTEEXPRESS_CHUNK_SIZE);
+const _: () = assert!(core::mem::size_of::<ChunkHeader>() == 8 && REASSEMBLY_HEADER_BYTES == 8);
+
 /// Magic tag in the top byte of CDW2 marking a ByteExpress command. Ordinary
 /// NVM commands leave the reserved dword zero, so the tag cannot collide.
 const INLINE_MAGIC: u32 = 0xBE;

@@ -105,11 +105,17 @@ impl SqRing {
     /// reports 56 instead of 20 — under-admitting on some index pairs and
     /// over-admitting (overwriting unfetched entries) on others.
     pub fn used_slots(&self) -> u16 {
-        if self.tail >= self.head {
+        debug_assert!(
+            self.tail < self.depth && self.head < self.depth,
+            "ring indices escaped [0, depth)"
+        );
+        let used = if self.tail >= self.head {
             self.tail - self.head
         } else {
             self.depth - self.head + self.tail
-        }
+        };
+        debug_assert!(used < self.depth, "occupancy exceeds ring capacity");
+        used
     }
 
     /// Whether `n` more entries can be placed.
@@ -127,6 +133,7 @@ impl SqRing {
         assert!(self.can_push(1), "SQ overflow on {}", self.id);
         let idx = self.tail;
         self.tail = (self.tail + 1) % self.depth;
+        debug_assert!(self.used_slots() >= 1, "push left the ring empty");
         idx
     }
 
@@ -209,6 +216,7 @@ impl CqRing {
         if self.head == 0 {
             self.expected_phase = !self.expected_phase;
         }
+        debug_assert!(idx < self.depth, "consumed slot out of range");
         idx
     }
 }
@@ -235,6 +243,7 @@ impl CqProducer {
     /// The slot the next CQE goes to, and the phase to stamp it with.
     /// Advances the tail.
     pub fn produce(&mut self) -> (u16, bool) {
+        debug_assert!(self.tail < self.depth, "CQ producer tail out of range");
         let out = (self.tail, self.phase);
         self.tail = (self.tail + 1) % self.depth;
         if self.tail == 0 {
@@ -274,21 +283,33 @@ impl DoorbellArray {
     ///
     /// Panics on an out-of-range queue id.
     pub fn ring_sq_tail(&mut self, q: QueueId, tail: u16) {
+        debug_assert!(
+            (q.0 as usize) < self.sq_tails.len(),
+            "queue id out of range"
+        );
+        // bx-lint: allow(panic-freedom, reason = "out-of-range queue id is a documented panic (BAR access fault in hardware)")
         self.sq_tails[q.0 as usize] = tail;
     }
 
     /// Reads the SQ tail doorbell for `q` (controller side).
     pub fn sq_tail(&self, q: QueueId) -> u16 {
+        // bx-lint: allow(panic-freedom, reason = "out-of-range queue id is a documented panic (BAR access fault in hardware)")
         self.sq_tails[q.0 as usize]
     }
 
     /// Writes the CQ head doorbell for `q`.
     pub fn ring_cq_head(&mut self, q: QueueId, head: u16) {
+        debug_assert!(
+            (q.0 as usize) < self.cq_heads.len(),
+            "queue id out of range"
+        );
+        // bx-lint: allow(panic-freedom, reason = "out-of-range queue id is a documented panic (BAR access fault in hardware)")
         self.cq_heads[q.0 as usize] = head;
     }
 
     /// Reads the CQ head doorbell for `q` (controller side).
     pub fn cq_head(&self, q: QueueId) -> u16 {
+        // bx-lint: allow(panic-freedom, reason = "out-of-range queue id is a documented panic (BAR access fault in hardware)")
         self.cq_heads[q.0 as usize]
     }
 }

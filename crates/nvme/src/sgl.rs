@@ -104,7 +104,14 @@ pub struct SglDescriptor {
     pub len: u32,
 }
 
+// Wire-layout pin: one SGL descriptor is exactly 16 bytes on the wire (the
+// in-memory struct is larger; only the encoded image is layout-bearing).
+const _: () = assert!(SglDescriptor::BYTES == 16);
+
 impl SglDescriptor {
+    /// Size of the encoded wire image in bytes.
+    pub const BYTES: usize = 16;
+
     /// A data-block descriptor over `len` bytes at `addr` — the fine-grained
     /// reference that lets SGL avoid page-granular transfers.
     pub fn data_block(addr: PhysAddr, len: u32) -> Self {

@@ -37,6 +37,11 @@ pub struct SubmissionEntry {
     raw: [u32; 16],
 }
 
+// Wire-layout pin: one SQE is exactly one 64-byte SQ slot, in memory and on
+// the wire. Anything that changes this silently breaks chunk-train geometry.
+const _: () = assert!(SubmissionEntry::BYTES == 64);
+const _: () = assert!(core::mem::size_of::<SubmissionEntry>() == SubmissionEntry::BYTES);
+
 impl SubmissionEntry {
     /// Size of the wire image in bytes.
     pub const BYTES: usize = 64;

@@ -35,10 +35,12 @@ pub enum Arbitration {
 impl Arbitration {
     /// The credit budget a queue of `weight` receives this round.
     pub fn credits(self, weight: u8) -> u32 {
-        match self {
+        let credits = match self {
             Arbitration::RoundRobin { burst } => burst.max(1) as u32,
             Arbitration::WeightedRoundRobin { burst } => burst.max(1) as u32 * weight.max(1) as u32,
-        }
+        };
+        debug_assert!(credits > 0, "a zero grant would starve the queue forever");
+        credits
     }
 }
 

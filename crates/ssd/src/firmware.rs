@@ -93,6 +93,7 @@ impl BlockFirmware {
     pub fn new(dram: &mut DeviceDram, nand_io: bool) -> Self {
         let region = dram
             .alloc_region("block-page-buffer", 4 * PAGE_SIZE)
+            // bx-lint: allow(panic-freedom, reason = "construction-time sizing bug, not a runtime state; DRAM capacity is a build parameter")
             .expect("device DRAM too small for page buffer");
         BlockFirmware {
             nand_io,

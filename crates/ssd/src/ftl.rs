@@ -198,7 +198,9 @@ impl Ftl {
         if self.erase_counts.is_empty() {
             return (0, 0, 0.0);
         }
+        // bx-lint: allow(panic-freedom, reason = "is_empty() returned false three lines up")
         let min = *self.erase_counts.values().min().expect("non-empty");
+        // bx-lint: allow(panic-freedom, reason = "is_empty() returned false three lines up")
         let max = *self.erase_counts.values().max().expect("non-empty");
         let mean = self.erase_counts.values().map(|&c| c as f64).sum::<f64>()
             / self.erase_counts.len() as f64;
@@ -235,6 +237,7 @@ impl Ftl {
             if let Some((block, page)) = self.active[die] {
                 let ppa = self.die_to_ppa(die, block, page);
                 let id = BlockId { die, block };
+                // bx-lint: allow(panic-freedom, reason = "active[die] entries are inserted into blocks in the branch above before use")
                 let info = self.blocks.get_mut(&id).expect("active block tracked");
                 info.owner[page as usize] = Some(lpn);
                 info.valid_count += 1;
@@ -313,6 +316,7 @@ impl Ftl {
             }
         }
         Err(FtlError::Nand(NandError::ProgramFailed(
+            // bx-lint: allow(panic-freedom, reason = "retry loop bound is a compile-time positive constant, so the loop body ran and set last_failed")
             last_failed.expect("loop ran at least once"),
         )))
     }
@@ -442,6 +446,7 @@ impl Ftl {
                 // Nothing reclaimable.
                 break;
             };
+            // bx-lint: allow(panic-freedom, reason = "victim id was produced by iterating this map inside the same borrow")
             let info = self.blocks.get(&victim).expect("victim exists").clone();
             // A victim with every page still valid cannot reclaim space.
             if info.valid_count == self.pages_per_block {

@@ -116,13 +116,21 @@ impl InFlight {
     }
 
     fn mark(&mut self, chunk_no: u16) -> bool {
+        debug_assert!(chunk_no < self.total, "chunk_no validated by accept_at");
         let w = chunk_no as usize / 64;
         let b = chunk_no as usize % 64;
+        debug_assert!(w < self.bitmap.len(), "bitmap sized for total at insert");
+        // bx-lint: allow(panic-freedom, reason = "chunk_no < total is checked by accept_at and the bitmap is sized ceil(total/64) at insert")
         if self.bitmap[w] >> b & 1 == 1 {
             return false;
         }
+        // bx-lint: allow(panic-freedom, reason = "same bound as the read above")
         self.bitmap[w] |= 1 << b;
         self.received += 1;
+        debug_assert!(
+            u32::from(self.received) == self.bitmap.iter().map(|w| w.count_ones()).sum::<u32>(),
+            "received counter diverged from bitmap population"
+        );
         true
     }
 }
@@ -231,14 +239,12 @@ impl ReassemblyEngine {
                 return Err(ReassemblyError::SramExhausted { needed, remaining });
             }
             self.sram_used += needed;
-            self.inflight
-                .insert(hdr.payload_id, InFlight::new(hdr.total, now));
-            self.peak_inflight = self.peak_inflight.max(self.inflight.len());
+            self.peak_inflight = self.peak_inflight.max(self.inflight.len() + 1);
         }
         let entry = self
             .inflight
-            .get_mut(&hdr.payload_id)
-            .expect("just inserted");
+            .entry(hdr.payload_id)
+            .or_insert_with(|| InFlight::new(hdr.total, now));
         if entry.total != hdr.total {
             return Err(ReassemblyError::InconsistentTotal {
                 payload_id: hdr.payload_id,
@@ -256,13 +262,14 @@ impl ReassemblyEngine {
         entry.buffer[off..off + take].copy_from_slice(&data[..take]);
 
         if entry.received == entry.total {
-            let entry = self.inflight.remove(&hdr.payload_id).expect("tracked");
-            self.sram_used -= InFlight::sram_bytes(entry.total);
-            self.completed += 1;
-            return Ok(Some(CompletedPayload {
-                payload_id: hdr.payload_id,
-                data: entry.buffer,
-            }));
+            if let Some(entry) = self.inflight.remove(&hdr.payload_id) {
+                self.sram_used -= InFlight::sram_bytes(entry.total);
+                self.completed += 1;
+                return Ok(Some(CompletedPayload {
+                    payload_id: hdr.payload_id,
+                    data: entry.buffer,
+                }));
+            }
         }
         Ok(None)
     }
@@ -286,9 +293,10 @@ impl ReassemblyEngine {
             .map(|(&id, _)| id)
             .collect();
         for id in &expired {
-            let entry = self.inflight.remove(id).expect("listed above");
-            self.sram_used -= InFlight::sram_bytes(entry.total);
-            self.evicted += 1;
+            if let Some(entry) = self.inflight.remove(id) {
+                self.sram_used -= InFlight::sram_bytes(entry.total);
+                self.evicted += 1;
+            }
         }
         expired
     }

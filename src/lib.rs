@@ -2,4 +2,6 @@
 //! cross-crate integration `tests/`. The public API lives in the
 //! [`byteexpress`] crate.
 
+#![forbid(unsafe_code)]
+
 pub use byteexpress;
