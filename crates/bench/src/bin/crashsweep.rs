@@ -1,0 +1,227 @@
+//! crashsweep — the power-fail robustness gate.
+//!
+//! Sweeps a virtual-time power cut across every event index of a fixed PUT
+//! workload (Serial/queue-local and Pipelined/reassembly), recovers each
+//! crashed device, and checks durable linearizability: every acked PUT reads
+//! back bit-exact, the in-flight PUT is old-value/new-value/absent but never
+//! torn, and re-running a schedule reproduces the identical recovered store.
+//! Any violation exits nonzero, which makes this binary the CI crash tier.
+//!
+//! `cargo run -p bx-bench --release --bin crashsweep [-- puts] [--json]`
+
+use bx_bench::{bench_args, section, JsonReport};
+use bx_kvssd::{KvStore, KvStoreConfig};
+use byteexpress::{
+    ExecutionModel, FaultConfig, FetchPolicy, RecoveryReport, RetryPolicy, TransferMethod,
+};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Distinct keys the workload cycles through.
+const KEYS: usize = 5;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("crash-key-{:02}", i % KEYS).into_bytes()
+}
+
+fn value(seed: u64, i: usize) -> Vec<u8> {
+    let len = 180 + ((seed as usize).wrapping_mul(31).wrapping_add(i * 97)) % 200;
+    (0..len)
+        .map(|j| (seed as usize).wrapping_add(i * 131 + j * 7) as u8)
+        .collect()
+}
+
+/// One crash schedule's outcome.
+#[derive(PartialEq)]
+struct CrashRun {
+    acked: BTreeMap<Vec<u8>, Vec<u8>>,
+    in_flight: Option<(Vec<u8>, Vec<u8>)>,
+    cut_fired: bool,
+    report: RecoveryReport,
+    recovered: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+}
+
+fn run_schedule(
+    seed: u64,
+    cut_after: u64,
+    execution: ExecutionModel,
+    fetch: FetchPolicy,
+    puts: usize,
+) -> CrashRun {
+    let mut store = KvStore::open(KvStoreConfig {
+        method: TransferMethod::ByteExpress,
+        execution,
+        fetch,
+        retry: Some(RetryPolicy::default()),
+        durable_puts: true,
+        ..Default::default()
+    });
+    store.device().install_faults(FaultConfig {
+        power_cut_after_events: Some(cut_after),
+        ..FaultConfig::disabled()
+    });
+    let mut acked = BTreeMap::new();
+    let mut in_flight = None;
+    for i in 0..puts {
+        let (k, v) = (key(i), value(seed, i));
+        match store.put(&k, &v) {
+            Ok(_) => {
+                acked.insert(k, v);
+            }
+            Err(_) => {
+                in_flight = Some((k, v));
+                break;
+            }
+        }
+    }
+    let cut_fired = store.device().fault_counters().power_cuts > 0;
+    store.device().disable_faults();
+    let report = store
+        .hard_power_cycle()
+        .expect("bring-up after power cut must succeed");
+    let mut recovered = BTreeMap::new();
+    for i in 0..KEYS {
+        let k = key(i);
+        let got = store.get(&k).expect("post-recovery read must succeed");
+        recovered.insert(k, got);
+    }
+    CrashRun {
+        acked,
+        in_flight,
+        cut_fired,
+        report,
+        recovered,
+    }
+}
+
+/// Counts (acked-write violations, torn-value visibilities) in one run.
+fn check(run: &CrashRun, label: &str) -> (u64, u64) {
+    let mut acked_violations = 0;
+    let mut torn_visible = 0;
+    for (k, v) in &run.acked {
+        let got = run.recovered.get(k).cloned().flatten();
+        if let Some((ik, iv)) = &run.in_flight {
+            if ik == k {
+                if got.as_ref() != Some(v) && got.as_ref() != Some(iv) {
+                    eprintln!("FAIL [{label}]: in-flight overwrite torn");
+                    torn_visible += 1;
+                }
+                continue;
+            }
+        }
+        if got.as_ref() != Some(v) {
+            eprintln!(
+                "FAIL [{label}]: acked key {:?} lost or corrupted",
+                String::from_utf8_lossy(k)
+            );
+            acked_violations += 1;
+        }
+    }
+    if let Some((ik, iv)) = &run.in_flight {
+        if !run.acked.contains_key(ik) {
+            let got = run.recovered.get(ik).cloned().flatten();
+            if got.is_some() && got.as_ref() != Some(iv) {
+                eprintln!("FAIL [{label}]: never-acked key visible torn");
+                torn_visible += 1;
+            }
+        }
+    }
+    (acked_violations, torn_visible)
+}
+
+/// Sweeps one configuration until the countdown stops firing; re-runs every
+/// fifth schedule to check determinism. Returns per-config counters.
+fn sweep(
+    seed: u64,
+    execution: ExecutionModel,
+    fetch: FetchPolicy,
+    puts: usize,
+    cap: u64,
+) -> (u64, u64, u64, u64) {
+    let label = format!("{execution:?}/{fetch:?}");
+    let mut schedules = 0;
+    let mut acked_violations = 0;
+    let mut torn_visible = 0;
+    let mut determinism_failures = 0;
+    for cut in 0..cap {
+        let run = run_schedule(seed, cut, execution, fetch, puts);
+        let (a, t) = check(&run, &format!("{label} cut={cut}"));
+        acked_violations += a;
+        torn_visible += t;
+        schedules += 1;
+        if cut % 5 == 0 {
+            let again = run_schedule(seed, cut, execution, fetch, puts);
+            if run != again {
+                eprintln!("FAIL [{label} cut={cut}]: replay diverged");
+                determinism_failures += 1;
+            }
+        }
+        if !run.cut_fired {
+            println!(
+                "  {label}: {schedules} schedules ({} crashed), quiescent at cut={cut}",
+                schedules - 1
+            );
+            return (
+                schedules,
+                acked_violations,
+                torn_visible,
+                determinism_failures,
+            );
+        }
+    }
+    eprintln!("FAIL [{label}]: sweep never reached quiescence within {cap} schedules");
+    (
+        schedules,
+        acked_violations + 1,
+        torn_visible,
+        determinism_failures,
+    )
+}
+
+fn main() {
+    let args = bench_args();
+    let puts = args.ops.unwrap_or(14);
+    let mut report = JsonReport::new("crashsweep");
+
+    section(&format!(
+        "power-cut sweep: {puts} durable PUTs per schedule, cut at every event index"
+    ));
+    let configs = [
+        (ExecutionModel::Serial, FetchPolicy::QueueLocal, 1u64),
+        (ExecutionModel::Pipelined, FetchPolicy::Reassembly, 2u64),
+    ];
+    let mut schedules = 0;
+    let mut acked_violations = 0;
+    let mut torn_visible = 0;
+    let mut determinism_failures = 0;
+    for (execution, fetch, seed) in configs {
+        // Generous cap: ~2 events per PUT serial, ~12 with chunk fetches.
+        let cap = 40 * puts as u64;
+        let (s, a, t, d) = sweep(seed, execution, fetch, puts, cap);
+        schedules += s;
+        acked_violations += a;
+        torn_visible += t;
+        determinism_failures += d;
+    }
+
+    let failures = acked_violations + torn_visible + determinism_failures;
+    println!(
+        "  total: {schedules} schedules, {acked_violations} acked violations, \
+         {torn_visible} torn reads, {determinism_failures} divergent replays"
+    );
+    report.push(
+        "schedules",
+        Value::object([
+            ("schedules", Value::U64(schedules)),
+            ("acked_violations", Value::U64(acked_violations)),
+            ("torn_visible", Value::U64(torn_visible)),
+            ("determinism_failures", Value::U64(determinism_failures)),
+        ]),
+    );
+    report.push("failures", Value::U64(failures));
+    report.finish(args.json);
+    if failures > 0 {
+        eprintln!("crashsweep FAILED with {failures} violation(s)");
+        std::process::exit(1);
+    }
+}

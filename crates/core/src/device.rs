@@ -11,7 +11,7 @@ use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status};
 use bx_pcie::{LinkConfig, TrafficCounters};
 use bx_ssd::{
     Arbitration, BlockFirmware, Controller, ControllerConfig, ControllerTiming, DeviceDram,
-    ExecutionModel, FetchPolicy, FirmwareHandler, NandConfig, SystemBus,
+    ExecutionModel, FetchPolicy, FirmwareHandler, NandConfig, RecoveryReport, SystemBus,
 };
 use std::fmt;
 
@@ -322,6 +322,7 @@ impl DeviceBuilder {
             driver,
             ctrl,
             qids,
+            queue_depths: vec![self.queue_depth; self.queue_count],
             identify,
         }
     }
@@ -337,6 +338,9 @@ pub struct Device {
     driver: NvmeDriver,
     ctrl: Controller,
     qids: Vec<QueueId>,
+    /// Depth of each queue in `qids`, kept in lockstep so a power cycle can
+    /// re-create the same topology.
+    queue_depths: Vec<u16>,
     identify: bx_nvme::IdentifyController,
 }
 
@@ -387,6 +391,7 @@ impl Device {
     pub fn add_io_queue(&mut self, depth: u16) -> Result<QueueId, DeviceError> {
         let qid = self.driver.create_io_queue(&mut self.ctrl, depth)?;
         self.qids.push(qid);
+        self.queue_depths.push(depth);
         Ok(qid)
     }
 
@@ -397,7 +402,10 @@ impl Device {
     /// [`DeviceError::Driver`] if the controller rejects deletion.
     pub fn delete_io_queue(&mut self, qid: QueueId) -> Result<(), DeviceError> {
         self.driver.delete_io_queue(&mut self.ctrl, qid)?;
-        self.qids.retain(|&q| q != qid);
+        if let Some(i) = self.qids.iter().position(|&q| q == qid) {
+            self.qids.remove(i);
+            self.queue_depths.remove(i);
+        }
         Ok(())
     }
 
@@ -457,6 +465,42 @@ impl Device {
     /// The driver's recovery counters (timeouts, retries, fallbacks…).
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.driver.recovery_stats()
+    }
+
+    /// Cuts power *right now*, regardless of any armed fault countdown —
+    /// the crash-schedule harness hook for externally chosen cut points.
+    /// Everything volatile (rings, doorbells, DRAM, in-flight programs) is
+    /// lost; see [`Device::power_cycle`] to bring the device back.
+    pub fn force_power_cut(&mut self) {
+        self.ctrl.force_power_cut();
+    }
+
+    /// Whether a power cut has fired and the device has not been cycled.
+    pub fn is_powered_off(&self) -> bool {
+        self.ctrl.is_powered_off()
+    }
+
+    /// Restores power after a cut (cutting first if the device is still
+    /// live): the controller rebuilds the FTL from NAND and the mapping
+    /// journal, firmware re-derives its volatile state, and the host side
+    /// re-runs the full bring-up — admin registers, Identify, and
+    /// re-creation of every I/O queue at its original depth. Queue ids are
+    /// reassigned densely from 1, in the original creation order.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Driver`] if bring-up fails (it cannot, short of host
+    /// memory exhaustion).
+    pub fn power_cycle(&mut self) -> Result<RecoveryReport, DeviceError> {
+        let report = self.ctrl.power_cycle();
+        self.driver.reset_after_power_cycle();
+        self.identify = self.driver.initialize(&mut self.ctrl)?;
+        self.qids.clear();
+        for depth in self.queue_depths.clone() {
+            self.qids
+                .push(self.driver.create_io_queue(&mut self.ctrl, depth)?);
+        }
+        Ok(report)
     }
 
     /// The flight-recorder sink (disabled unless the device was built with

@@ -61,7 +61,7 @@ pub use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status, SubmissionEntry};
 pub use bx_pcie::{LinkConfig, PcmCounters, TrafficClass, TrafficCounters};
 pub use bx_ssd::{
     Arbitration, ControllerTiming, ExecutionModel, FetchPolicy, FirmwareCtx, FirmwareHandler,
-    NandConfig, SystemBus,
+    NandConfig, RecoveryReport, SystemBus,
 };
 
 // The flight recorder's user-facing pieces.

@@ -428,6 +428,19 @@ impl NvmeDriver {
         self.identify.as_ref()
     }
 
+    /// Drops every handle into the (now vanished) controller state after a
+    /// power cut: queue pairs, the admin queue, cached identify data. Host
+    /// policy knobs — retry, flush, CQ coalescing, inline mode, SGL
+    /// threshold — and cumulative stats survive; they live in host memory.
+    /// Call [`NvmeDriver::initialize`] and re-create I/O queues afterwards,
+    /// exactly as the kernel re-probes a device that dropped off the bus.
+    pub fn reset_after_power_cycle(&mut self) {
+        self.queues.clear();
+        self.admin = None;
+        self.identify = None;
+        self.next_io_qid = 1;
+    }
+
     fn admin_cid(&mut self) -> Result<u16, DriverError> {
         let a = self.admin.as_mut().ok_or(DriverError::NotReady)?;
         let cid = a.next_cid;

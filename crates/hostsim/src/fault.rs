@@ -44,6 +44,13 @@ pub struct FaultConfig {
     /// ECC strength: reads with at most this many flipped bits are corrected
     /// transparently (counted); beyond it the read is uncorrectable.
     pub ecc_correctable_bits: u32,
+    /// Whole-system power cut: the device freezes after this many controller
+    /// scheduling events ([`FaultInjector::power_cut_tick`] calls). Unlike
+    /// the probabilistic classes this is a deterministic countdown — crash
+    /// sweeps enumerate every cut point exhaustively — and it never touches
+    /// the RNG, so adding a cut to a seeded schedule does not perturb which
+    /// probabilistic faults fire before it. `None` (the default) never cuts.
+    pub power_cut_after_events: Option<u64>,
 }
 
 impl FaultConfig {
@@ -59,10 +66,12 @@ impl FaultConfig {
             nand_read_bitflip: 0.0,
             nand_max_flips: 4,
             ecc_correctable_bits: 8,
+            power_cut_after_events: None,
         }
     }
 
-    /// True if any fault class has a non-zero probability.
+    /// True if any fault class has a non-zero probability (or a power cut is
+    /// scheduled).
     pub fn any_enabled(&self) -> bool {
         self.drop_doorbell > 0.0
             || self.drop_completion > 0.0
@@ -70,6 +79,7 @@ impl FaultConfig {
             || self.truncate_train > 0.0
             || self.nand_program_fail > 0.0
             || self.nand_read_bitflip > 0.0
+            || self.power_cut_after_events.is_some()
     }
 }
 
@@ -95,6 +105,8 @@ pub struct FaultCounters {
     pub nand_program_failures: u64,
     /// NAND page reads that came back with flipped bits (correctable or not).
     pub nand_read_bitflips: u64,
+    /// Whole-system power cuts fired.
+    pub power_cuts: u64,
 }
 
 impl FaultCounters {
@@ -120,6 +132,7 @@ impl FaultCounters {
             nand_read_bitflips: self
                 .nand_read_bitflips
                 .saturating_sub(earlier.nand_read_bitflips),
+            power_cuts: self.power_cuts.saturating_sub(earlier.power_cuts),
         }
     }
 
@@ -132,6 +145,7 @@ impl FaultCounters {
             self.trains_truncated,
             self.nand_program_failures,
             self.nand_read_bitflips,
+            self.power_cuts,
         ]
         .iter()
         .filter(|&&n| n > 0)
@@ -150,6 +164,9 @@ pub struct FaultInjector {
     enabled: bool,
     rng_state: u64,
     counters: FaultCounters,
+    /// Scheduling events left before the power cut fires; `None` when no cut
+    /// is scheduled (or the scheduled one already fired — a cut is one-shot).
+    power_cut_remaining: Option<u64>,
 }
 
 impl FaultInjector {
@@ -164,6 +181,7 @@ impl FaultInjector {
         FaultInjector {
             rng_state: cfg.seed,
             enabled,
+            power_cut_remaining: cfg.power_cut_after_events,
             cfg,
             counters: FaultCounters::default(),
         }
@@ -174,6 +192,7 @@ impl FaultInjector {
     pub fn reconfigure(&mut self, cfg: FaultConfig) {
         self.rng_state = cfg.seed;
         self.enabled = cfg.any_enabled();
+        self.power_cut_remaining = cfg.power_cut_after_events;
         self.cfg = cfg;
     }
 
@@ -272,6 +291,31 @@ impl FaultInjector {
         Some(1 + (self.next_u64() % u64::from(max)) as u32)
     }
 
+    /// Counts down one controller scheduling event toward the scheduled
+    /// power cut; returns `true` exactly once, on the event the cut lands.
+    /// `power_cut_after_events: Some(0)` cuts on the very first event. Never
+    /// touches the RNG (the cut point is part of the config, not a draw).
+    pub fn power_cut_tick(&mut self) -> bool {
+        match self.power_cut_remaining.as_mut() {
+            None => false,
+            Some(0) => {
+                self.power_cut_remaining = None;
+                self.counters.power_cuts += 1;
+                true
+            }
+            Some(n) => {
+                *n -= 1;
+                false
+            }
+        }
+    }
+
+    /// Whether a scheduled power cut has not yet fired (crash sweeps use
+    /// this to detect cut indices beyond the workload's event count).
+    pub fn power_cut_pending(&self) -> bool {
+        self.power_cut_remaining.is_some()
+    }
+
     /// ECC strength from the active config.
     pub fn ecc_correctable_bits(&self) -> u32 {
         self.cfg.ecc_correctable_bits
@@ -298,9 +342,64 @@ mod tests {
             assert!(inj.truncate_train(8).is_none());
             assert!(!inj.nand_program_fail());
             assert!(inj.nand_read_flips().is_none());
+            assert!(!inj.power_cut_tick());
         }
         assert_eq!(inj.rng_state, 0, "disabled injector must not touch RNG");
         assert_eq!(inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn power_cut_fires_exactly_once_at_the_scheduled_event() {
+        let cfg = FaultConfig {
+            power_cut_after_events: Some(3),
+            ..FaultConfig::disabled()
+        };
+        let mut inj = FaultInjector::new(cfg);
+        assert!(inj.power_cut_pending());
+        assert_eq!(
+            (0..10).map(|_| inj.power_cut_tick()).collect::<Vec<_>>(),
+            [false, false, false, true, false, false, false, false, false, false],
+        );
+        assert!(!inj.power_cut_pending());
+        assert_eq!(inj.counters().power_cuts, 1);
+        assert_eq!(inj.counters().distinct_classes(), 1);
+        assert_eq!(
+            inj.rng_state, 0,
+            "the power-cut countdown must never touch the RNG"
+        );
+    }
+
+    #[test]
+    fn power_cut_at_zero_fires_on_first_event() {
+        let cfg = FaultConfig {
+            power_cut_after_events: Some(0),
+            ..FaultConfig::disabled()
+        };
+        assert!(cfg.any_enabled());
+        let mut inj = FaultInjector::new(cfg);
+        assert!(inj.power_cut_tick());
+        assert!(!inj.power_cut_tick());
+    }
+
+    #[test]
+    fn power_cut_countdown_does_not_perturb_probabilistic_schedule() {
+        let base = FaultConfig {
+            seed: 42,
+            drop_doorbell: 0.3,
+            nand_read_bitflip: 0.5,
+            ..FaultConfig::disabled()
+        };
+        let with_cut = FaultConfig {
+            power_cut_after_events: Some(5),
+            ..base.clone()
+        };
+        let mut a = FaultInjector::new(base);
+        let mut b = FaultInjector::new(with_cut);
+        for _ in 0..200 {
+            b.power_cut_tick();
+            assert_eq!(a.drop_doorbell(), b.drop_doorbell());
+            assert_eq!(a.nand_read_flips(), b.nand_read_flips());
+        }
     }
 
     #[test]

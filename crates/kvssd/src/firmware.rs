@@ -105,6 +105,9 @@ impl Default for KvTiming {
 #[derive(Debug)]
 pub struct KvFirmware {
     nand_io: bool,
+    /// Write-through durability: every PUT re-programs the partial staging
+    /// page to NAND before acking, so acked values survive a power cut.
+    durable_puts: bool,
     timing: KvTiming,
     index: BTreeMap<PaddedKey, ValueLoc>,
     /// Staging page region in device DRAM.
@@ -149,6 +152,7 @@ impl KvFirmware {
             .expect("device DRAM too small for KV log");
         KvFirmware {
             nand_io,
+            durable_puts: false,
             timing: KvTiming::default(),
             index: BTreeMap::new(),
             staging_off: staging.offset,
@@ -164,6 +168,16 @@ impl KvFirmware {
     /// The shared statistics handle.
     pub fn stats_handle(&self) -> Rc<RefCell<KvDeviceStats>> {
         Rc::clone(&self.stats)
+    }
+
+    /// Enables write-through durable PUTs: before a PUT is acknowledged the
+    /// partial staging page is re-programmed to the current log LPN, so the
+    /// ack implies durability (the durable-linearizability contract). Costs
+    /// a NAND program per PUT — the price the default volatile-staging mode
+    /// avoids. Requires `nand_io`; meaningless (and ignored) without it,
+    /// since the DRAM log is itself volatile.
+    pub fn set_durable_puts(&mut self, on: bool) {
+        self.durable_puts = on;
     }
 
     /// Flushes the staging page. Returns the completion instant.
@@ -243,6 +257,24 @@ impl KvFirmware {
             },
         );
         self.staged_keys.push(key);
+        // Write-through durability: land the partial staging page at the
+        // current log LPN before acking. The FTL journals the remap and the
+        // ack waits for `max(program done, record durable)`, so a later
+        // power cut can at worst fall back to the previous write-through of
+        // the same LPN — exactly the last acked state.
+        if self.durable_puts && self.nand_io {
+            if self.next_lpn >= ctx.ftl.capacity_pages() {
+                return CommandOutcome::fail(Status::CapacityExceeded, now);
+            }
+            let page = match ctx.dram.read(self.staging_off, PAGE_SIZE) {
+                Ok(p) => p.to_vec(),
+                Err(_) => return CommandOutcome::fail(Status::InternalError, now),
+            };
+            match ctx.ftl.write(self.next_lpn, &page, ctx.nand, now) {
+                Ok(t) => now = t,
+                Err(_) => return CommandOutcome::fail(Status::InternalError, now),
+            }
+        }
         let mut stats = self.stats.borrow_mut();
         stats.puts += 1;
         stats.value_bytes_in += value.len() as u64;
@@ -498,6 +530,22 @@ impl FirmwareHandler for KvFirmware {
             }
             _ => CommandOutcome::fail(Status::InvalidOpcode, ctx.now),
         }
+    }
+
+    fn on_power_cycle(&mut self, mut ctx: FirmwareCtx<'_>) {
+        // Volatile cursors are gone with DRAM. The log LPN frontier is
+        // re-derived from the recovered FTL map: the log is written
+        // strictly sequentially, so the mapped prefix IS the persisted log.
+        self.staging_used = 0;
+        self.staged_keys.clear();
+        self.next_lpn = 0;
+        if self.nand_io {
+            while self.next_lpn < ctx.ftl.capacity_pages() && ctx.ftl.is_mapped(self.next_lpn) {
+                self.next_lpn += 1;
+            }
+        }
+        // Hard power loss: never replay the (wiped) staging page.
+        self.recover_index(&mut ctx, false);
     }
 }
 

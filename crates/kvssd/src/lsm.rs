@@ -196,7 +196,7 @@ impl LsmKvFirmware {
     fn free_run(&mut self, ctx: &mut FirmwareCtx<'_>, run: RunMeta) {
         for lpn in run.pages {
             if self.nand_io {
-                let _ = ctx.ftl.trim(lpn);
+                let _ = ctx.ftl.trim(lpn, ctx.now);
             }
             self.free_lpns.push(lpn);
         }

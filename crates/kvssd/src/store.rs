@@ -9,7 +9,8 @@ use bx_ssd::NandConfig;
 /// An owned key-value pair as returned by range scans.
 pub type KvPair = (Vec<u8>, Vec<u8>);
 use byteexpress::{
-    Completion, Device, DeviceError, IoOpcode, Nanos, PassthruCmd, Status, TransferMethod,
+    Completion, Device, DeviceError, ExecutionModel, FaultConfig, FetchPolicy, IoOpcode, Nanos,
+    PassthruCmd, RecoveryReport, RetryPolicy, Status, TransferMethod,
 };
 use std::cell::RefCell;
 use std::fmt;
@@ -82,6 +83,20 @@ pub struct KvStoreConfig {
     pub queue_depth: u16,
     /// Device-side engine.
     pub engine: KvEngine,
+    /// Controller execution model (Serial or Pipelined).
+    pub execution: ExecutionModel,
+    /// Controller chunk-gathering policy; [`FetchPolicy::Reassembly`] also
+    /// switches the driver into reassembly framing.
+    pub fetch: FetchPolicy,
+    /// Driver timeout/retry policy — required for crash runs, where lost
+    /// completions are expected rather than a harness bug.
+    pub retry: Option<RetryPolicy>,
+    /// Fault schedule to arm at build time (e.g. a power-cut countdown).
+    pub fault_config: Option<FaultConfig>,
+    /// Write-through durable PUTs (hash-log engine, `nand_io` only): the
+    /// ack implies the value survives any power cut. See
+    /// [`KvFirmware::set_durable_puts`].
+    pub durable_puts: bool,
 }
 
 impl Default for KvStoreConfig {
@@ -92,6 +107,11 @@ impl Default for KvStoreConfig {
             nand: None,
             queue_depth: 1024,
             engine: KvEngine::HashLog,
+            execution: ExecutionModel::Serial,
+            fetch: FetchPolicy::QueueLocal,
+            retry: None,
+            fault_config: None,
+            durable_puts: false,
         }
     }
 }
@@ -121,14 +141,25 @@ impl KvStore {
         let stats = Rc::new(RefCell::new(KvDeviceStats::default()));
         let lsm_stats = Rc::new(RefCell::new(LsmStats::default()));
         let nand_io = cfg.nand_io;
+        let durable_puts = cfg.durable_puts;
         let mut builder = Device::builder()
             .nand_io(cfg.nand_io)
-            .queue_depth(cfg.queue_depth);
+            .queue_depth(cfg.queue_depth)
+            .execution_model(cfg.execution)
+            .fetch_policy(cfg.fetch);
+        if let Some(retry) = cfg.retry {
+            builder = builder.retry_policy(retry);
+        }
+        if let Some(faults) = cfg.fault_config {
+            builder = builder.fault_config(faults);
+        }
         builder = match cfg.engine {
             KvEngine::HashLog => {
                 let stats_for_fw = Rc::clone(&stats);
                 builder.firmware(move |dram| {
-                    Box::new(KvFirmware::with_stats(dram, nand_io, stats_for_fw))
+                    let mut fw = KvFirmware::with_stats(dram, nand_io, stats_for_fw);
+                    fw.set_durable_puts(durable_puts);
+                    Box::new(fw)
                 })
             }
             KvEngine::Lsm => {
@@ -379,6 +410,20 @@ impl KvStore {
             return Err(KvError::Device(DeviceError::Command(completion.status)));
         }
         Ok(completion.result)
+    }
+
+    /// A *hard* power cycle through the real power-fail path: cuts power
+    /// (if a fault-injected cut has not already fired), rebuilds the FTL
+    /// from NAND + journal, re-runs NVMe bring-up, and lets the firmware
+    /// rebuild its index from the persisted log. Unlike
+    /// [`KvStore::power_cycle`] — which models recovery as a polite admin
+    /// command to a live device — nothing volatile survives this.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Device`] if bring-up after the cut fails.
+    pub fn hard_power_cycle(&mut self) -> Result<RecoveryReport, KvError> {
+        Ok(self.dev.power_cycle()?)
     }
 
     /// Current virtual time (for throughput computation).

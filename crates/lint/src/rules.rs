@@ -681,6 +681,32 @@ mod tests {
     }
 
     #[test]
+    fn trace_exhaustiveness_covers_crash_events() {
+        // Regression for the crash-consistency events: a handler that
+        // predates the power-fail work (no `PowerCut`/`JournalReplay` arm)
+        // must be flagged for each missing variant.
+        let src = "\
+            pub enum EventKind { PowerCut { torn_pages: u32 }, JournalReplay { replayed: u32 } }\n\
+            impl EventKind {\n\
+              pub fn layer(&self) -> &str { match self { PowerCut { .. } => \"l\", JournalReplay { .. } => \"l\" } }\n\
+              pub fn name(&self) -> &str { match self { PowerCut { .. } => \"a\", JournalReplay { .. } => \"b\" } }\n\
+              pub fn args(&self) { match self { PowerCut { .. } => {} } }\n\
+            }\n\
+            impl Display for EventKind { fn fmt(&self) { match self { JournalReplay { .. } => {} } } }";
+        let f = trace_exhaustiveness("e.rs", &lex(src));
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("`JournalReplay`") && f.message.contains("fn args")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("`PowerCut`") && f.message.contains("fn fmt")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
     fn enum_variant_extraction_skips_payload_fields() {
         let toks = lex("enum E { A { field: u8, other: u16 }, B(u32, u64), C }").tokens;
         assert_eq!(

@@ -312,6 +312,13 @@ impl DoorbellArray {
         // bx-lint: allow(panic-freedom, reason = "out-of-range queue id is a documented panic (BAR access fault in hardware)")
         self.cq_heads[q.0 as usize]
     }
+
+    /// A power cut: doorbells are BAR-resident volatile registers, so every
+    /// tail and head returns to its power-on value of zero.
+    pub fn power_cut(&mut self) {
+        self.sq_tails.fill(0);
+        self.cq_heads.fill(0);
+    }
 }
 
 #[cfg(test)]

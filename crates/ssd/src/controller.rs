@@ -19,7 +19,7 @@ use crate::arbiter::Arbitration;
 use crate::bus::SystemBus;
 use crate::dram::DeviceDram;
 use crate::firmware::{CommandOutcome, FirmwareCtx, FirmwareHandler};
-use crate::ftl::Ftl;
+use crate::ftl::{Ftl, RecoveryReport};
 use crate::nand::{NandArray, NandConfig};
 use crate::reassembly::ReassemblyEngine;
 use crate::registers::{Register, RegisterFile};
@@ -226,6 +226,10 @@ pub struct Controller {
     /// Completions scheduled for future virtual instants (always empty
     /// under [`ExecutionModel::Serial`]).
     deferred: EventQueue<DeferredCompletion>,
+    /// Set by a power-cut fault: the device is dark until
+    /// [`Controller::power_cycle`] restores it. Every processing entry
+    /// point returns immediately while set.
+    powered_off: bool,
 }
 
 impl std::fmt::Debug for Controller {
@@ -275,6 +279,7 @@ impl Controller {
             next_io_qid: 1,
             execution: cfg.execution_model,
             deferred: EventQueue::new(),
+            powered_off: false,
         }
     }
 
@@ -467,11 +472,17 @@ impl Controller {
     pub fn process_available(&mut self) -> usize {
         let mut completed = 0;
         loop {
+            if self.powered_off {
+                return completed;
+            }
             let mut progressed = false;
             let delivered = self.deliver_due_completions();
             if delivered > 0 {
                 completed += delivered;
                 progressed = true;
+            }
+            if self.powered_off {
+                return completed;
             }
             let evicted = self.evict_stalled_inline();
             if evicted > 0 {
@@ -480,12 +491,18 @@ impl Controller {
             }
             while self.admin_has_work() {
                 self.process_admin_one();
+                if self.powered_off {
+                    return completed;
+                }
                 completed += 1;
                 progressed = true;
             }
             while let Some(n) = self.process_mmio_one() {
                 completed += n;
                 progressed = true;
+            }
+            if self.powered_off {
+                return completed;
             }
             // One arbitration round: every queue gets a credit budget per
             // the configured mode and spends one credit per scheduling
@@ -506,6 +523,11 @@ impl Controller {
                         completed += self.fetch_reassembly_chunk(qi);
                     } else {
                         completed += self.process_one(qi);
+                    }
+                    // A power cut clears `queues`, so the round's captured
+                    // indices are stale — bail out before touching them.
+                    if self.powered_off {
+                        return completed;
                     }
                     served += 1;
                     progressed = true;
@@ -540,6 +562,13 @@ impl Controller {
         let mut delivered = 0;
         let now = self.bus.clock.now();
         while let Some((_, ev)) = self.deferred.pop_due(now) {
+            // A completion delivery is a processing event: the power cut may
+            // land between the media finishing and the CQE reaching the
+            // host. The popped completion dies with the rest of the
+            // deferred queue.
+            if self.power_tick() {
+                return delivered;
+            }
             delivered += self.deliver_completion(ev);
         }
         delivered
@@ -634,6 +663,10 @@ impl Controller {
     /// word posts later, when the scheduled completion is delivered).
     fn process_mmio_one(&mut self) -> Option<usize> {
         let sub = self.bus.mmio_window.borrow_mut().submissions.pop_front()?;
+        if self.power_tick() {
+            // The committed bytes were still in the volatile window.
+            return None;
+        }
         self.bus.clock.advance(self.timing.mmio_detect);
         // The byte-interface path has no SQ; spans use queue id 0 by
         // convention (mirrored by the driver's MMIO submit hook).
@@ -693,6 +726,9 @@ impl Controller {
 
     /// Fetches and executes one admin command.
     fn process_admin_one(&mut self) {
+        if self.power_tick() {
+            return;
+        }
         self.bus.clock.advance(self.timing.fetch_dispatch_overhead);
         let img = {
             // bx-lint: allow(panic-freedom, reason = "process_admin_one is gated on admin doorbell state, which only exists once the admin queue is latched")
@@ -815,6 +851,9 @@ impl Controller {
     /// Returns 1 if a command completed, 0 if the entry was absorbed into a
     /// pending BandSlim assembly.
     fn process_one(&mut self, qi: usize) -> usize {
+        if self.power_tick() {
+            return 0;
+        }
         // SQE fetch: firmware dispatch overhead + the 64-byte DMA round trip.
         self.bus.clock.advance(self.timing.fetch_dispatch_overhead);
         let img = self.fetch_entry_image(qi);
@@ -917,6 +956,9 @@ impl Controller {
     /// Fetches one reassembly-mode chunk for a parked command; dispatches
     /// the command once its payload completes. Returns completions (0 or 1).
     fn fetch_reassembly_chunk(&mut self, qi: usize) -> usize {
+        if self.power_tick() {
+            return 0;
+        }
         let mut img = self.fetch_entry_image(qi);
         self.bus
             .link
@@ -1129,6 +1171,12 @@ impl Controller {
             now: self.bus.clock.now(),
         };
         let outcome = self.firmware.handle(ctx, sqe, payload);
+        // The juiciest tear point: the media op is issued but the ack is
+        // not yet posted. A cut here must leave the write invisible to the
+        // host (no CQE) while recovery decides its fate from the journal.
+        if self.power_tick() {
+            return 0;
+        }
         if self.execution == ExecutionModel::Pipelined {
             let qid = self.queues[qi].id.0;
             let until = outcome.complete_at.max(self.bus.clock.now());
@@ -1205,6 +1253,101 @@ impl Controller {
         let timing = self.timing.clone();
         post_to_queue(&bus, &timing, &mut self.queues[qi], cid, outcome);
         self.stats.commands_completed += 1;
+    }
+
+    /// Whether a power cut has fired and [`Controller::power_cycle`] has not
+    /// yet restored the device.
+    pub fn is_powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Checks the fault injector's power-cut countdown at one processing
+    /// event; freezes the device if it fires. Returns whether the device is
+    /// (now) dark.
+    fn power_tick(&mut self) -> bool {
+        if self.powered_off {
+            return true;
+        }
+        let fired = self.bus.faults.borrow_mut().power_cut_tick();
+        if fired {
+            self.power_fail();
+        }
+        self.powered_off
+    }
+
+    /// Cuts power immediately, regardless of the fault injector's countdown
+    /// (harness hook for crash-schedule sweeps that pick the cut point
+    /// externally). No-op if already dark.
+    pub fn force_power_cut(&mut self) {
+        if !self.powered_off {
+            self.power_fail();
+        }
+    }
+
+    /// The power cut itself: durable state (programmed NAND pages, journal
+    /// records already on media) survives; everything volatile — SQ/CQ
+    /// rings, doorbells, BAR registers, device DRAM, reassembly buffers,
+    /// in-flight NAND programs and completions — is lost at this instant.
+    fn power_fail(&mut self) {
+        let at = self.bus.clock.now();
+        let torn_pages = self.nand.power_cut(at) as u32;
+        self.ftl.power_fail(at);
+        self.dram.wipe();
+        let dropped_trains = self.reassembly.power_cut() as u32;
+        self.queues.clear();
+        self.admin = None;
+        self.pending_cqs.clear();
+        self.deferred.clear();
+        self.next_io_qid = 1;
+        self.rr = 0;
+        {
+            let mut w = self.bus.mmio_window.borrow_mut();
+            w.submissions.clear();
+            w.completions.clear();
+        }
+        self.bus.doorbells.borrow_mut().power_cut();
+        self.regs.power_cut();
+        self.bus.trace.emit(None, || EventKind::PowerCut {
+            torn_pages,
+            dropped_trains,
+        });
+        self.powered_off = true;
+    }
+
+    /// Restores power after a cut: rebuilds the FTL from NAND and the
+    /// mapping journal ([`Ftl::recover`]), lets firmware re-derive its
+    /// volatile state, and clears the dark flag. The *host* side (admin
+    /// queue, I/O queues, identify) is gone — the driver must re-run its
+    /// bring-up sequence afterwards, exactly as after a real power cycle.
+    ///
+    /// Cuts power first if the device was still live (a deliberate hard
+    /// cycle).
+    pub fn power_cycle(&mut self) -> RecoveryReport {
+        if !self.powered_off {
+            self.power_fail();
+        }
+        // Power-on reset of BAR space. MMIO writes aimed at a dark device go
+        // nowhere on real hardware, but the simulated doorbell array and MMIO
+        // window live on the bus and still record writes from a host retrying
+        // against the dead controller — without this reset those stale tails
+        // would make bring-up chase phantom SQ entries around the ring.
+        self.bus.doorbells.borrow_mut().power_cut();
+        {
+            let mut w = self.bus.mmio_window.borrow_mut();
+            w.submissions.clear();
+            w.completions.clear();
+        }
+        self.regs.power_cut();
+        let report = self.ftl.recover(&self.nand);
+        let ctx = FirmwareCtx {
+            nand: &mut self.nand,
+            ftl: &mut self.ftl,
+            dram: &mut self.dram,
+            now: self.bus.clock.now(),
+        };
+        self.firmware.on_power_cycle(ctx);
+        self.powered_off = false;
+        report
     }
 }
 
@@ -1661,6 +1804,94 @@ mod tests {
         // Each extra chunk adds per_chunk_fetch + chunk_land = 440 ns.
         assert_eq!(t128 - t64, 440);
         assert_eq!(t256 - t128, 880);
+    }
+
+    #[test]
+    fn power_cut_freezes_device_and_recovery_keeps_only_acked_writes() {
+        use bx_hostsim::FaultConfig;
+
+        let (bus, mut ctrl) = setup(true);
+        let mut drv = MiniDriver::new(&bus, &mut ctrl, 64);
+
+        // First write is fully acked before the cut is armed.
+        let acked: Vec<u8> = (0..100u32).map(|i| i as u8).collect();
+        let mut sqe = SubmissionEntry::io(IoOpcode::Write, 1, 1);
+        sqe.set_slba(0);
+        sqe.set_data_len(acked.len() as u32);
+        inline::set_inline_len(&mut sqe, acked.len());
+        drv.push_raw(&sqe.to_bytes());
+        for chunk in inline::encode_chunks(&acked) {
+            drv.push_raw(&chunk);
+        }
+        drv.ring();
+        assert_eq!(ctrl.process_available(), 1);
+        assert_eq!(drv.pop_cqe().unwrap().status(), Status::Success);
+
+        // Arm the countdown so the cut lands *after* firmware dispatch of
+        // the second write (tick 1: process_one entry; tick 2: post-handle)
+        // — the media op is issued but the ack is never posted.
+        bus.install_faults(FaultConfig {
+            power_cut_after_events: Some(1),
+            ..FaultConfig::disabled()
+        });
+        let mut sqe = SubmissionEntry::io(IoOpcode::Write, 2, 1);
+        sqe.set_slba(1);
+        sqe.set_data_len(acked.len() as u32);
+        inline::set_inline_len(&mut sqe, acked.len());
+        drv.push_raw(&sqe.to_bytes());
+        for chunk in inline::encode_chunks(&acked) {
+            drv.push_raw(&chunk);
+        }
+        drv.ring();
+
+        assert_eq!(ctrl.process_available(), 0, "no ack for the torn write");
+        assert!(ctrl.is_powered_off());
+        assert!(!ctrl.is_ready(), "CSTS.RDY lost with power");
+        assert!(drv.pop_cqe().is_none(), "no CQE reached the host");
+        assert_eq!(ctrl.process_available(), 0, "device is dark until cycled");
+
+        let report = ctrl.power_cycle();
+        assert!(!ctrl.is_powered_off());
+        assert_eq!(report.recovered_mappings, 1, "only the acked write");
+
+        // Host must re-create queues from scratch, then the acked write
+        // reads back bit-exact and the torn one is invisible.
+        let mut drv = MiniDriver::new(&bus, &mut ctrl, 64);
+        let buf_page = bus.mem.borrow_mut().alloc_page().unwrap().addr();
+        let mut rd = SubmissionEntry::io(IoOpcode::Read, 3, 1);
+        rd.set_slba(0);
+        rd.set_data_len(100);
+        rd.set_prp1(buf_page);
+        drv.push_raw(&rd.to_bytes());
+        drv.ring();
+        ctrl.process_available();
+        assert_eq!(drv.pop_cqe().unwrap().status(), Status::Success);
+        assert_eq!(bus.mem.borrow().read_vec(buf_page, 100).unwrap(), acked);
+
+        let mut rd = SubmissionEntry::io(IoOpcode::Read, 4, 1);
+        rd.set_slba(1);
+        rd.set_data_len(100);
+        rd.set_prp1(buf_page);
+        drv.push_raw(&rd.to_bytes());
+        drv.ring();
+        ctrl.process_available();
+        assert_eq!(
+            drv.pop_cqe().unwrap().status(),
+            Status::LbaOutOfRange,
+            "unacked write must not be half-visible"
+        );
+    }
+
+    #[test]
+    fn force_power_cut_clears_volatile_state() {
+        let (bus, mut ctrl) = setup(true);
+        let _drv = MiniDriver::new(&bus, &mut ctrl, 64);
+        ctrl.force_power_cut();
+        assert!(ctrl.is_powered_off());
+        assert_eq!(bus.doorbells.borrow().sq_tail(QueueId(1)), 0);
+        ctrl.power_cycle();
+        assert!(!ctrl.is_powered_off());
+        assert_eq!(ctrl.completions_in_flight(), 0);
     }
 
     #[test]

@@ -169,6 +169,14 @@ impl DeviceDram {
         self.check(offset, len)?;
         Ok(&self.bytes[offset..offset + len])
     }
+
+    /// A power cut: DRAM contents are gone. The region *layout* survives —
+    /// it is firmware configuration re-derived identically at startup, and
+    /// keeping it lets recovery code reuse region handles — but every byte
+    /// reads back as zero.
+    pub fn wipe(&mut self) {
+        self.bytes.fill(0);
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +230,17 @@ mod tests {
             d.read(usize::MAX, 1),
             Err(DramError::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn wipe_zeroes_bytes_but_keeps_layout() {
+        let mut d = DeviceDram::new(256);
+        let r = d.alloc_region("staging", 64).unwrap();
+        d.write(r.offset, b"volatile").unwrap();
+        d.wipe();
+        assert_eq!(d.read(r.offset, 8).unwrap(), &[0u8; 8]);
+        assert_eq!(d.region("staging").unwrap(), r, "layout survives");
+        assert_eq!(d.remaining(), 256 - 64);
     }
 
     #[test]

@@ -72,6 +72,15 @@ pub trait FirmwareHandler {
         sqe: &SubmissionEntry,
         payload: Option<&[u8]>,
     ) -> CommandOutcome;
+
+    /// Called once after a power cut, when the controller has already
+    /// rebuilt the FTL from its journal ([`Ftl::recover`]) and wiped DRAM.
+    /// Firmware re-derives its volatile state (indexes, staging cursors)
+    /// from the recovered durable state. The default is a no-op — stateless
+    /// firmware like [`BlockFirmware`] needs nothing.
+    fn on_power_cycle(&mut self, ctx: FirmwareCtx<'_>) {
+        let _ = ctx;
+    }
 }
 
 /// Plain block-SSD firmware: `Write`/`Read`/`Flush` against the FTL, one

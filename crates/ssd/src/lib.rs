@@ -11,6 +11,9 @@
 //! * [`nand`] / [`ftl`] — a channel/die-parallel NAND array with
 //!   erase-before-program discipline and a page-mapped FTL with greedy GC,
 //!   so NAND-on experiments (Fig 6) carry realistic background costs.
+//! * [`journal`] — the append-only mapping-table journal (checksummed
+//!   records, bounded checkpoints) behind the FTL's crash-consistency story:
+//!   acks wait for the record, replay rebuilds the map after a power cut.
 //! * [`dram`] — device DRAM: the landing buffer for inline payloads (KV value
 //!   log, CSD workspace, or page buffer).
 //! * [`reassembly`] — the paper's §3.3.2 identifier-based out-of-order chunk
@@ -30,6 +33,7 @@ pub mod controller;
 pub mod dram;
 pub mod firmware;
 pub mod ftl;
+pub mod journal;
 pub mod nand;
 pub mod reassembly;
 pub mod registers;
@@ -40,7 +44,8 @@ pub use bus::{FaultHandle, MmioCompletion, MmioSubmission, MmioWindow, SystemBus
 pub use controller::{Controller, ControllerConfig, ControllerStats, ExecutionModel, FetchPolicy};
 pub use dram::{DeviceDram, DramError, DramRegion};
 pub use firmware::{BlockFirmware, CommandOutcome, FirmwareCtx, FirmwareHandler};
-pub use ftl::{Ftl, FtlError, FtlStats};
+pub use ftl::{Ftl, FtlError, FtlStats, RecoveryReport};
+pub use journal::{JournalOp, JournalRecord, JournalStats, MapJournal};
 pub use nand::{NandArray, NandConfig, NandError, NandStats, Ppa};
 pub use reassembly::{CompletedPayload, ReassemblyEngine, ReassemblyError};
 pub use registers::{Register, RegisterFile, CC_ENABLE, CSTS_READY};

@@ -172,6 +172,12 @@ pub struct NandArray {
     page_state: HashMap<(u16, u16, u32), Vec<PageState>>,
     /// Per-die "busy until" instants, enabling inter-die parallelism.
     die_busy_until: Vec<Nanos>,
+    /// Per-page program-complete marks: programs whose completion instant may
+    /// still lie in the future. The data is inserted at issue time (the
+    /// simulation is single-threaded), so these marks are what distinguishes
+    /// a durable page from a half-programmed one when a power cut lands
+    /// mid-pulse. Pruned lazily as programs finish.
+    pending_programs: Vec<(Ppa, Nanos)>,
     /// Statistics.
     stats: NandStats,
     /// Shared fault injector (media faults fire only when installed).
@@ -206,6 +212,7 @@ impl NandArray {
             data: HashMap::new(),
             page_state: HashMap::new(),
             die_busy_until: vec![Nanos::ZERO; dies],
+            pending_programs: Vec::new(),
             stats: NandStats::default(),
             faults: None,
             trace: TraceSink::disabled(),
@@ -311,6 +318,8 @@ impl NandArray {
         let start = self.die_busy_until[die].max(now);
         let done = start + self.cfg.transfer_time(self.cfg.page_size) + self.cfg.program_latency;
         self.die_busy_until[die] = done;
+        self.pending_programs.retain(|&(_, d)| d > now);
+        self.pending_programs.push((ppa, done));
         self.trace_op("program", ppa, start, done);
         Ok(done)
     }
@@ -403,6 +412,55 @@ impl NandArray {
     /// The earliest instant at which the die holding `ppa` is idle.
     pub fn die_ready_at(&self, ppa: Ppa) -> Nanos {
         self.die_busy_until[self.cfg.die_index(ppa)]
+    }
+
+    /// Whether `ppa` holds durable data (programmed *and* the program pulse
+    /// finished before any power cut destroyed it). Recovery uses this to
+    /// validate journal records against the media.
+    pub fn has_data(&self, ppa: Ppa) -> bool {
+        self.data.contains_key(&ppa)
+    }
+
+    /// The completion instant of the latest still-in-flight program, or
+    /// `Nanos::ZERO` when nothing is pending. The FTL waits through this
+    /// horizon before destroying superseded copies (erase) so a power cut
+    /// can never lose both the old and the new version of an acked page.
+    pub fn program_horizon(&self) -> Nanos {
+        self.pending_programs
+            .iter()
+            .map(|&(_, done)| done)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Whether every page of the block is in the erased state (never
+    /// programmed since the last erase). Recovery rebuilds the free-block
+    /// list from this. Erases are modeled atomic at issue: a cut mid-erase
+    /// leaves the block erased, never half-erased.
+    pub fn is_block_erased(&self, channel: u16, die: u16, block: u32) -> bool {
+        match self.page_state.get(&(channel, die, block)) {
+            None => true,
+            Some(states) => states.iter().all(|&s| s == PageState::Erased),
+        }
+    }
+
+    /// A whole-system power cut at instant `at`: every program whose pulse
+    /// had not completed loses its data (the page stays burned —
+    /// programmed-but-unreadable — until its block is erased, the classic
+    /// half-programmed torn page), and all volatile die-busy windows
+    /// collapse. Returns the number of torn pages.
+    pub fn power_cut(&mut self, at: Nanos) -> usize {
+        let mut torn = 0;
+        for &(ppa, done) in &self.pending_programs {
+            if done > at && self.data.remove(&ppa).is_some() {
+                torn += 1;
+            }
+        }
+        self.pending_programs.clear();
+        for busy in &mut self.die_busy_until {
+            *busy = at;
+        }
+        torn
     }
 }
 
@@ -541,6 +599,70 @@ mod tests {
         n.erase(0, 0, 0, Nanos::ZERO).unwrap();
         let s = n.stats();
         assert_eq!((s.programs, s.reads, s.erases), (1, 1, 1));
+    }
+
+    #[test]
+    fn power_cut_tears_in_flight_programs_only() {
+        let mut n = array();
+        let d = vec![0xCD; 4096];
+        // First program completes (cut lands after its `done`); the second,
+        // queued behind it on the same die, is still mid-pulse at the cut.
+        let t1 = n.program(ppa(0, 0, 0, 0), &d, Nanos::ZERO).unwrap();
+        let t2 = n.program(ppa(0, 0, 0, 1), &d, Nanos::ZERO).unwrap();
+        assert!(t2 > t1);
+        let torn = n.power_cut(t1);
+        assert_eq!(torn, 1);
+        assert!(n.has_data(ppa(0, 0, 0, 0)), "completed program survives");
+        assert!(!n.has_data(ppa(0, 0, 0, 1)), "in-flight program is torn");
+        // The torn page stays burned: reprogramming without erase fails.
+        assert_eq!(
+            n.program(ppa(0, 0, 0, 1), &d, t1).unwrap_err(),
+            NandError::ProgramWithoutErase(ppa(0, 0, 0, 1))
+        );
+        // But its block is reclaimable through the normal erase path.
+        let t = n.erase(0, 0, 0, t1).unwrap();
+        n.program(ppa(0, 0, 0, 1), &d, t).unwrap();
+    }
+
+    #[test]
+    fn power_cut_resets_die_busy_windows() {
+        let mut n = array();
+        let d = vec![1; 4096];
+        n.program(ppa(0, 0, 0, 0), &d, Nanos::ZERO).unwrap();
+        let at = Nanos::from_us(5);
+        n.power_cut(at);
+        assert_eq!(n.die_ready_at(ppa(0, 0, 0, 0)), at);
+        assert_eq!(n.program_horizon(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn program_horizon_tracks_latest_pending_pulse() {
+        let mut n = array();
+        let d = vec![2; 4096];
+        assert_eq!(n.program_horizon(), Nanos::ZERO);
+        let t1 = n.program(ppa(0, 0, 0, 0), &d, Nanos::ZERO).unwrap();
+        let t2 = n.program(ppa(1, 0, 0, 0), &d, Nanos::ZERO).unwrap();
+        assert_eq!(n.program_horizon(), t1.max(t2));
+        // Issuing a program later than the horizon prunes finished entries.
+        let t3 = n.program(ppa(2, 0, 0, 0), &d, t1.max(t2)).unwrap();
+        assert_eq!(n.program_horizon(), t3);
+    }
+
+    #[test]
+    fn block_erased_query_reflects_program_state() {
+        let mut n = array();
+        assert!(n.is_block_erased(0, 0, 5));
+        n.program(ppa(0, 0, 5, 0), &vec![3; 4096], Nanos::ZERO)
+            .unwrap();
+        assert!(!n.is_block_erased(0, 0, 5));
+        n.erase(0, 0, 5, Nanos::ZERO).unwrap();
+        assert!(n.is_block_erased(0, 0, 5));
+        // A torn page still counts as programmed (burned) until erased.
+        let t = n
+            .program(ppa(0, 0, 6, 0), &vec![4; 4096], Nanos::ZERO)
+            .unwrap();
+        n.power_cut(t.saturating_sub(Nanos::from_ns(1)));
+        assert!(!n.is_block_erased(0, 0, 6));
     }
 
     #[test]

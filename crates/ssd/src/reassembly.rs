@@ -49,6 +49,13 @@ pub enum ReassemblyError {
         /// Payload id.
         payload_id: u32,
     },
+    /// A chunk declared `total == 0`: a zero-length train is malformed on
+    /// its face (every valid payload has at least one chunk) and is rejected
+    /// up front rather than left to stall out the eviction deadline.
+    ZeroLengthTrain {
+        /// Payload id.
+        payload_id: u32,
+    },
 }
 
 impl fmt::Display for ReassemblyError {
@@ -78,6 +85,9 @@ impl fmt::Display for ReassemblyError {
             }
             ReassemblyError::InconsistentTotal { payload_id } => {
                 write!(f, "inconsistent total count for payload {payload_id}")
+            }
+            ReassemblyError::ZeroLengthTrain { payload_id } => {
+                write!(f, "zero-length chunk train for payload {payload_id}")
             }
         }
     }
@@ -225,6 +235,11 @@ impl ReassemblyEngine {
         data: &[u8],
         now: Nanos,
     ) -> Result<Option<CompletedPayload>, ReassemblyError> {
+        if hdr.total == 0 {
+            return Err(ReassemblyError::ZeroLengthTrain {
+                payload_id: hdr.payload_id,
+            });
+        }
         if hdr.chunk_no >= hdr.total {
             return Err(ReassemblyError::ChunkOutOfRange {
                 payload_id: hdr.payload_id,
@@ -299,6 +314,17 @@ impl ReassemblyEngine {
             }
         }
         expired
+    }
+
+    /// A power cut: every partially reassembled train is volatile SRAM/DRAM
+    /// state and is discarded wholesale — a torn train must never surface as
+    /// data after restart. Returns how many in-flight payloads were dropped
+    /// (they are *not* counted as stall evictions).
+    pub fn power_cut(&mut self) -> usize {
+        let dropped = self.inflight.len();
+        self.inflight.clear();
+        self.sram_used = 0;
+        dropped
     }
 }
 
@@ -560,6 +586,61 @@ mod tests {
         assert!(eng
             .evict_stalled(Nanos::from_us(20), Nanos::from_us(50))
             .is_empty());
+        assert_eq!(eng.inflight_count(), 1);
+    }
+
+    #[test]
+    fn zero_length_train_rejected_up_front() {
+        let mut eng = ReassemblyEngine::new(1024);
+        let err = eng
+            .accept(
+                ChunkHeader {
+                    payload_id: 13,
+                    chunk_no: 0,
+                    total: 0,
+                },
+                &[0; 56],
+            )
+            .unwrap_err();
+        assert_eq!(err, ReassemblyError::ZeroLengthTrain { payload_id: 13 });
+        // Rejected before admission: no SRAM charged, nothing to stall out.
+        assert_eq!(eng.inflight_count(), 0);
+        assert_eq!(eng.sram_used(), 0);
+    }
+
+    #[test]
+    fn power_cut_drops_every_partial_train() {
+        let mut eng = ReassemblyEngine::new(1024);
+        for id in 0..3u32 {
+            eng.accept_at(
+                ChunkHeader {
+                    payload_id: id,
+                    chunk_no: 0,
+                    total: 2,
+                },
+                &[0; 56],
+                Nanos::from_us(id as u64),
+            )
+            .unwrap();
+        }
+        assert_eq!(eng.inflight_count(), 3);
+        assert_eq!(eng.power_cut(), 3);
+        assert_eq!(eng.inflight_count(), 0);
+        assert_eq!(eng.sram_used(), 0);
+        assert_eq!(eng.evicted_count(), 0, "power loss is not a stall eviction");
+        // A torn train's id can be reused cleanly after restart; the old
+        // chunk is gone, so the train starts from scratch.
+        let done = eng
+            .accept(
+                ChunkHeader {
+                    payload_id: 1,
+                    chunk_no: 1,
+                    total: 2,
+                },
+                &[0; 56],
+            )
+            .unwrap();
+        assert!(done.is_none(), "no pre-cut chunk may contribute");
         assert_eq!(eng.inflight_count(), 1);
     }
 

@@ -102,6 +102,16 @@ impl RegisterFile {
         self.csts |= CSTS_READY;
     }
 
+    /// A power cut: every writable register returns to its power-on value
+    /// (CAP is derived from construction parameters and survives).
+    pub fn power_cut(&mut self) {
+        self.cc = 0;
+        self.csts = 0;
+        self.aqa = 0;
+        self.asq = 0;
+        self.acq = 0;
+    }
+
     /// Whether CC.EN is set.
     pub fn enabled(&self) -> bool {
         self.cc & CC_ENABLE != 0

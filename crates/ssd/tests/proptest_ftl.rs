@@ -62,7 +62,7 @@ proptest! {
                     model.insert(lpn, seq);
                 }
                 Op::Trim(lpn) => {
-                    ftl.trim(lpn).unwrap();
+                    ftl.trim(lpn, t).unwrap();
                     model.remove(&lpn);
                 }
                 Op::Read(lpn) => match (ftl.read(lpn, &mut nand, t), model.get(&lpn)) {

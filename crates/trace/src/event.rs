@@ -138,6 +138,19 @@ pub enum EventKind {
         moved_pages: u32,
         erased_blocks: u32,
     },
+
+    // ---- power / recovery ----------------------------------------------
+    /// A whole-system power cut froze the device: `torn_pages` NAND programs
+    /// were in flight (their data is lost), `dropped_trains` partial inline
+    /// chunk trains were discarded from reassembly SRAM.
+    PowerCut {
+        torn_pages: u32,
+        dropped_trains: u32,
+    },
+    /// FTL journal replay during restart: `replayed` records applied on top
+    /// of the checkpoint, `torn_mappings` of them redirected to the previous
+    /// PPA because the target page never finished programming.
+    JournalReplay { replayed: u32, torn_mappings: u32 },
 }
 
 impl EventKind {
@@ -163,6 +176,8 @@ impl EventKind {
             | CqePost { .. }
             | CqeDeferred { .. } => "controller",
             NandOp { .. } | GcCycle { .. } => "nand",
+            PowerCut { .. } => "controller",
+            JournalReplay { .. } => "nand",
         }
     }
 
@@ -191,6 +206,8 @@ impl EventKind {
             CqeDeferred { .. } => "cqe_deferred",
             NandOp { .. } => "nand_op",
             GcCycle { .. } => "gc_cycle",
+            PowerCut { .. } => "power_cut",
+            JournalReplay { .. } => "journal_replay",
         }
     }
 
@@ -269,6 +286,20 @@ impl EventKind {
                 ("moved_pages", moved_pages.to_value()),
                 ("erased_blocks", erased_blocks.to_value()),
             ]),
+            PowerCut {
+                torn_pages,
+                dropped_trains,
+            } => Value::object([
+                ("torn_pages", torn_pages.to_value()),
+                ("dropped_trains", dropped_trains.to_value()),
+            ]),
+            JournalReplay {
+                replayed,
+                torn_mappings,
+            } => Value::object([
+                ("replayed", replayed.to_value()),
+                ("torn_mappings", torn_mappings.to_value()),
+            ]),
         }
     }
 }
@@ -330,6 +361,17 @@ impl fmt::Display for EventKind {
                 moved_pages,
                 erased_blocks,
             } => write!(f, "gc moved={moved_pages}p erased={erased_blocks}blk"),
+            PowerCut {
+                torn_pages,
+                dropped_trains,
+            } => write!(
+                f,
+                "power-cut torn={torn_pages}p dropped-trains={dropped_trains}"
+            ),
+            JournalReplay {
+                replayed,
+                torn_mappings,
+            } => write!(f, "journal-replay {replayed} records torn={torn_mappings}"),
         }
     }
 }

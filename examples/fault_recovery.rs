@@ -39,6 +39,7 @@ fn main() {
         nand_read_bitflip: 0.10,
         nand_max_flips: 2,
         ecc_correctable_bits: 4,
+        power_cut_after_events: None,
     };
     let mut dev = Device::builder()
         .fetch_policy(FetchPolicy::Reassembly)

@@ -35,6 +35,7 @@ fn chaos_config() -> FaultConfig {
         nand_read_bitflip: 0.10,
         nand_max_flips: 2,
         ecc_correctable_bits: 4,
+        power_cut_after_events: None,
     }
 }
 

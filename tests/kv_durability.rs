@@ -133,6 +133,60 @@ fn power_loss_drops_only_unflushed_staging_entries() {
 }
 
 #[test]
+fn hard_power_cut_honest_volatility_vs_write_through_durability() {
+    // Default config stages acked PUTs in controller DRAM: a *hard* power
+    // cut (no graceful flush, volatile state destroyed) loses the staged
+    // tail, and the store reports that honestly — correct bytes or clean
+    // absence, never a torn read.
+    let mut volatile = KvStore::open(KvStoreConfig::default());
+    let n = 120u32;
+    for i in 0..n {
+        volatile
+            .put(format!("h{i:04}").as_bytes(), &[(i % 251) as u8; 100])
+            .unwrap();
+    }
+    volatile.hard_power_cycle().unwrap();
+    let mut survived = 0;
+    for i in 0..n {
+        match volatile.get(format!("h{i:04}").as_bytes()).unwrap() {
+            Some(v) => {
+                assert_eq!(v, vec![(i % 251) as u8; 100], "key h{i:04} torn");
+                survived += 1;
+            }
+            None => assert!(
+                i >= survived,
+                "old key h{i:04} lost while newer ones survived"
+            ),
+        }
+    }
+    assert!(
+        survived < n,
+        "volatile staging must lose the staged tail on a hard cut"
+    );
+
+    // `durable_puts` writes the staging page through to NAND before each
+    // ack, so the same workload survives the same cut in full.
+    let mut durable = KvStore::open(KvStoreConfig {
+        durable_puts: true,
+        ..Default::default()
+    });
+    for i in 0..n {
+        durable
+            .put(format!("h{i:04}").as_bytes(), &[(i % 251) as u8; 100])
+            .unwrap();
+    }
+    let report = durable.hard_power_cycle().unwrap();
+    assert_eq!(report.torn_mappings, 0, "quiescent cut tears nothing");
+    for i in 0..n {
+        assert_eq!(
+            durable.get(format!("h{i:04}").as_bytes()).unwrap().unwrap(),
+            vec![(i % 251) as u8; 100],
+            "durable mode must keep every acked PUT through a hard cut"
+        );
+    }
+}
+
+#[test]
 fn overwrites_resolve_to_newest_after_recovery() {
     let mut s = store();
     // Write each key twice with enough filler between versions that both
