@@ -21,7 +21,8 @@
 
 use bx_bench::{bench_args, fmt_bytes, section, JsonReport};
 use byteexpress::{
-    Arbitration, Device, EventKind, FlushPolicy, Nanos, TrafficCounters, TransferMethod,
+    derive_timeseries, sparkline, Arbitration, Device, Event, EventKind, FlushPolicy, Nanos,
+    TrafficCounters, TransferMethod,
 };
 use serde::Value;
 
@@ -91,15 +92,17 @@ fn run(ops: &[(u64, Vec<u8>)], group: usize, cq_coalesce: u16) -> RunStats {
 }
 
 /// Demonstrates 3:1 weighted-round-robin fetch interleaving across two
-/// queues against the flight recorder; returns (grant pattern ok, per-queue
-/// grant counts).
-fn wrr_demo() -> (bool, u64, u64) {
+/// queues against the flight recorder (gauges on, so the drain shows up in
+/// the derived time series); returns (grant pattern ok, per-queue grant
+/// counts) plus the recorded event stream.
+fn wrr_demo() -> ((bool, u64, u64), Vec<Event>) {
     use byteexpress::driver::NvmeDriver;
     use byteexpress::ssd::{BlockFirmware, Controller, ControllerConfig, NandConfig, SystemBus};
     use byteexpress::{LinkConfig, PassthruCmd};
 
     let mut bus = SystemBus::new(LinkConfig::gen2_x8(), 64 << 20, 8);
     let sink = bus.enable_trace();
+    sink.enable_gauges();
     let cfg = ControllerConfig {
         nand: NandConfig::disabled(),
         arbitration: Arbitration::WeightedRoundRobin { burst: 1 },
@@ -153,7 +156,7 @@ fn wrr_demo() -> (bool, u64, u64) {
             })
             .sum()
     };
-    (ok, served(qa.0), served(qb.0))
+    ((ok, served(qa.0), served(qb.0)), sink.events())
 }
 
 fn main() {
@@ -209,7 +212,7 @@ fn main() {
     }
 
     section("weighted round-robin arbitration (weights 3:1, burst 1)");
-    let (wrr_ok, grants_a, grants_b) = wrr_demo();
+    let ((wrr_ok, grants_a, grants_b), wrr_events) = wrr_demo();
     println!(
         "  fetch interleave {} — {} units to the weight-3 queue, {} to the weight-1 queue",
         if wrr_ok { "OK" } else { "FAILED" },
@@ -254,6 +257,33 @@ fn main() {
             ("grants_weight1", Value::U64(grants_b)),
         ]),
     );
+
+    // The WRR drain as a virtual-time series: the weight-3 queue's backlog
+    // should collapse ~3x faster than the weight-1 queue's.
+    section("telemetry: WRR drain time series");
+    let span = wrr_events.last().map(|e| e.at.as_ns()).unwrap_or(0);
+    let ts = derive_timeseries(&wrr_events, Nanos::from_ns((span / 24).max(100)));
+    let peak = |metric: &str, scope: &str| ts.get(metric, scope).map(|s| s.peak()).unwrap_or(0.0);
+    for scope in ["1", "2"] {
+        if let Some(s) = ts.get("ctrl_sq_backlog", scope) {
+            println!(
+                "  ctrl_sq_backlog[{scope}] {} peak={:.0}",
+                sparkline(&s.points),
+                s.peak()
+            );
+        }
+    }
+    report.push(
+        "wrr_timeseries",
+        Value::object([
+            ("buckets", Value::U64(ts.buckets as u64)),
+            ("series", Value::U64(ts.series.len() as u64)),
+            ("q1_backlog_peak", Value::F64(peak("ctrl_sq_backlog", "1"))),
+            ("q2_backlog_peak", Value::F64(peak("ctrl_sq_backlog", "2"))),
+        ]),
+    );
+    report.set_trace_stats(wrr_events.len(), (grants_a + grants_b).max(1));
+
     report.push("failures", Value::U64(failures as u64));
 
     if failures == 0 {

@@ -12,7 +12,8 @@
 use bx_bench::{bench_args, section, JsonReport};
 use bx_kvssd::{KvStore, KvStoreConfig};
 use byteexpress::{
-    ExecutionModel, FaultConfig, FetchPolicy, RecoveryReport, RetryPolicy, TransferMethod,
+    derive_timeseries, sparkline, Device, ExecutionModel, FaultConfig, FetchPolicy, Nanos,
+    RecoveryReport, RetryPolicy, TransferMethod,
 };
 use serde::Value;
 use std::collections::BTreeMap;
@@ -218,6 +219,41 @@ fn main() {
             ("determinism_failures", Value::U64(determinism_failures)),
         ]),
     );
+    // A gauged reference fill (no cut) showing the FTL journal pressure the
+    // sweep exercises: the journal-depth gauge should climb monotonically
+    // to the op count between checkpoints.
+    section("telemetry: journal depth under a gauged reference fill");
+    let mut dev = Device::builder()
+        .nand_io(true)
+        .queue_depth(64)
+        .trace_gauges(true)
+        .build();
+    dev.measure_writes(puts, 200, TransferMethod::ByteExpress)
+        .expect("reference fill must succeed");
+    let events = dev.trace_events();
+    let span = events.last().map(|e| e.at.as_ns()).unwrap_or(0);
+    let ts = derive_timeseries(&events, Nanos::from_ns((span / 24).max(100)));
+    let depth_peak = ts
+        .get("ftl_journal_depth", "0")
+        .map(|s| {
+            println!(
+                "  ftl_journal_depth {} peak={:.0}",
+                sparkline(&s.points),
+                s.peak()
+            );
+            s.peak()
+        })
+        .unwrap_or(0.0);
+    report.push(
+        "telemetry",
+        Value::object([
+            ("journal_depth_peak", Value::F64(depth_peak)),
+            ("series", Value::U64(ts.series.len() as u64)),
+            ("buckets", Value::U64(ts.buckets as u64)),
+        ]),
+    );
+    report.set_trace_stats(events.len(), puts as u64);
+
     report.push("failures", Value::U64(failures));
     report.finish(args.json);
     if failures > 0 {

@@ -25,9 +25,10 @@
 //!
 //! `cargo run -p bx-bench --release --bin pipeline [-- qd] [--json]`
 
-use bx_bench::{bench_args, fmt_bytes, section, JsonReport};
+use bx_bench::{bench_args, fmt_bytes, json_of, section, JsonReport};
 use byteexpress::{
-    Device, EventKind, ExecutionModel, LatencySamples, Nanos, QueueBatch, QueueId, TransferMethod,
+    derive_timeseries, openmetrics, sparkline, validate_openmetrics, Device, Event, EventKind,
+    ExecutionModel, LatencySamples, MetricsRegistry, Nanos, QueueBatch, QueueId, TransferMethod,
 };
 use serde::Value;
 
@@ -61,13 +62,12 @@ fn split(queues: &[QueueId], ops: &[(u64, Vec<u8>)], qd: usize) -> Vec<QueueBatc
         .collect()
 }
 
-fn build(model: ExecutionModel, trace: bool) -> Device {
+fn build(model: ExecutionModel) -> Device {
     Device::builder()
         .nand_io(true)
         .queue_count(QUEUES)
         .queue_depth(64)
         .execution_model(model)
-        .trace(trace)
         .build()
 }
 
@@ -82,7 +82,7 @@ struct RunStats {
 /// Runs `qd` commands on each of the 4 queues (all submitted before any
 /// drain, so overlap is possible) and measures the completion window.
 fn run(model: ExecutionModel, qd: usize) -> RunStats {
-    let mut dev = build(model, false);
+    let mut dev = build(model);
     let queues: Vec<QueueId> = dev.queues().to_vec();
     let ops = schedule(QUEUES * qd);
     let batches = split(&queues, &ops, qd);
@@ -116,11 +116,19 @@ fn run(model: ExecutionModel, qd: usize) -> RunStats {
     }
 }
 
-/// Replays the headline workload traced under `Pipelined` and extracts the
-/// per-stage overlap evidence: (NAND-busy windows containing a later SQE
-/// fetch, deferred-CQE count, I/O CQE posts, posts nondecreasing in time).
-fn overlap_evidence(qd: usize) -> (usize, usize, usize, bool) {
-    let mut dev = build(ExecutionModel::Pipelined, true);
+/// Replays the headline workload traced (with utilization gauges) under
+/// `Pipelined`, returning the raw event stream for the telemetry sections
+/// alongside the per-stage overlap evidence: (NAND-busy windows containing
+/// a later SQE fetch, deferred-CQE count, I/O CQE posts, posts
+/// nondecreasing in time).
+fn overlap_evidence(qd: usize) -> (Vec<Event>, (usize, usize, usize, bool)) {
+    let mut dev = Device::builder()
+        .nand_io(true)
+        .queue_count(QUEUES)
+        .queue_depth(64)
+        .execution_model(ExecutionModel::Pipelined)
+        .trace_gauges(true)
+        .build();
     let queues: Vec<QueueId> = dev.queues().to_vec();
     let ops = schedule(QUEUES * qd);
     let batches = split(&queues, &ops, qd);
@@ -151,12 +159,13 @@ fn overlap_evidence(qd: usize) -> (usize, usize, usize, bool) {
         .map(|e| e.at)
         .collect();
     let ordered = posts.windows(2).all(|w| w[0] <= w[1]);
-    (overlaps, deferred, posts.len(), ordered)
+    let evidence = (overlaps, deferred, posts.len(), ordered);
+    (events, evidence)
 }
 
 /// Mean single-command write latency at QD 1 under `model`.
 fn qd1_mean(model: ExecutionModel) -> Nanos {
-    build(model, false)
+    build(model)
         .measure_writes(32, 64, TransferMethod::ByteExpress)
         .expect("QD1 writes must succeed")
         .latencies
@@ -242,7 +251,7 @@ fn main() {
     }
 
     section("per-stage overlap evidence (pipelined trace)");
-    let (overlaps, deferred, posts, ordered) = overlap_evidence(qd);
+    let (events, (overlaps, deferred, posts, ordered)) = overlap_evidence(qd);
     println!(
         "  SQE fetches inside NAND busy windows: {overlaps}   deferred CQEs: {deferred}/{n}   I/O CQE posts: {posts}/{n} ({})",
         if ordered { "nondecreasing" } else { "OUT OF ORDER" }
@@ -315,6 +324,94 @@ fn main() {
         ]),
     );
     report.push("qd_sweep", Value::Array(sweep));
+
+    // ---- continuous telemetry from the traced (gauged) run -------------
+    section("telemetry: virtual-time series (pipelined, gauges on)");
+    let span = events.last().map(|e| e.at.as_ns()).unwrap_or(0);
+    let interval = Nanos::from_ns((span / 32).max(1_000));
+    let ts = derive_timeseries(&events, interval);
+    println!(
+        "  {} series over {} buckets of {} ns",
+        ts.series.len(),
+        ts.buckets,
+        ts.interval.as_ns()
+    );
+    for (metric, scope) in [
+        ("wire_bytes", ""),
+        ("doorbells", ""),
+        ("inflight_cmds", "1"),
+        ("completions_in_flight", "0"),
+        ("ftl_journal_depth", "0"),
+    ] {
+        if let Some(s) = ts.get(metric, scope) {
+            let name = if scope.is_empty() {
+                metric.to_string()
+            } else {
+                format!("{metric}[{scope}]")
+            };
+            println!("  {name:<24} {} peak={:.0}", sparkline(&s.points), s.peak());
+        }
+    }
+    let gauge_series = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::GaugeSample { .. }))
+        .count();
+    if gauge_series == 0 {
+        eprintln!("FAIL: gauged trace produced no GaugeSample events");
+        failures += 1;
+    }
+
+    section("telemetry: OpenMetrics exposition + totals agreement");
+    let registry = MetricsRegistry::from_events(&events);
+    let exposition = openmetrics(&registry);
+    let om = match validate_openmetrics(&exposition) {
+        Ok(summary) => {
+            let mut mismatched = 0usize;
+            for (name, total) in &summary.counter_totals {
+                if registry.counter_total(name) != *total {
+                    eprintln!(
+                        "FAIL: OpenMetrics total for {name} = {total} disagrees with registry {}",
+                        registry.counter_total(name)
+                    );
+                    mismatched += 1;
+                }
+            }
+            println!(
+                "  {} bytes, {} counter families, {} histogram families, {} gauge families — \
+                 validated, totals {}",
+                exposition.len(),
+                summary.counter_totals.len(),
+                summary.histogram_counts.len(),
+                summary.gauge_scopes.len(),
+                if mismatched == 0 { "agree" } else { "DISAGREE" }
+            );
+            if mismatched > 0 || summary.counter_totals.is_empty() {
+                eprintln!("FAIL: OpenMetrics exposition must carry agreeing counter totals");
+                failures += 1;
+            }
+            Value::object([
+                ("bytes", Value::U64(exposition.len() as u64)),
+                (
+                    "counter_families",
+                    Value::U64(summary.counter_totals.len() as u64),
+                ),
+                (
+                    "histogram_families",
+                    Value::U64(summary.histogram_counts.len() as u64),
+                ),
+                ("totals_agree", Value::Bool(mismatched == 0)),
+            ])
+        }
+        Err(e) => {
+            eprintln!("FAIL: OpenMetrics exposition did not validate: {e}");
+            failures += 1;
+            Value::object([("error", Value::Str(e))])
+        }
+    };
+    report.push("timeseries", json_of(&ts));
+    report.push("openmetrics", om);
+    report.set_trace_stats(events.len(), n as u64);
+
     report.push("failures", Value::U64(failures as u64));
 
     if failures == 0 {

@@ -1,0 +1,198 @@
+//! `bx-report` — terminal dashboard and baseline regression gate.
+//!
+//! Two modes:
+//!
+//! ```text
+//! report <run.json>                     # dashboard: render one bench report
+//! report --diff <old.json> <new.json>   # gate: diff two baselines
+//!        [--tolerance 0.10] [--json]
+//! ```
+//!
+//! A "report" is the final-stdout-line JSON any bench binary emits with
+//! `--json` (e.g. the committed `BENCH_pipeline.json`). Dashboard mode
+//! pretty-prints the result tree and renders any embedded time-series as
+//! sparklines. Diff mode classifies every numeric metric by key path
+//! (throughput gates downward, latency/doorbells/wire-bytes gate upward,
+//! failure counts gate on any increase) and **exits nonzero when a metric
+//! regressed beyond tolerance** — the CI baseline gate.
+
+use bx_bench::report::{diff_reports, render_timeseries, DiffReport};
+use bx_bench::section;
+use serde::Value;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Accept both a bare report document and full bench stdout: the report
+    // is always the last non-empty line.
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format!("{path} is empty"))?;
+    Value::parse_json(line.trim()).map_err(|e| format!("{path}: not a bench report: {e}"))
+}
+
+fn print_tree(v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Object(pairs) => {
+            for (k, inner) in pairs {
+                match inner {
+                    Value::Object(_) | Value::Array(_) => {
+                        println!("{pad}{k}:");
+                        print_tree(inner, indent + 1);
+                    }
+                    _ => println!("{pad}{k} = {}", inner.to_json()),
+                }
+            }
+        }
+        Value::Array(items) => {
+            for (i, inner) in items.iter().enumerate() {
+                match inner {
+                    Value::Object(_) | Value::Array(_) => {
+                        println!("{pad}[{i}]:");
+                        print_tree(inner, indent + 1);
+                    }
+                    _ => println!("{pad}[{i}] = {}", inner.to_json()),
+                }
+            }
+        }
+        _ => println!("{pad}{}", v.to_json()),
+    }
+}
+
+fn dashboard(doc: &Value) {
+    let bin = doc.get("bin").and_then(|b| b.as_str()).unwrap_or("?");
+    section(&format!("bx-report dashboard: {bin}"));
+    if let Some(Value::Object(pairs)) = doc.get("results") {
+        for (k, v) in pairs {
+            if k == "timeseries" {
+                continue; // rendered as sparklines below
+            }
+            println!("\n[{k}]");
+            print_tree(v, 1);
+        }
+    }
+    if let Some(rendered) = render_timeseries(doc) {
+        println!();
+        print!("{rendered}");
+    }
+}
+
+fn print_diff(diff: &DiffReport, tolerance: f64) {
+    section(&format!(
+        "baseline diff ({} metrics, tolerance {:.0}%)",
+        diff.compared,
+        tolerance * 100.0
+    ));
+    for r in &diff.regressions {
+        println!("REGRESSION  {r}");
+    }
+    for r in &diff.improvements {
+        println!("improved    {r}");
+    }
+    for p in &diff.only_in_old {
+        println!("removed     {p}");
+    }
+    for p in &diff.only_in_new {
+        println!("added       {p}");
+    }
+    if diff.passes() {
+        println!(
+            "OK: no regressions ({} improvements)",
+            diff.improvements.len()
+        );
+    } else {
+        println!("FAIL: {} metric(s) regressed", diff.regressions.len());
+    }
+}
+
+fn diff_value(diff: &DiffReport) -> Value {
+    let reg = |r: &bx_bench::report::Regression| {
+        Value::object([
+            ("path", Value::Str(r.path.clone())),
+            ("old", Value::F64(r.old)),
+            ("new", Value::F64(r.new)),
+            ("change", Value::F64(r.change)),
+        ])
+    };
+    Value::object([
+        ("compared", Value::U64(diff.compared as u64)),
+        (
+            "regressions",
+            Value::array(diff.regressions.iter().map(reg)),
+        ),
+        (
+            "improvements",
+            Value::array(diff.improvements.iter().map(reg)),
+        ),
+        ("failures", Value::U64(diff.regressions.len() as u64)),
+    ])
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut diff_mode = false;
+    let mut tolerance = 0.10;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--diff" => diff_mode = true,
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--tolerance needs a value".to_string())?;
+                tolerance = v.parse().map_err(|_| format!("bad tolerance {v:?}"))?;
+            }
+            f => files.push(f),
+        }
+    }
+
+    if diff_mode {
+        let [old_path, new_path] = files.as_slice() else {
+            return Err(
+                "usage: report --diff <old.json> <new.json> [--tolerance f] [--json]".to_string(),
+            );
+        };
+        let old = load(old_path)?;
+        let new = load(new_path)?;
+        let diff = diff_reports(&old, &new, tolerance);
+        print_diff(&diff, tolerance);
+        let ok = diff.passes();
+        if json {
+            let doc = Value::object([
+                ("bin", Value::Str("report".to_string())),
+                ("results", diff_value(&diff)),
+            ]);
+            println!("{}", doc.to_json());
+        }
+        Ok(ok)
+    } else {
+        let [path] = files.as_slice() else {
+            return Err(
+                "usage: report <run.json> | report --diff <old.json> <new.json>".to_string(),
+            );
+        };
+        let doc = load(path)?;
+        dashboard(&doc);
+        if json {
+            println!("{}", doc.to_json());
+        }
+        Ok(true)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

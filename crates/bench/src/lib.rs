@@ -28,6 +28,8 @@
 use byteexpress::{RunReport, TransferMethod};
 use serde::Value;
 
+pub mod report;
+
 /// Options every figure binary understands: an optional op-count override
 /// (first bare argument) plus the `--json` report flag.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,14 +74,24 @@ pub fn ops_arg(default: usize) -> usize {
 pub struct JsonReport {
     bin: &'static str,
     entries: Vec<(String, Value)>,
+    /// Wall-clock start, for the self-profile appended by `finish`. Real
+    /// time is fine here: the bench harness is the one layer outside the
+    /// virtual-time purity boundary (bx-lint exempts it).
+    started: std::time::Instant,
+    /// `(recorded events, simulated commands)` from a traced run, when the
+    /// binary had one to measure recorder overhead against.
+    trace_stats: Option<(usize, u64)>,
 }
 
 impl JsonReport {
-    /// An empty report for the named binary.
+    /// An empty report for the named binary. Starts the wall clock for the
+    /// self-profile.
     pub fn new(bin: &'static str) -> Self {
         JsonReport {
             bin,
             entries: Vec::new(),
+            started: std::time::Instant::now(),
+            trace_stats: None,
         }
     }
 
@@ -93,11 +105,45 @@ impl JsonReport {
         self.push(key, report.to_value());
     }
 
-    /// The whole report as one JSON value.
+    /// Feeds recorder volume from a traced run into the self-profile:
+    /// `events` recorded over `commands` simulated commands.
+    pub fn set_trace_stats(&mut self, events: usize, commands: u64) {
+        self.trace_stats = Some((events, commands));
+    }
+
+    /// The harness self-profile: wall-clock cost of the whole binary and —
+    /// when [`JsonReport::set_trace_stats`] was fed — recorder overhead
+    /// (events/sec of wall time, events per simulated command, and the
+    /// recorder's peak buffer footprint at `events × sizeof(Event)`).
+    fn self_profile(&self) -> Value {
+        let wall = self.started.elapsed();
+        let mut fields = vec![("wall_ms", Value::F64(wall.as_secs_f64() * 1e3))];
+        if let Some((events, commands)) = self.trace_stats {
+            let secs = wall.as_secs_f64().max(1e-9);
+            fields.push(("trace_events", Value::U64(events as u64)));
+            fields.push(("commands", Value::U64(commands)));
+            fields.push(("events_per_sec", Value::F64(events as f64 / secs)));
+            if commands > 0 {
+                fields.push((
+                    "events_per_command",
+                    Value::F64(events as f64 / commands as f64),
+                ));
+            }
+            fields.push((
+                "recorder_bytes",
+                Value::U64((events * std::mem::size_of::<byteexpress::Event>()) as u64),
+            ));
+        }
+        Value::object(fields)
+    }
+
+    /// The whole report as one JSON value, self-profile appended last.
     pub fn to_value(&self) -> Value {
+        let mut entries = self.entries.clone();
+        entries.push(("self_profile".to_string(), self.self_profile()));
         Value::object([
             ("bin", Value::Str(self.bin.to_string())),
-            ("results", Value::Object(self.entries.clone())),
+            ("results", Value::Object(entries)),
         ])
     }
 

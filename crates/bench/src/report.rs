@@ -1,0 +1,379 @@
+//! Baseline diffing and dashboard rendering for `BENCH_*.json` documents —
+//! the analysis half of the `bx-report` binary, kept in the library so the
+//! regression rules are unit-testable without spawning processes.
+//!
+//! A baseline is the final-stdout-line JSON every bench binary emits
+//! (`{"bin": ..., "results": {...}}`). [`diff_reports`] walks two of them
+//! leaf-by-leaf, classifies each numeric metric by its key path, and flags
+//! changes beyond tolerance in the *bad* direction only — IOPS may rise and
+//! latency may fall freely; CI gates on [`DiffReport::regressions`].
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Which direction of change is a regression for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Throughput-like: a drop beyond tolerance regresses.
+    HigherBetter,
+    /// Cost-like (latency, wire bytes, doorbells): a rise beyond tolerance
+    /// regresses.
+    LowerBetter,
+    /// Failure counts: any increase regresses, tolerance ignored.
+    ZeroTolerance,
+    /// Context only (self-profile wall time, op counts): never gated.
+    Info,
+}
+
+/// Classifies a metric by its dotted key path. Key-name based so new bench
+/// sections inherit sensible gating without touching the differ: anything
+/// under `failures` is zero-tolerance, throughput-ish names gate downward,
+/// cost-ish names gate upward, and the rest — including the wall-clock
+/// `self_profile` subtree, which varies run to run — is informational.
+pub fn classify(path: &str) -> MetricClass {
+    let p = path.to_ascii_lowercase();
+    if p.contains("self_profile") {
+        return MetricClass::Info;
+    }
+    if p.contains("failures") {
+        return MetricClass::ZeroTolerance;
+    }
+    if p.contains("iops") || p.contains("throughput") || p.contains("ops_per_sec") {
+        return MetricClass::HigherBetter;
+    }
+    if p.ends_with("_ns")
+        || p.contains("latency")
+        || p.contains("doorbell")
+        || p.contains("wire_bytes")
+        || p.contains("amplification")
+    {
+        return MetricClass::LowerBetter;
+    }
+    MetricClass::Info
+}
+
+/// One out-of-tolerance change in the gated direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted key path from the document root (e.g.
+    /// `results.pipelined.window_iops`).
+    pub path: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed relative change, `(new - old) / old` (`new` as the change
+    /// itself when `old` is zero).
+    pub change: f64,
+    /// The rule that fired.
+    pub class: MetricClass,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} ({:+.1}%)",
+            self.path,
+            trim_float(self.old),
+            trim_float(self.new),
+            self.change * 100.0
+        )
+    }
+}
+
+/// Everything [`diff_reports`] found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Numeric leaves present in both documents.
+    pub compared: usize,
+    /// Out-of-tolerance changes in the gated (bad) direction. Non-empty
+    /// means the CI gate fails.
+    pub regressions: Vec<Regression>,
+    /// Beyond-tolerance changes in the *good* direction, for the log.
+    pub improvements: Vec<Regression>,
+    /// Leaf paths present only in the old document (shape drift — reported,
+    /// not gated, so removing a bench section doesn't break the gate).
+    pub only_in_old: Vec<String>,
+    /// Leaf paths present only in the new document (also ungated).
+    pub only_in_new: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn passes(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn numeric_leaves(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::U64(n) => out.push((prefix.to_string(), *n as f64)),
+        Value::I64(n) => out.push((prefix.to_string(), *n as f64)),
+        Value::F64(n) => out.push((prefix.to_string(), *n)),
+        Value::Object(pairs) => {
+            for (k, v) in pairs {
+                numeric_leaves(&format!("{prefix}.{k}"), v, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                numeric_leaves(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Diffs two bench-report documents with a relative `tolerance` (e.g. 0.10
+/// allows a 10% swing before a [`MetricClass::HigherBetter`] /
+/// [`MetricClass::LowerBetter`] metric regresses; failure counts ignore it).
+pub fn diff_reports(old: &Value, new: &Value, tolerance: f64) -> DiffReport {
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    numeric_leaves("", old, &mut old_leaves);
+    numeric_leaves("", new, &mut new_leaves);
+    let new_map: std::collections::BTreeMap<&str, f64> =
+        new_leaves.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let old_map: std::collections::BTreeMap<&str, f64> =
+        old_leaves.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+
+    let mut report = DiffReport::default();
+    for (path, old_v) in &old_leaves {
+        let Some(&new_v) = new_map.get(path.as_str()) else {
+            report.only_in_old.push(path.clone());
+            continue;
+        };
+        report.compared += 1;
+        let class = classify(path);
+        let change = if *old_v != 0.0 {
+            (new_v - old_v) / old_v
+        } else {
+            new_v
+        };
+        let entry = || Regression {
+            path: path.clone(),
+            old: *old_v,
+            new: new_v,
+            change,
+            class,
+        };
+        match class {
+            MetricClass::ZeroTolerance => {
+                if new_v > *old_v {
+                    report.regressions.push(entry());
+                } else if new_v < *old_v {
+                    report.improvements.push(entry());
+                }
+            }
+            MetricClass::HigherBetter => {
+                if change < -tolerance {
+                    report.regressions.push(entry());
+                } else if change > tolerance {
+                    report.improvements.push(entry());
+                }
+            }
+            MetricClass::LowerBetter => {
+                if change > tolerance {
+                    report.regressions.push(entry());
+                } else if change < -tolerance {
+                    report.improvements.push(entry());
+                }
+            }
+            MetricClass::Info => {}
+        }
+    }
+    for (path, _) in &new_leaves {
+        if !old_map.contains_key(path.as_str()) {
+            report.only_in_new.push(path.clone());
+        }
+    }
+    report
+}
+
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders the `timeseries` subtree a bench report may carry (the
+/// serialization of `bx_trace::TimeSeriesSet`) as sparkline rows. Returns
+/// `None` when `doc` has no such subtree.
+pub fn render_timeseries(doc: &Value) -> Option<String> {
+    let ts = doc.get("results")?.get("timeseries")?;
+    let interval = ts.get("interval_ns")?.as_u64()?;
+    let series = ts.get("series")?;
+    let Value::Array(series) = series else {
+        return None;
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "time series ({interval} ns/bucket):");
+    for s in series {
+        let metric = s.get("metric").and_then(|m| m.as_str()).unwrap_or("?");
+        let scope = s.get("scope").and_then(|m| m.as_str()).unwrap_or("");
+        let points: Vec<f64> = match s.get("points") {
+            Some(Value::Array(p)) => p.iter().filter_map(|v| v.as_f64()).collect(),
+            _ => Vec::new(),
+        };
+        let peak = points.iter().copied().fold(0.0, f64::max);
+        let name = if scope.is_empty() {
+            metric.to_string()
+        } else {
+            format!("{metric}[{scope}]")
+        };
+        let _ = writeln!(
+            out,
+            "  {name:<28} {} peak={}",
+            byteexpress::sparkline(&points),
+            trim_float(peak)
+        );
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Value {
+        Value::parse_json(
+            r#"{"bin":"pipeline","results":{
+                "pipelined":{"ops":512,"window_iops":100000.0,"mean_ns":4000,
+                             "non_doorbell_wire_bytes":90000},
+                "iops_speedup":2.5,
+                "overlap":{"doorbells_per_cmd":1.0},
+                "failures":0,
+                "self_profile":{"wall_ms":12.0}}}"#,
+        )
+        .unwrap()
+    }
+
+    fn with(path_edits: &[(&str, f64)]) -> Value {
+        // Rebuild the baseline with leaf replacements, crudely but
+        // explicitly, via JSON text surgery on known keys.
+        let mut v = baseline();
+        fn set(v: &mut Value, path: &[&str], to: f64) {
+            match v {
+                Value::Object(pairs) => {
+                    for (k, inner) in pairs.iter_mut() {
+                        if k == path[0] {
+                            if path.len() == 1 {
+                                *inner = Value::F64(to);
+                            } else {
+                                set(inner, &path[1..], to);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (path, to) in path_edits {
+            let parts: Vec<&str> = path.split('.').collect();
+            set(&mut v, &parts, *to);
+        }
+        v
+    }
+
+    #[test]
+    fn identical_baselines_pass() {
+        let d = diff_reports(&baseline(), &baseline(), 0.10);
+        assert!(d.passes());
+        assert!(d.improvements.is_empty());
+        assert!(d.compared >= 7);
+        assert!(d.only_in_old.is_empty() && d.only_in_new.is_empty());
+    }
+
+    #[test]
+    fn window_iops_drop_beyond_tolerance_regresses() {
+        // The deliberately-broken fixture: IOPS down 30%, doorbells/cmd up.
+        let broken = with(&[
+            ("results.pipelined.window_iops", 70_000.0),
+            ("results.overlap.doorbells_per_cmd", 1.5),
+        ]);
+        let d = diff_reports(&baseline(), &broken, 0.10);
+        assert!(!d.passes());
+        let paths: Vec<&str> = d.regressions.iter().map(|r| r.path.as_str()).collect();
+        assert!(paths.contains(&".results.pipelined.window_iops"));
+        assert!(paths.contains(&".results.overlap.doorbells_per_cmd"));
+    }
+
+    #[test]
+    fn changes_within_tolerance_pass() {
+        let wiggle = with(&[
+            ("results.pipelined.window_iops", 95_000.0),
+            ("results.pipelined.mean_ns", 4200.0),
+        ]);
+        assert!(diff_reports(&baseline(), &wiggle, 0.10).passes());
+    }
+
+    #[test]
+    fn improvements_do_not_gate() {
+        let better = with(&[
+            ("results.pipelined.window_iops", 200_000.0),
+            ("results.pipelined.mean_ns", 2000.0),
+        ]);
+        let d = diff_reports(&baseline(), &better, 0.10);
+        assert!(d.passes());
+        assert_eq!(d.improvements.len(), 2);
+    }
+
+    #[test]
+    fn any_new_failure_regresses_regardless_of_tolerance() {
+        let failing = with(&[("results.failures", 1.0)]);
+        let d = diff_reports(&baseline(), &failing, 10.0);
+        assert!(!d.passes());
+        assert_eq!(d.regressions[0].class, MetricClass::ZeroTolerance);
+    }
+
+    #[test]
+    fn self_profile_and_shape_drift_are_informational() {
+        let slower = with(&[("results.self_profile.wall_ms", 9000.0)]);
+        assert!(diff_reports(&baseline(), &slower, 0.10).passes());
+
+        let mut extended = baseline();
+        if let Value::Object(pairs) = &mut extended {
+            pairs.push(("extra".to_string(), Value::U64(1)));
+        }
+        let d = diff_reports(&baseline(), &extended, 0.10);
+        assert!(d.passes());
+        assert_eq!(d.only_in_new, vec![".extra".to_string()]);
+    }
+
+    #[test]
+    fn classification_rules() {
+        assert_eq!(
+            classify("results.pipelined.window_iops"),
+            MetricClass::HigherBetter
+        );
+        assert_eq!(
+            classify("results.qd1_latency.mean_ns"),
+            MetricClass::LowerBetter
+        );
+        assert_eq!(
+            classify("results.overlap.doorbells_per_cmd"),
+            MetricClass::LowerBetter
+        );
+        assert_eq!(classify("results.failures"), MetricClass::ZeroTolerance);
+        assert_eq!(classify("results.self_profile.wall_ms"), MetricClass::Info);
+        assert_eq!(classify("results.pipelined.ops"), MetricClass::Info);
+    }
+
+    #[test]
+    fn timeseries_subtree_renders_sparklines() {
+        let doc = Value::parse_json(
+            r#"{"bin":"pipeline","results":{"timeseries":{
+                "interval_ns":1000,"buckets":3,
+                "series":[{"metric":"wire_bytes","scope":"","kind":"rate",
+                           "points":[10.0,20.0,5.0]}]}}}"#,
+        )
+        .unwrap();
+        let rendered = render_timeseries(&doc).unwrap();
+        assert!(rendered.contains("wire_bytes"));
+        assert!(rendered.contains("peak=20"));
+        assert!(render_timeseries(&Value::parse_json(r#"{"results":{}}"#).unwrap()).is_none());
+    }
+}

@@ -76,6 +76,7 @@ pub struct DeviceBuilder {
     cq_coalesce: u16,
     arbitration: Arbitration,
     trace: bool,
+    trace_gauges: bool,
     execution_model: ExecutionModel,
 }
 
@@ -115,6 +116,7 @@ impl Default for DeviceBuilder {
             cq_coalesce: 0,
             arbitration: Arbitration::default(),
             trace: false,
+            trace_gauges: false,
             execution_model: ExecutionModel::Serial,
         }
     }
@@ -254,6 +256,19 @@ impl DeviceBuilder {
         self
     }
 
+    /// Additionally records instantaneous utilization gauges (SQ backlog,
+    /// in-flight commands, reassembly SRAM, FTL journal depth) sampled at
+    /// controller and driver processing edges. Implies [`DeviceBuilder::trace`].
+    /// Separate from plain tracing so the default traced event stream —
+    /// which golden fingerprints pin — is unchanged unless asked for.
+    pub fn trace_gauges(mut self, enabled: bool) -> Self {
+        self.trace_gauges = enabled;
+        if enabled {
+            self.trace = true;
+        }
+        self
+    }
+
     /// Builds the device, performing the full NVMe bring-up: admin queue
     /// registers, controller enable, Identify, and admin-command queue
     /// creation.
@@ -264,6 +279,9 @@ impl DeviceBuilder {
             // Must precede controller/driver construction: they copy the
             // sink handle from the bus.
             bus.enable_trace();
+            if self.trace_gauges {
+                bus.trace.enable_gauges();
+            }
         }
         if let Some(cfg) = self.fault_config {
             bus.install_faults(cfg);

@@ -66,8 +66,9 @@ pub use bx_ssd::{
 
 // The flight recorder's user-facing pieces.
 pub use bx_trace::{
-    chrome_trace, chrome_trace_json, reconstruct_spans, timeline, CmdKey, Event, EventKind,
-    Histogram, MetricsRegistry, Span, TraceSink,
+    chrome_trace, chrome_trace_json, derive_timeseries, openmetrics, reconstruct_spans, sparkline,
+    timeline, validate_openmetrics, CmdKey, Event, EventKind, Histogram, MetricsRegistry,
+    OpenMetricsSummary, Span, TimeSeries, TimeSeriesSet, TraceSink,
 };
 
 // Full substrate crates for advanced use.

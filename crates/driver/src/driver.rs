@@ -716,6 +716,12 @@ impl NvmeDriver {
         self.stats.submissions += 1;
         let qp = self.queue_mut(qid)?;
         qp.inflight.insert(cid, inflight);
+        let depth = qp.inflight.len() as u64;
+        self.bus.trace.emit_gauge(|| EventKind::GaugeSample {
+            gauge: "driver_inflight",
+            scope: u32::from(qid.0),
+            value: depth,
+        });
         Ok(SubmittedCmd {
             queue: qid,
             cid,
@@ -1371,6 +1377,12 @@ impl NvmeDriver {
             bus.clock.advance(t);
             cq_rings += 1;
         }
+        let depth = qp.inflight.len() as u64;
+        bus.trace.emit_gauge(|| EventKind::GaugeSample {
+            gauge: "driver_inflight",
+            scope: u32::from(qid.0),
+            value: depth,
+        });
         self.stats.doorbells += cq_rings;
         self.recovery.timeouts += reaped;
         self.recovery.spurious_completions += spurious;
@@ -1591,6 +1603,12 @@ impl NvmeDriver {
             });
             self.bus.clock.advance(policy.backoff(attempt));
             self.recovery.retries += 1;
+            let retries = self.recovery.retries;
+            self.bus.trace.emit_gauge(|| EventKind::GaugeSample {
+                gauge: "driver_retries",
+                scope: 0,
+                value: retries,
+            });
             attempt += 1;
         }
     }

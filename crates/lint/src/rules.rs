@@ -707,6 +707,32 @@ mod tests {
     }
 
     #[test]
+    fn trace_exhaustiveness_covers_gauge_events() {
+        // Regression for the telemetry plane: a handler that predates
+        // `GaugeSample` (no arm in args/fmt) must be flagged per missing
+        // handler, same contract as the crash events.
+        let src = "\
+            pub enum EventKind { Tlp { tlps: u64 }, GaugeSample { gauge: &'static str, scope: u32, value: u64 } }\n\
+            impl EventKind {\n\
+              pub fn layer(&self) -> &str { match self { Tlp { .. } => \"l\", GaugeSample { .. } => \"gauge\" } }\n\
+              pub fn name(&self) -> &str { match self { Tlp { .. } => \"t\", GaugeSample { .. } => \"g\" } }\n\
+              pub fn args(&self) { match self { Tlp { .. } => {} } }\n\
+            }\n\
+            impl Display for EventKind { fn fmt(&self) { match self { Tlp { .. } => {} } } }";
+        let f = trace_exhaustiveness("e.rs", &lex(src));
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("`GaugeSample`") && f.message.contains("fn args")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("`GaugeSample`") && f.message.contains("fn fmt")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
     fn enum_variant_extraction_skips_payload_fields() {
         let toks = lex("enum E { A { field: u8, other: u16 }, B(u32, u64), C }").tokens;
         assert_eq!(

@@ -222,6 +222,13 @@ impl Ftl {
         self.journal.stats()
     }
 
+    /// Records currently live in the mapping journal (appended since the
+    /// last checkpoint). The telemetry plane samples this as the
+    /// `ftl_journal_depth` gauge.
+    pub fn journal_depth(&self) -> usize {
+        self.journal.live_records()
+    }
+
     /// Overrides the journal's checkpoint threshold (tests use small values
     /// to exercise the checkpoint/prune path quickly).
     pub fn set_checkpoint_threshold(&mut self, records: usize) {

@@ -151,6 +151,19 @@ pub enum EventKind {
     /// of the checkpoint, `torn_mappings` of them redirected to the previous
     /// PPA because the target page never finished programming.
     JournalReplay { replayed: u32, torn_mappings: u32 },
+
+    // ---- telemetry ------------------------------------------------------
+    /// An instantaneous utilization sample taken at a processing edge.
+    /// `gauge` names the series; `scope` disambiguates instances (a queue
+    /// id, `(channel << 16) | die`, or 0 for a device-global gauge). Only
+    /// emitted when the sink's gauge sampling is switched on
+    /// ([`crate::TraceSink::enable_gauges`]), so plain traced runs keep
+    /// their exact event stream.
+    GaugeSample {
+        gauge: &'static str,
+        scope: u32,
+        value: u64,
+    },
 }
 
 impl EventKind {
@@ -178,6 +191,7 @@ impl EventKind {
             NandOp { .. } | GcCycle { .. } => "nand",
             PowerCut { .. } => "controller",
             JournalReplay { .. } => "nand",
+            GaugeSample { .. } => "gauge",
         }
     }
 
@@ -208,6 +222,7 @@ impl EventKind {
             GcCycle { .. } => "gc_cycle",
             PowerCut { .. } => "power_cut",
             JournalReplay { .. } => "journal_replay",
+            GaugeSample { .. } => "gauge_sample",
         }
     }
 
@@ -300,6 +315,15 @@ impl EventKind {
                 ("replayed", replayed.to_value()),
                 ("torn_mappings", torn_mappings.to_value()),
             ]),
+            GaugeSample {
+                gauge,
+                scope,
+                value,
+            } => Value::object([
+                ("gauge", gauge.to_value()),
+                ("scope", scope.to_value()),
+                ("value", value.to_value()),
+            ]),
         }
     }
 }
@@ -372,6 +396,11 @@ impl fmt::Display for EventKind {
                 replayed,
                 torn_mappings,
             } => write!(f, "journal-replay {replayed} records torn={torn_mappings}"),
+            GaugeSample {
+                gauge,
+                scope,
+                value,
+            } => write!(f, "gauge {gauge}[{scope}]={value}"),
         }
     }
 }

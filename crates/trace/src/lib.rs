@@ -13,21 +13,28 @@
 //!   virtual time are byte-identical to an untraced run.
 //! - **Analysis** is offline over the recorded stream: span reconstruction
 //!   ([`reconstruct_spans`]), a label-aware [`MetricsRegistry`] with
-//!   log2-bucketed [`Histogram`]s, and exporters ([`chrome_trace_json`] for
-//!   `chrome://tracing`/Perfetto, [`timeline`] for terminals).
+//!   log2-bucketed [`Histogram`]s, fixed-interval virtual-time series
+//!   ([`derive_timeseries`]), and exporters ([`chrome_trace_json`] for
+//!   `chrome://tracing`/Perfetto, [`timeline`] for terminals,
+//!   [`openmetrics`] for Prometheus-style scrapes).
 //!
-//! See DESIGN.md §8 for the event taxonomy and span model.
+//! See DESIGN.md §8 for the event taxonomy and span model, §13 for the
+//! telemetry plane (gauges, time series, OpenMetrics mapping).
 
 #![forbid(unsafe_code)]
 
 mod event;
 mod export;
 mod metrics;
+mod openmetrics;
 mod recorder;
 mod span;
+mod timeseries;
 
 pub use event::{CmdKey, Dir, Event, EventKind};
 pub use export::{chrome_trace, chrome_trace_json, timeline};
 pub use metrics::{Histogram, LabelSet, MetricsRegistry};
+pub use openmetrics::{openmetrics, validate_openmetrics, OpenMetricsSummary};
 pub use recorder::TraceSink;
 pub use span::{reconstruct_spans, Span};
+pub use timeseries::{derive_timeseries, sparkline, SeriesKind, TimeSeries, TimeSeriesSet};

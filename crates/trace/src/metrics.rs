@@ -47,8 +47,11 @@ impl Histogram {
     }
 
     pub fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket_of(value)] += 1;
-        self.count += 1;
+        // Saturating like `sum`: a counter pinned at u64::MAX beats a
+        // panic (or a wrapped-to-zero lie) in release-mode accounting.
+        let b = &mut self.buckets[Self::bucket_of(value)];
+        *b = b.saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
@@ -95,18 +98,23 @@ impl Histogram {
             })
     }
 
-    /// Upper bound of the bucket containing the `p`-th percentile sample
-    /// (nearest-rank over bucket counts); `None` when empty. Resolution is
-    /// a factor of 2 — good enough for dashboards, not for paper tables.
+    /// Upper bound of the bucket containing the `p`-th percentile sample;
+    /// `None` when empty. Resolution is a factor of 2 — good enough for
+    /// dashboards, not for paper tables.
+    ///
+    /// Uses the same 1-based nearest-rank definition as
+    /// `LatencySamples::percentile` (`rank = ⌈p/100 · n⌉`, clamped to
+    /// `[1, n]`), so the histogram bound always brackets the exact sample
+    /// percentile from above.
     pub fn percentile_upper_bound(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let rank = ((p / 100.0) * (self.count - 1) as f64).round() as u64;
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if n > 0 && seen > rank {
+            seen = seen.saturating_add(n);
+            if n > 0 && seen >= rank {
                 return Some(if i >= 63 {
                     u64::MAX
                 } else {
@@ -119,12 +127,26 @@ impl Histogram {
 
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as cumulative `(le, count_at_or_below)` pairs —
+    /// the OpenMetrics `_bucket` series shape. `le` is this bucket's
+    /// inclusive upper bound; the final pair's count equals
+    /// [`Histogram::count`] (the exporter adds the `+Inf` line).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (_, hi, n) in self.buckets() {
+            cum = cum.saturating_add(n);
+            out.push((hi, cum));
+        }
+        out
     }
 }
 
@@ -186,6 +208,10 @@ impl Serialize for LabelSet {
 pub struct MetricsRegistry {
     counters: BTreeMap<(&'static str, LabelSet), u64>,
     histograms: BTreeMap<(&'static str, LabelSet), Histogram>,
+    /// Last-sampled gauge values, keyed by `(gauge name, scope)` — the
+    /// scope is the [`crate::EventKind::GaugeSample`] disambiguator (queue
+    /// id, packed channel/die, or 0).
+    gauges: BTreeMap<(&'static str, u32), u64>,
 }
 
 impl MetricsRegistry {
@@ -194,7 +220,22 @@ impl MetricsRegistry {
     }
 
     pub fn inc(&mut self, name: &'static str, labels: LabelSet, by: u64) {
-        *self.counters.entry((name, labels)).or_insert(0) += by;
+        let c = self.counters.entry((name, labels)).or_insert(0);
+        *c = c.saturating_add(by);
+    }
+
+    /// Sets an instantaneous gauge value (last write wins).
+    pub fn set_gauge(&mut self, name: &'static str, scope: u32, value: u64) {
+        self.gauges.insert((name, scope), value);
+    }
+
+    /// The last-sampled value of a gauge, if any sample was recorded.
+    pub fn gauge(&self, name: &'static str, scope: u32) -> Option<u64> {
+        self.gauges.get(&(name, scope)).copied()
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u32, u64)> + '_ {
+        self.gauges.iter().map(|(&(n, s), &v)| (n, s, v))
     }
 
     pub fn observe(&mut self, name: &'static str, labels: LabelSet, value: u64) {
@@ -233,7 +274,7 @@ impl MetricsRegistry {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty() && self.gauges.is_empty()
     }
 
     /// Derives the standard command metrics from an event stream:
@@ -288,6 +329,18 @@ impl MetricsRegistry {
                 _ => {}
             }
         }
+        // Gauges ride untagged; the last sample per (gauge, scope) wins —
+        // the registry's gauge view is the state at end of stream.
+        for event in events {
+            if let EventKind::GaugeSample {
+                gauge,
+                scope,
+                value,
+            } = event.kind
+            {
+                reg.set_gauge(gauge, scope, value);
+            }
+        }
         reg
     }
 }
@@ -312,6 +365,16 @@ impl Serialize for MetricsRegistry {
                         ("name", name.to_value()),
                         ("labels", labels.to_value()),
                         ("histogram", hist.to_value()),
+                    ])
+                })),
+            ),
+            (
+                "gauges",
+                Value::array(self.gauges().map(|(name, scope, value)| {
+                    Value::object([
+                        ("name", name.to_value()),
+                        ("scope", scope.to_value()),
+                        ("value", value.to_value()),
                     ])
                 })),
             ),
@@ -378,6 +441,99 @@ mod tests {
         assert_eq!(h.percentile_upper_bound(50.0), Some(15));
         assert_eq!(h.percentile_upper_bound(99.9), Some((1 << 21) - 1));
         assert_eq!(Histogram::new().percentile_upper_bound(50.0), None);
+    }
+
+    #[test]
+    fn percentile_rank_matches_nearest_rank_at_small_n() {
+        // The definition must agree with LatencySamples::percentile:
+        // rank = ceil(p/100 * n), 1-based, clamped to [1, n]. Expectations
+        // are the log2-bucket upper bounds of the exact nearest-rank sample.
+        let of = |values: &[u64], p: f64| {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.percentile_upper_bound(p).unwrap()
+        };
+        // n = 1: every percentile is the lone sample's bucket.
+        for p in [50.0, 99.0, 99.9] {
+            assert_eq!(of(&[10], p), 15);
+        }
+        // n = 2: p50 → rank 1 (10 → [8,15]); p99/p99.9 → rank 2 (100 → [64,127]).
+        assert_eq!(of(&[10, 100], 50.0), 15);
+        assert_eq!(of(&[10, 100], 99.0), 127);
+        assert_eq!(of(&[10, 100], 99.9), 127);
+        // n = 3: p50 → rank 2 (100); p99/p99.9 → rank 3 (1000 → [512,1023]).
+        assert_eq!(of(&[10, 100, 1000], 50.0), 127);
+        assert_eq!(of(&[10, 100, 1000], 99.0), 1023);
+        assert_eq!(of(&[10, 100, 1000], 99.9), 1023);
+        // n = 100 over 1..=100: p50 → rank 50 (50 → [32,63]); p99 → rank 99
+        // (99 → [64,127]); p99.9 → rank 100 (100 → [64,127]).
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(of(&hundred, 50.0), 63);
+        assert_eq!(of(&hundred, 99.0), 127);
+        assert_eq!(of(&hundred, 99.9), 127);
+    }
+
+    #[test]
+    fn counter_arithmetic_saturates_at_u64_max() {
+        let labels = LabelSet {
+            queue: 0,
+            method: "prp",
+            opcode: 0,
+        };
+        let mut reg = MetricsRegistry::new();
+        reg.inc("c", labels, u64::MAX);
+        reg.inc("c", labels, u64::MAX);
+        assert_eq!(reg.counter("c", labels), u64::MAX);
+
+        let mut h = Histogram::new();
+        h.record(u64::MAX); // sample at the top of the range: bucket 63
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX); // saturated, not wrapped
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.percentile_upper_bound(99.0), Some(u64::MAX));
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_nondecreasing_and_total() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100, 5000] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(cum.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn gauges_keep_last_sample_per_scope() {
+        let mk = |at: u64, gauge, scope, value| Event {
+            at: Nanos::from_ns(at),
+            cmd: None,
+            kind: EventKind::GaugeSample {
+                gauge,
+                scope,
+                value,
+            },
+        };
+        let events = vec![
+            mk(0, "sq_backlog", 1, 5),
+            mk(10, "sq_backlog", 2, 9),
+            mk(20, "sq_backlog", 1, 2),
+        ];
+        let reg = MetricsRegistry::from_events(&events);
+        assert_eq!(reg.gauge("sq_backlog", 1), Some(2));
+        assert_eq!(reg.gauge("sq_backlog", 2), Some(9));
+        assert_eq!(reg.gauge("sq_backlog", 3), None);
+        assert_eq!(reg.gauges().count(), 2);
+        assert!(!reg.is_empty());
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! OpenMetrics / Prometheus text exposition for a [`MetricsRegistry`].
+//!
+//! One renderer, one validator. The renderer maps the registry onto the
+//! OpenMetrics text format: counters become `<name>_total` sample lines
+//! labelled `{queue,method,opcode}`, gauges become `{scope}`-labelled
+//! samples, and the log2 histograms become cumulative `_bucket{le}` series
+//! with the standard `+Inf`/`_sum`/`_count` trailer. The validator
+//! re-parses that text from scratch — shared state with the renderer would
+//! let one bug hide the other — and checks the structural invariants CI
+//! gates on (`# TYPE`/`# HELP` before first sample, cumulative
+//! nondecreasing buckets, `+Inf == _count`), returning per-family totals so
+//! callers can cross-check the exposition against the registry's own JSON
+//! serialization.
+
+use crate::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+
+/// Prefix for every exported metric family, namespacing the simulator in a
+/// shared Prometheus scrape.
+const PREFIX: &str = "bx_";
+
+fn counter_labels(queue: u16, method: &str, opcode: u8) -> String {
+    format!("{{queue=\"{queue}\",method=\"{method}\",opcode=\"{opcode}\"}}")
+}
+
+/// Renders the registry in OpenMetrics text format, `# EOF`-terminated.
+/// Families are emitted in registry (BTreeMap) order, so output for a
+/// fixed run is byte-stable — golden-file friendly.
+pub fn openmetrics(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_family = "";
+
+    for (name, labels, value) in reg.counters() {
+        if name != last_family {
+            out.push_str(&format!(
+                "# HELP {PREFIX}{name} Event-stream counter {name}.\n\
+                 # TYPE {PREFIX}{name} counter\n"
+            ));
+            last_family = name;
+        }
+        let l = counter_labels(labels.queue, labels.method, labels.opcode);
+        out.push_str(&format!("{PREFIX}{name}_total{l} {value}\n"));
+    }
+
+    last_family = "";
+    for (name, scope, value) in reg.gauges() {
+        if name != last_family {
+            out.push_str(&format!(
+                "# HELP {PREFIX}{name} Instantaneous gauge {name}, last sample per scope.\n\
+                 # TYPE {PREFIX}{name} gauge\n"
+            ));
+            last_family = name;
+        }
+        out.push_str(&format!("{PREFIX}{name}{{scope=\"{scope}\"}} {value}\n"));
+    }
+
+    last_family = "";
+    for (name, labels, hist) in reg.histograms() {
+        if name != last_family {
+            out.push_str(&format!(
+                "# HELP {PREFIX}{name} Log2-bucketed histogram {name}.\n\
+                 # TYPE {PREFIX}{name} histogram\n"
+            ));
+            last_family = name;
+        }
+        let base = counter_labels(labels.queue, labels.method, labels.opcode);
+        let with_le = |le: &str| {
+            let mut l = base.clone();
+            l.truncate(l.len() - 1);
+            l.push_str(&format!(",le=\"{le}\"}}"));
+            l
+        };
+        for (le, cum) in hist.cumulative_buckets() {
+            out.push_str(&format!(
+                "{PREFIX}{name}_bucket{} {cum}\n",
+                with_le(&le.to_string())
+            ));
+        }
+        out.push_str(&format!(
+            "{PREFIX}{name}_bucket{} {}\n",
+            with_le("+Inf"),
+            hist.count()
+        ));
+        out.push_str(&format!("{PREFIX}{name}_sum{base} {}\n", hist.sum()));
+        out.push_str(&format!("{PREFIX}{name}_count{base} {}\n", hist.count()));
+    }
+
+    out.push_str("# EOF\n");
+    out
+}
+
+/// What [`validate_openmetrics`] extracted, for cross-checking against the
+/// registry the text was rendered from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpenMetricsSummary {
+    /// Per counter family (name without the `bx_` prefix or `_total`
+    /// suffix): sum over all label sets.
+    pub counter_totals: BTreeMap<String, u64>,
+    /// Per histogram family (name without prefix): total `_count` over all
+    /// label sets.
+    pub histogram_counts: BTreeMap<String, u64>,
+    /// Per gauge family (name without prefix): number of scoped samples.
+    pub gauge_scopes: BTreeMap<String, u64>,
+}
+
+/// One parsed sample line: family base name, label pairs, value.
+type Sample = (String, Vec<(String, String)>, u64);
+
+/// Splits a sample line into `(family base name, labels, value)`, where the
+/// family base strips the `bx_` prefix but keeps any `_total`/`_bucket`/…
+/// suffix for the caller to classify.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("sample line without value: {line:?}"))?;
+    let value: u64 = value
+        .parse()
+        .map_err(|_| format!("non-integer sample value in {line:?}"))?;
+    let (name, labels) = match name_labels.split_once('{') {
+        Some((n, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
+            let mut pairs = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed label {pair:?} in {line:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value {v:?} in {line:?}"))?;
+                pairs.push((k.to_string(), v.to_string()));
+            }
+            (n, pairs)
+        }
+        None => (name_labels, Vec::new()),
+    };
+    let name = name
+        .strip_prefix(PREFIX)
+        .ok_or_else(|| format!("metric {name:?} missing the {PREFIX:?} prefix"))?;
+    Ok((name.to_string(), labels, value))
+}
+
+/// Validates OpenMetrics text structurally and returns the totals it
+/// carries. Checks, in order of likely breakage:
+///
+/// - every sample's family was declared with both `# TYPE` and `# HELP`
+///   before its first sample line;
+/// - histogram `_bucket` series are cumulative (nondecreasing in `le`
+///   order, which matches emission order) and end in `le="+Inf"` whose
+///   value equals the family's `_count` for the same label set;
+/// - the text is terminated by `# EOF`.
+pub fn validate_openmetrics(text: &str) -> Result<OpenMetricsSummary, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeMap<String, bool> = BTreeMap::new();
+    let mut summary = OpenMetricsSummary::default();
+    // (family, non-le labels) → (last cumulative value, +Inf value)
+    let mut buckets: BTreeMap<(String, String), (u64, Option<u64>)> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut saw_eof = false;
+
+    for line in text.lines() {
+        if saw_eof {
+            return Err(format!("content after # EOF: {line:?}"));
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed TYPE line: {line:?}"))?;
+            let name = name
+                .strip_prefix(PREFIX)
+                .ok_or_else(|| format!("TYPE for unprefixed metric: {line:?}"))?;
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed HELP line: {line:?}"))?;
+            let name = name
+                .strip_prefix(PREFIX)
+                .ok_or_else(|| format!("HELP for unprefixed metric: {line:?}"))?;
+            helped.insert(name.to_string(), true);
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+
+        let (name, labels, value) = parse_sample(line)?;
+        let (family, suffix) = ["_total", "_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s).map(|f| (f.to_string(), *s)))
+            .filter(|(f, _)| types.contains_key(f))
+            .unwrap_or((name.clone(), ""));
+        let declared = types
+            .get(&family)
+            .ok_or_else(|| format!("sample for undeclared family {family:?}: {line:?}"))?;
+        if !helped.get(&family).copied().unwrap_or(false) {
+            return Err(format!("family {family:?} has # TYPE but no # HELP"));
+        }
+
+        match (declared.as_str(), suffix) {
+            ("counter", "_total") => {
+                *summary.counter_totals.entry(family).or_insert(0) += value;
+            }
+            ("gauge", "") => {
+                *summary.gauge_scopes.entry(family).or_insert(0) += 1;
+            }
+            ("histogram", "_bucket") => {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("histogram bucket without le: {line:?}"))?;
+                let others: String = labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v},"))
+                    .collect();
+                let entry = buckets.entry((family, others)).or_insert((0, None));
+                if value < entry.0 {
+                    return Err(format!("non-cumulative bucket series at {line:?}"));
+                }
+                entry.0 = value;
+                if le == "+Inf" {
+                    entry.1 = Some(value);
+                }
+            }
+            ("histogram", "_count") => {
+                let others: String = labels.iter().map(|(k, v)| format!("{k}={v},")).collect();
+                *summary.histogram_counts.entry(family.clone()).or_insert(0) += value;
+                counts.insert((family, others), value);
+            }
+            ("histogram", "_sum") => {}
+            (kind, suffix) => {
+                return Err(format!(
+                    "sample suffix {suffix:?} does not fit TYPE {kind:?}: {line:?}"
+                ));
+            }
+        }
+    }
+
+    if !saw_eof {
+        return Err("missing # EOF terminator".to_string());
+    }
+    for (key, (_, inf)) in &buckets {
+        let inf = inf.ok_or_else(|| format!("histogram {key:?} missing le=\"+Inf\" bucket"))?;
+        let count = counts
+            .get(key)
+            .ok_or_else(|| format!("histogram {key:?} has buckets but no _count"))?;
+        if inf != *count {
+            return Err(format!(
+                "histogram {key:?}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LabelSet;
+
+    fn labels(queue: u16) -> LabelSet {
+        LabelSet {
+            queue,
+            method: "ByteExpress",
+            opcode: 0x01,
+        }
+    }
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("commands_submitted", labels(1), 5);
+        reg.inc("commands_submitted", labels(2), 3);
+        reg.inc("payload_bytes", labels(1), 320);
+        reg.set_gauge("sq_backlog_cmds", 1, 4);
+        reg.set_gauge("sq_backlog_cmds", 2, 0);
+        for v in [100, 200, 5000] {
+            reg.observe("cmd_latency_ns", labels(1), v);
+        }
+        reg
+    }
+
+    #[test]
+    fn rendered_text_round_trips_through_the_validator() {
+        let reg = sample_registry();
+        let text = openmetrics(&reg);
+        let summary = validate_openmetrics(&text).expect("rendered text must validate");
+        assert_eq!(summary.counter_totals["commands_submitted"], 8);
+        assert_eq!(summary.counter_totals["payload_bytes"], 320);
+        assert_eq!(
+            summary.counter_totals["commands_submitted"],
+            reg.counter_total("commands_submitted")
+        );
+        assert_eq!(summary.gauge_scopes["sq_backlog_cmds"], 2);
+        assert_eq!(summary.histogram_counts["cmd_latency_ns"], 3);
+    }
+
+    #[test]
+    fn rendered_text_has_structural_markers() {
+        let text = openmetrics(&sample_registry());
+        assert!(text.contains("# TYPE bx_commands_submitted counter"));
+        assert!(text.contains("# HELP bx_commands_submitted "));
+        assert!(text.contains("# TYPE bx_sq_backlog_cmds gauge"));
+        assert!(text.contains("# TYPE bx_cmd_latency_ns histogram"));
+        assert!(text.contains(
+            "bx_commands_submitted_total{queue=\"1\",method=\"ByteExpress\",opcode=\"1\"} 5"
+        ));
+        assert!(text.contains("bx_sq_backlog_cmds{scope=\"1\"} 4"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_in_rendered_text() {
+        let text = openmetrics(&sample_registry());
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if line.starts_with("bx_cmd_latency_ns_bucket") {
+                let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(v >= last, "bucket series must be nondecreasing: {line}");
+                last = v;
+                bucket_lines += 1;
+            }
+        }
+        // Three distinct log2 buckets plus +Inf.
+        assert_eq!(bucket_lines, 4);
+    }
+
+    #[test]
+    fn validator_rejects_broken_text() {
+        assert!(validate_openmetrics("bx_x_total{} 1\n# EOF\n")
+            .unwrap_err()
+            .contains("undeclared"));
+        assert!(
+            validate_openmetrics("# TYPE bx_x counter\nbx_x_total 1\n# EOF\n")
+                .unwrap_err()
+                .contains("no # HELP")
+        );
+        assert!(validate_openmetrics("# EOF\nbx_x_total 1\n")
+            .unwrap_err()
+            .contains("after # EOF"));
+        assert!(
+            validate_openmetrics("# HELP bx_x h\n# TYPE bx_x counter\nbx_x_total 1\n")
+                .unwrap_err()
+                .contains("missing # EOF")
+        );
+        let non_cumulative = "# HELP bx_h h\n# TYPE bx_h histogram\n\
+             bx_h_bucket{le=\"10\"} 5\nbx_h_bucket{le=\"20\"} 3\n\
+             bx_h_bucket{le=\"+Inf\"} 5\nbx_h_count 5\n# EOF\n";
+        assert!(validate_openmetrics(non_cumulative)
+            .unwrap_err()
+            .contains("non-cumulative"));
+        let inf_mismatch = "# HELP bx_h h\n# TYPE bx_h histogram\n\
+             bx_h_bucket{le=\"+Inf\"} 4\nbx_h_count 5\n# EOF\n";
+        assert!(validate_openmetrics(inf_mismatch)
+            .unwrap_err()
+            .contains("!= _count"));
+    }
+
+    #[test]
+    fn empty_registry_renders_bare_eof() {
+        let text = openmetrics(&MetricsRegistry::new());
+        assert_eq!(text, "# EOF\n");
+        let summary = validate_openmetrics(&text).unwrap();
+        assert!(summary.counter_totals.is_empty());
+    }
+}
