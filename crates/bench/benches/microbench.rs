@@ -1,8 +1,11 @@
 //! Criterion microbenchmarks of the hot paths: protocol codecs, the submit
 //! engines, and one full command round trip per transfer method.
 
+use bx_ssd::ReassemblyEngine;
 use bx_workloads::MixGraph;
-use byteexpress::{nvme, Device, SubmissionEntry, TransferMethod};
+use byteexpress::{
+    nvme, Device, ExecutionModel, Nanos, QueueBatch, QueueId, SubmissionEntry, TransferMethod,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sqe_codec(c: &mut Criterion) {
@@ -53,6 +56,65 @@ fn bench_write_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// Out-of-order reassembly accept: a full 4-chunk train (224 B payload)
+/// through `accept_at`, completion buffer recycled back into the engine's
+/// pool so the steady state is allocation-free.
+fn bench_reassembly_accept(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reassembly");
+    for &total in &[1u16, 4, 16] {
+        group.bench_function(&format!("accept_{total}_chunks"), |b| {
+            let mut engine = ReassemblyEngine::new(1 << 20);
+            let chunk = [0xC3u8; nvme::inline::REASSEMBLY_CHUNK_PAYLOAD];
+            let mut id = 0u32;
+            b.iter(|| {
+                id = id.wrapping_add(1).max(1);
+                let mut done = None;
+                // Reverse order: every chunk but the last is out-of-order.
+                for chunk_no in (0..total).rev() {
+                    let hdr = nvme::inline::ChunkHeader {
+                        payload_id: id,
+                        chunk_no,
+                        total,
+                    };
+                    done = engine
+                        .accept_at(black_box(hdr), black_box(&chunk), Nanos::ZERO)
+                        .unwrap();
+                }
+                let payload = done.expect("train must complete");
+                engine.recycle(payload.data);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Pipelined dispatch: one batch of 32 ByteExpress writes across 4 queues
+/// per iteration, NAND off, on a device reused across iterations — the
+/// submit→complete engine in steady state.
+fn bench_pipelined_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelined_dispatch");
+    group.sample_size(50);
+    group.bench_function("batch_32x4q", |b| {
+        let mut dev = Device::builder()
+            .nand_io(false)
+            .queue_count(4)
+            .queue_depth(64)
+            .execution_model(ExecutionModel::Pipelined)
+            .build();
+        let queues: Vec<QueueId> = dev.queues().to_vec();
+        let data = vec![0x5Au8; 64];
+        let batches: Vec<QueueBatch> = queues
+            .iter()
+            .map(|&qid| (qid, (0..8).map(|i| (i * 8, data.clone())).collect()))
+            .collect();
+        b.iter(|| {
+            dev.write_batch_multi(black_box(&batches), TransferMethod::ByteExpress)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
 fn bench_kv_put(c: &mut Criterion) {
     use bx_kvssd::{KvStore, KvStoreConfig};
     let mut group = c.benchmark_group("kv_put_mixgraph");
@@ -93,6 +155,8 @@ criterion_group!(
     bench_sqe_codec,
     bench_chunk_codec,
     bench_write_paths,
+    bench_reassembly_accept,
+    bench_pipelined_dispatch,
     bench_kv_put,
     bench_sql_parse
 );

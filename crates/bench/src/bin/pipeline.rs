@@ -163,6 +163,32 @@ fn overlap_evidence(qd: usize) -> (Vec<Event>, (usize, usize, usize, bool)) {
     (events, evidence)
 }
 
+/// Steady-state profile window: one traced `Pipelined` device driven for
+/// `rounds` rounds of `qd` commands per queue, NAND I/O off so the window
+/// exercises the submission/completion engine rather than simulated NAND
+/// latency. Returns (trace events, commands issued); the pair feeds the
+/// report's `self_profile` so `events_per_sec` reflects sustained hot-path
+/// throughput instead of bring-up cost.
+fn steady_state_window(rounds: usize, qd: usize) -> (usize, u64) {
+    let mut dev = Device::builder()
+        .nand_io(false)
+        .queue_count(QUEUES)
+        .queue_depth(64)
+        .execution_model(ExecutionModel::Pipelined)
+        .trace(true)
+        .build();
+    let queues: Vec<QueueId> = dev.queues().to_vec();
+    let ops = schedule(QUEUES * qd);
+    let batches = split(&queues, &ops, qd);
+    let mut commands = 0u64;
+    for _ in 0..rounds {
+        dev.write_batch_multi(&batches, TransferMethod::ByteExpress)
+            .expect("steady-state writes must succeed");
+        commands += (QUEUES * qd) as u64;
+    }
+    (dev.trace_events().len(), commands)
+}
+
 /// Mean single-command write latency at QD 1 under `model`.
 fn qd1_mean(model: ExecutionModel) -> Nanos {
     build(model)
@@ -265,6 +291,14 @@ fn main() {
         failures += 1;
     }
 
+    section("steady-state profile window (pipelined, NAND off)");
+    let (profile_events, profile_cmds) = steady_state_window(320, qd);
+    println!("  {profile_cmds} commands traced in steady state, {profile_events} trace events");
+    if profile_events == 0 {
+        eprintln!("FAIL: steady-state window produced no trace events");
+        failures += 1;
+    }
+
     section("QD sweep, window IOPS + p99 (4 queues)");
     println!(
         "{:>6} {:>16} {:>16} {:>9} {:>14} {:>14}",
@@ -324,6 +358,13 @@ fn main() {
         ]),
     );
     report.push("qd_sweep", Value::Array(sweep));
+    report.push(
+        "steady_state",
+        Value::object([
+            ("commands", Value::U64(profile_cmds)),
+            ("trace_events", Value::U64(profile_events as u64)),
+        ]),
+    );
 
     // ---- continuous telemetry from the traced (gauged) run -------------
     section("telemetry: virtual-time series (pipelined, gauges on)");
@@ -410,7 +451,7 @@ fn main() {
     };
     report.push("timeseries", json_of(&ts));
     report.push("openmetrics", om);
-    report.set_trace_stats(events.len(), n as u64);
+    report.set_trace_stats(profile_events, profile_cmds);
 
     report.push("failures", Value::U64(failures as u64));
 

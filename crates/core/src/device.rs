@@ -129,7 +129,15 @@ impl DeviceBuilder {
     }
 
     /// Sets the PCIe link configuration.
+    ///
+    /// The config is validated here (and again in [`DeviceBuilder::build`],
+    /// which covers hand-mutated defaults): a structurally invalid link —
+    /// zero or non-power-of-two MPS/MRRS, bogus lane count — is a hard
+    /// error, not something the TLP segmenters quietly clamp.
     pub fn link(mut self, link: LinkConfig) -> Self {
+        if let Err(e) = link.validate() {
+            panic!("invalid LinkConfig: {e}");
+        }
         self.link = link;
         self
     }
@@ -273,6 +281,9 @@ impl DeviceBuilder {
     /// registers, controller enable, Identify, and admin-command queue
     /// creation.
     pub fn build(self) -> Device {
+        if let Err(e) = self.link.validate() {
+            panic!("invalid LinkConfig: {e}");
+        }
         // One doorbell pair per I/O queue plus the admin queue.
         let mut bus = SystemBus::new(self.link, self.host_mem_capacity, self.queue_count + 1);
         if self.trace {
@@ -446,6 +457,14 @@ impl Device {
     /// The controller (stats inspection).
     pub fn controller(&self) -> &Controller {
         &self.ctrl
+    }
+
+    /// Mutable access to the controller, for callers that pump the
+    /// submit→complete loop by hand (e.g. the allocation-counting test and
+    /// wall-clock microbenches, which cannot afford the per-call `Vec`s the
+    /// convenience batch APIs return).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.ctrl
     }
 
     /// Driver + controller + link counters in one snapshot.
@@ -911,5 +930,21 @@ mod tests {
         // Reading an unwritten LBA fails with LbaOutOfRange.
         let err = dev.read(999, 100).unwrap_err();
         assert_eq!(err, DeviceError::Command(Status::LbaOutOfRange));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LinkConfig")]
+    fn builder_rejects_zero_mps_link() {
+        let mut link = LinkConfig::gen2_x8();
+        link.max_payload_size = 0;
+        let _ = Device::builder().link(link);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LinkConfig")]
+    fn build_rejects_hand_mutated_bad_link() {
+        let mut builder = Device::builder();
+        builder.link.max_read_request_size = 300;
+        let _ = builder.build();
     }
 }

@@ -19,7 +19,7 @@ use bx_ssd::registers::{Register, RegisterFile, CC_ENABLE};
 use bx_ssd::{Controller, SystemBus};
 use bx_trace::{CmdKey, EventKind};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from driver operations.
@@ -198,12 +198,14 @@ impl Completion {
     }
 }
 
+#[derive(Debug)]
 struct ResponseBuf {
     pages: Vec<PageRef>,
     list_pages: Vec<PageRef>,
     len: usize,
 }
 
+#[derive(Debug)]
 struct Inflight {
     submitted_at: Nanos,
     /// Completion deadline in virtual time; set only when a [`RetryPolicy`]
@@ -213,6 +215,78 @@ struct Inflight {
     data_pages: Vec<PageRef>,
     list_pages: Vec<PageRef>,
     response: Option<ResponseBuf>,
+}
+
+/// Fixed-layout in-flight command table: a dense slab of `(cid, Inflight)`
+/// slots addressed through a cid→slot index, replacing the `HashMap` an
+/// earlier version used. Two wins: lookups/inserts/removals never hash and
+/// never allocate in steady state (slots and the free list retain capacity),
+/// and iteration order is the deterministic slot order — no randomized-hash
+/// order can reach completion or reap ordering.
+#[derive(Debug, Default)]
+struct InflightTable {
+    /// cid → slot index + 1; 0 means the cid is not in flight. Sized to the
+    /// full cid space on first insert (one 256 KB allocation per queue).
+    slot_of_cid: Vec<u32>,
+    /// Dense slot storage; `None` entries are on the free list.
+    slots: Vec<Option<(u16, Inflight)>>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Live entry count.
+    live: usize,
+}
+
+impl InflightTable {
+    fn contains(&self, cid: u16) -> bool {
+        self.slot_of_cid
+            .get(cid as usize)
+            .is_some_and(|&slot| slot != 0)
+    }
+
+    fn insert(&mut self, cid: u16, inflight: Inflight) {
+        if self.slot_of_cid.is_empty() {
+            self.slot_of_cid = vec![0; 1 << 16];
+        }
+        debug_assert!(!self.contains(cid), "cid {cid} already in flight");
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                // bx-lint: allow(panic-freedom, reason = "free-list entries index slots pushed below")
+                self.slots[slot as usize] = Some((cid, inflight));
+                slot
+            }
+            None => {
+                self.slots.push(Some((cid, inflight)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        // bx-lint: allow(panic-freedom, reason = "slot_of_cid spans the full u16 cid space")
+        self.slot_of_cid[cid as usize] = slot + 1;
+        self.live += 1;
+    }
+
+    fn remove(&mut self, cid: u16) -> Option<Inflight> {
+        let indexed = self.slot_of_cid.get_mut(cid as usize)?;
+        let slot = indexed.checked_sub(1)?;
+        *indexed = 0;
+        // bx-lint: allow(panic-freedom, reason = "non-zero index entries always name a live slot")
+        let (stored_cid, inflight) = self.slots[slot as usize].take()?;
+        debug_assert_eq!(stored_cid, cid);
+        self.free.push(slot);
+        self.live -= 1;
+        Some(inflight)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live entries in slot order (deterministic; callers that need cid
+    /// order sort the cids they collect).
+    fn iter(&self) -> impl Iterator<Item = (u16, &Inflight)> {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|(cid, inf)| (*cid, inf)))
+    }
 }
 
 struct QueuePair {
@@ -225,7 +299,7 @@ struct QueuePair {
     /// `tests/ordering_stress.rs`.
     lock: Mutex<()>,
     next_cid: u16,
-    inflight: HashMap<u16, Inflight>,
+    inflight: InflightTable,
     degrade: DegradeState,
     /// Tail of entries staged in the ring but not yet doorbelled — the
     /// deferral state behind doorbell coalescing. `None` means the device's
@@ -554,7 +628,7 @@ impl NvmeDriver {
                 cq: CqRing::new(id, cq_region, depth),
                 lock: Mutex::new(()),
                 next_cid: 0,
-                inflight: HashMap::new(),
+                inflight: InflightTable::default(),
                 degrade: DegradeState::default(),
                 pending_tail: None,
                 pending_cmds: 0,
@@ -813,14 +887,21 @@ impl NvmeDriver {
         mut sqe: SubmissionEntry,
         data: &[u8],
     ) -> Result<(), DriverError> {
-        let chunks = match self.inline_mode {
-            InlineMode::QueueLocal => inline::encode_chunks(data),
+        // Chunks are encoded one at a time into a stack buffer as they are
+        // placed in the ring — the per-train `Vec<[u8; 64]>` an earlier
+        // version materialized is gone, so submission is allocation-free.
+        let payload_id = match self.inline_mode {
+            InlineMode::QueueLocal => None,
             InlineMode::Reassembly => {
                 let id = self.next_payload_id;
                 self.next_payload_id = self.next_payload_id.wrapping_add(1).max(1);
                 sqe.set_cdw3(id);
-                inline::encode_reassembly_chunks(id, data)
+                Some(id)
             }
+        };
+        let n_chunks = match self.inline_mode {
+            InlineMode::QueueLocal => inline::chunks_for_len(data.len()),
+            InlineMode::Reassembly => inline::chunks_for_len_reassembly(data.len()),
         };
         if data.len() > inline::MAX_INLINE_LEN {
             return Err(DriverError::PayloadTooLarge {
@@ -838,7 +919,7 @@ impl NvmeDriver {
         }
         inline::set_inline_len(&mut sqe, data.len());
 
-        let needed = 1 + chunks.len() as u16;
+        let needed = 1 + n_chunks as u16;
         let timing = self.timing.clone();
         let bus = self.bus.clone();
         // Fault hook: lose one chunk of a reassembly train before it is
@@ -849,7 +930,7 @@ impl NvmeDriver {
         // desync the in-order gather, so the injector refuses n < 2 and we
         // gate on the mode.)
         let lost_chunk = if self.inline_mode == InlineMode::Reassembly {
-            bus.faults.borrow_mut().truncate_train(chunks.len())
+            bus.faults.borrow_mut().truncate_train(n_chunks)
         } else {
             None
         };
@@ -882,12 +963,17 @@ impl NvmeDriver {
             .write(qp.sq.slot_addr(slot), &sqe.to_bytes())?;
         bus.clock.advance(timing.bx_cmd_insert);
         let mut written = 0u64;
-        for (i, chunk) in chunks.iter().enumerate() {
+        let mut chunk = [0u8; inline::BYTEEXPRESS_CHUNK_SIZE];
+        for i in 0..n_chunks {
             if Some(i) == lost_chunk {
                 continue;
             }
+            match payload_id {
+                None => inline::encode_chunk_into(data, i, &mut chunk),
+                Some(id) => inline::encode_reassembly_chunk_into(id, data, i, &mut chunk),
+            };
             let slot = qp.sq.push_slot();
-            bus.mem.borrow_mut().write(qp.sq.slot_addr(slot), chunk)?;
+            bus.mem.borrow_mut().write(qp.sq.slot_addr(slot), &chunk)?;
             bus.clock.advance(timing.per_chunk_insert);
             written += 1;
         }
@@ -1205,6 +1291,24 @@ impl NvmeDriver {
     ///
     /// [`DriverError::UnknownQueue`] for a bad queue id.
     pub fn poll_completions(&mut self, qid: QueueId) -> Result<Vec<Completion>, DriverError> {
+        let mut out = Vec::new();
+        self.poll_completions_into(qid, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`NvmeDriver::poll_completions`], but appends into a
+    /// caller-provided buffer instead of allocating a fresh `Vec` per poll.
+    /// Hot loops reuse one buffer (`clear()` between sweeps) so the polling
+    /// side of a pipelined submit→complete window is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownQueue`] for a bad queue id.
+    pub fn poll_completions_into(
+        &mut self,
+        qid: QueueId,
+        out: &mut Vec<Completion>,
+    ) -> Result<(), DriverError> {
         // Staged SQ tails past the flush policy's delay bound ring here —
         // the poll loop is where virtual time advances while submissions
         // sit deferred.
@@ -1223,14 +1327,13 @@ impl NvmeDriver {
             window.completions.drain(..).collect()
         };
         let qp = self.queue_mut(qid)?;
-        let mut out = Vec::new();
         if !mmio.is_empty() {
             let t = bus.link.borrow_mut().host_mmio_read(TrafficClass::Mmio, 8);
             bus.clock.advance(t);
             for c in mmio {
                 let submitted_at = qp
                     .inflight
-                    .remove(&c.cid)
+                    .remove(c.cid)
                     .map(|i| i.submitted_at)
                     .unwrap_or_else(|| bus.clock.now());
                 bus.trace
@@ -1274,7 +1377,7 @@ impl NvmeDriver {
                 consumed_since_ring = 0;
             }
 
-            let inflight = qp.inflight.remove(&cqe.cid());
+            let inflight = qp.inflight.remove(cqe.cid());
             if inflight.is_none() && policy.is_some() {
                 // A CQE for a command no longer tracked: late or duplicate,
                 // e.g. the original attempt completing after a timeout reap
@@ -1336,14 +1439,14 @@ impl NvmeDriver {
                 .inflight
                 .iter()
                 .filter(|(_, i)| matches!(i.deadline, Some(d) if now > d))
-                .map(|(&cid, _)| cid)
+                .map(|(cid, _)| cid)
                 .collect();
-            // HashMap iteration order is per-process random; sort so a fixed
-            // fault seed yields one reproducible completion order.
+            // Slab iteration is slot order (deterministic but allocation
+            // history dependent); sort so reaps surface in cid order.
             expired.sort_unstable();
             for cid in expired {
-                // bx-lint: allow(panic-freedom, reason = "cids were collected from this map two lines up with no intervening removal")
-                let inflight = qp.inflight.remove(&cid).expect("listed above");
+                // bx-lint: allow(panic-freedom, reason = "cids were collected from this table two lines up with no intervening removal")
+                let inflight = qp.inflight.remove(cid).expect("listed above");
                 let submitted_at = inflight.submitted_at;
                 let mut mem = bus.mem.borrow_mut();
                 if let Some(resp) = inflight.response {
@@ -1386,7 +1489,7 @@ impl NvmeDriver {
         self.stats.doorbells += cq_rings;
         self.recovery.timeouts += reaped;
         self.recovery.spurious_completions += spurious;
-        Ok(out)
+        Ok(())
     }
 
     /// Submit + drive the controller + poll: the synchronous convenience the
@@ -1620,7 +1723,7 @@ impl QueuePair {
         for _ in 0..=u16::MAX {
             let cid = self.next_cid;
             self.next_cid = self.next_cid.wrapping_add(1);
-            if !self.inflight.contains_key(&cid) {
+            if !self.inflight.contains(cid) {
                 return cid;
             }
         }

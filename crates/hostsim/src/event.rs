@@ -49,6 +49,19 @@ impl<T> Ord for Entry<T> {
 
 /// A monotonic event queue with deterministic FIFO tie-breaking.
 ///
+/// The earliest entry is cached in a peek-ahead `front` slot ahead of the
+/// binary heap. The dominant pattern on the pipelined hot path — schedule
+/// one completion, pop it, schedule the next — then never touches the heap
+/// at all: push fills the empty slot, pop drains it. The heap only sees
+/// traffic when more than one event is outstanding, and `peek_at`/`pop_due`
+/// (called once per controller processing pass) become a single field read.
+///
+/// The invariant is that `front`, when present, orders at-or-before every
+/// heap entry; `push` displaces the slot into the heap only when the new
+/// event is strictly earlier, which preserves the exact `(at, seq)` pop
+/// order of a plain heap (sequence numbers are unique, so "strictly
+/// earlier" is total).
+///
 /// # Example
 ///
 /// ```
@@ -65,6 +78,8 @@ impl<T> Ord for Entry<T> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<T> {
+    /// The earliest scheduled entry, held out of the heap.
+    front: Option<Entry<T>>,
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
 }
@@ -78,7 +93,7 @@ impl<T> Default for EventQueue<T> {
 impl<T> std::fmt::Debug for EventQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len())
             .field("next_at", &self.peek_at())
             .finish()
     }
@@ -88,6 +103,7 @@ impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
+            front: None,
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -98,17 +114,31 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, at: Nanos, item: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, item });
+        let entry = Entry { at, seq, item };
+        match &self.front {
+            None => self.front = Some(entry),
+            // Strictly earlier than the cached front: displace it into the
+            // heap. (`seq` is fresh and maximal, so a same-instant push is
+            // never strictly earlier — FIFO order is preserved.)
+            Some(f) if (at, seq) < (f.at, f.seq) => {
+                if let Some(old) = self.front.replace(entry) {
+                    self.heap.push(old);
+                }
+            }
+            Some(_) => self.heap.push(entry),
+        }
     }
 
     /// The instant of the earliest scheduled event, if any.
     pub fn peek_at(&self) -> Option<Nanos> {
-        self.heap.peek().map(|e| e.at)
+        self.front.as_ref().map(|e| e.at)
     }
 
     /// Removes and returns the earliest event as `(at, item)`.
     pub fn pop(&mut self) -> Option<(Nanos, T)> {
-        self.heap.pop().map(|e| (e.at, e.item))
+        let out = self.front.take()?;
+        self.front = self.heap.pop();
+        Some((out.at, out.item))
     }
 
     /// Removes and returns the earliest event if it is due at or before
@@ -123,17 +153,18 @@ impl<T> EventQueue<T> {
 
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + usize::from(self.front.is_some())
     }
 
     /// Whether nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.front.is_none()
     }
 
     /// Drops every scheduled event (e.g. on controller reset). The sequence
     /// counter is *not* reset, so FIFO ordering stays globally consistent.
     pub fn clear(&mut self) {
+        self.front = None;
         self.heap.clear();
     }
 }
@@ -183,6 +214,32 @@ mod tests {
             q.pop_due(Nanos::from_ns(99)),
             Some((Nanos::from_ns(20), 'y'))
         );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn single_outstanding_event_never_touches_the_heap() {
+        // The pipelined hot path: one deferred completion outstanding at a
+        // time. The peek-ahead slot must absorb the whole push/pop cycle.
+        let mut q = EventQueue::new();
+        for t in 0..1000u64 {
+            q.push(Nanos::from_ns(t), t);
+            assert_eq!(q.heap.len(), 0, "front slot absorbs the only event");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop(), Some((Nanos::from_ns(t), t)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn earlier_push_displaces_cached_front() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_ns(50), "late");
+        q.push(Nanos::from_ns(10), "early");
+        assert_eq!(q.peek_at(), Some(Nanos::from_ns(10)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Nanos::from_ns(10), "early")));
+        assert_eq!(q.pop(), Some((Nanos::from_ns(50), "late")));
         assert!(q.is_empty());
     }
 

@@ -1,0 +1,32 @@
+//! Deliberately-bad fixture: iterates randomized-hash collections whose
+//! order could reach wire, trace, or CQE order. Every loop and drain below
+//! must produce a `hash-iteration` finding.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    inflight: HashMap<u16, u64>,
+    bad: HashSet<u32>,
+}
+
+impl Tracker {
+    /// Reaps in SipHash order — CQE failure order varies per process.
+    pub fn reap_all(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        for (cid, _) in &self.inflight {
+            out.push(*cid);
+        }
+        out
+    }
+
+    /// Drains values in randomized order straight into the caller.
+    pub fn values_snapshot(&self) -> Vec<u64> {
+        self.inflight.values().copied().collect()
+    }
+
+    /// Keys in randomized order.
+    pub fn bad_blocks(&self) -> Vec<u32> {
+        let keys: HashSet<u32> = self.bad.clone();
+        keys.iter().copied().collect()
+    }
+}

@@ -6,7 +6,7 @@
 //! not abort, a flight recorder that must never silently drop an event
 //! kind, and a strict no-`unsafe` posture. bx-lint walks every workspace
 //! source with a hand-rolled token scanner (no `syn` — the vendored offline
-//! build stays dependency-free) and enforces five rules:
+//! build stays dependency-free) and enforces six rules:
 //!
 //! | rule                  | invariant guarded                                   |
 //! |-----------------------|-----------------------------------------------------|
@@ -15,6 +15,7 @@
 //! | `panic-freedom`       | no `.unwrap()`/`.expect()`/`panic!`-family (and, in ring/bitmap files, no non-literal indexing) in non-test hot-path code |
 //! | `trace-exhaustiveness`| every `EventKind` variant is handled by all trace handlers, with no wildcard arms |
 //! | `unsafe-confinement`  | `unsafe` only in allowlisted files; every crate root carries `#![forbid(unsafe_code)]` |
+//! | `hash-iteration`      | no iteration over `HashMap`/`HashSet` in replay-relevant crates unless it feeds a sorted drain — randomized order must never reach wire, trace, or CQE order |
 //!
 //! The escape hatch is an explicit, reasoned annotation on (or directly
 //! above) the offending line:
@@ -87,6 +88,9 @@ pub struct Config {
     pub sim_crates: Vec<String>,
     /// Crates whose non-test library code must be panic-free.
     pub hot_crates: Vec<String>,
+    /// Crates whose library code must not iterate randomized-hash
+    /// collections (replay-relevant state).
+    pub hash_checked_crates: Vec<String>,
     /// Files (repo-relative) where non-literal slice indexing is also
     /// flagged — the ring/bitmap arithmetic files.
     pub index_checked_files: Vec<String>,
@@ -111,6 +115,7 @@ impl Config {
         Config {
             sim_crates: s(&["hostsim", "driver", "nvme", "pcie", "ssd", "trace"]),
             hot_crates: s(&["driver", "nvme", "ssd"]),
+            hash_checked_crates: s(&["ssd", "driver"]),
             index_checked_files: s(&[
                 "crates/nvme/src/queue.rs",
                 "crates/ssd/src/reassembly.rs",
@@ -163,7 +168,10 @@ impl Config {
             wire_crate_src: "crates/nvme/src".into(),
             trace_event_file: "crates/trace/src/event.rs".into(),
             trace_export_file: "crates/trace/src/export.rs".into(),
-            unsafe_allowlist: Vec::new(),
+            // tests/alloc_free.rs: the counting global allocator needs
+            // `unsafe impl GlobalAlloc` (pure delegation to System plus a
+            // relaxed atomic counter — no pointer arithmetic of its own).
+            unsafe_allowlist: s(&["tests/alloc_free.rs"]),
         }
     }
 }
@@ -205,6 +213,13 @@ pub fn lint_file(rel: &str, lx: &Lexed, cfg: &Config) -> Vec<Finding> {
     if krate.is_some_and(|k| cfg.hot_crates.iter().any(|c| c == k)) && is_library_source(rel) {
         let index_checked = cfg.index_checked_files.iter().any(|f| f == rel);
         raw.extend(rules::panic_freedom(rel, lx, index_checked));
+    }
+
+    // hash-iteration: library source of replay-relevant crates.
+    if krate.is_some_and(|k| cfg.hash_checked_crates.iter().any(|c| c == k))
+        && is_library_source(rel)
+    {
+        raw.extend(rules::hash_iteration(rel, lx));
     }
 
     // unsafe-confinement: every file; crate roots additionally need the
@@ -358,6 +373,7 @@ pub fn lint_fixture(path: &Path) -> std::io::Result<Report> {
     }
     findings.extend(rules::virtual_time_purity(&rel, &lx));
     findings.extend(rules::panic_freedom(&rel, &lx, true));
+    findings.extend(rules::hash_iteration(&rel, &lx));
     findings.extend(rules::unsafe_confinement(&rel, &lx, false));
     if name.contains("wire") {
         let spec = WireSpec {

@@ -19,16 +19,19 @@ pub const PANIC_FREEDOM: &str = "panic-freedom";
 pub const TRACE_EXHAUSTIVE: &str = "trace-exhaustiveness";
 /// See [`WIRE_LAYOUT`].
 pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
+/// See [`WIRE_LAYOUT`].
+pub const HASH_ITERATION: &str = "hash-iteration";
 /// Malformed `bx-lint:` annotations are themselves findings under this name.
 pub const ANNOTATION: &str = "annotation";
 
 /// All enforceable rule names (used by `--self-test` and the JSON summary).
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 7] = [
     WIRE_LAYOUT,
     VIRTUAL_TIME,
     PANIC_FREEDOM,
     TRACE_EXHAUSTIVE,
     UNSAFE_CONFINEMENT,
+    HASH_ITERATION,
     ANNOTATION,
 ];
 
@@ -208,6 +211,162 @@ fn bracket_body(toks: &[Tok], open: usize) -> Option<&[Tok]> {
         }
     }
     None
+}
+
+// ---------------------------------------------------------------------------
+// hash-iteration
+// ---------------------------------------------------------------------------
+
+/// Iteration methods whose order is the map's randomized-hash order.
+const HASH_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Iteration over randomized-hash collections in replay-relevant crates.
+///
+/// `HashMap`/`HashSet` iterate in SipHash order, which varies per process —
+/// any such iteration that can reach wire bytes, trace events, or CQE order
+/// breaks replay determinism (the PR-8 tentpole bug class). The rule
+/// collects idents declared as hashed collections (`name: HashMap<..>`
+/// fields/bindings and `name = HashMap::new()`-style initializers) and flags
+/// every `.iter()`/`.keys()`/`.values()`/`.iter_mut()`/`.values_mut()`/
+/// `.drain()`/`.into_iter()` call and `for .. in &name` loop over them,
+/// unless the same statement visibly feeds a sorted drain (`sort*` call or
+/// collection into a `BTreeMap`/`BTreeSet`) or the site carries an allow
+/// annotation. Test code is exempt — determinism there is the test's own
+/// business.
+pub fn hash_iteration(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let toks = &lx.tokens;
+
+    // Pass 1: idents bound to hashed collections.
+    let mut hashed: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over a `std :: collections :: HashMap` qualification.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j < 2 {
+            continue;
+        }
+        // `name : HashMap<..>` (field or annotated binding) or
+        // `name = HashMap::new()` (inferred binding / assignment).
+        let annotated = toks[j - 1].is_punct(':') && !toks[j - 2].is_punct(':');
+        if !annotated && !toks[j - 1].is_punct('=') {
+            continue;
+        }
+        let bound = &toks[j - 2];
+        if bound.kind == TokKind::Ident && bound.text != "_" {
+            hashed.push(&bound.text);
+        }
+    }
+    if hashed.is_empty() {
+        return Vec::new();
+    }
+
+    // Whether the drain visibly sorts: a `sort*` call or a
+    // `BTreeMap`/`BTreeSet` collection within this statement or the next
+    // (the `let v: Vec<_> = map.keys().collect(); v.sort();` idiom).
+    let sorts = |t: &Tok| {
+        t.kind == TokKind::Ident
+            && (t.text.starts_with("sort") || t.text == "BTreeMap" || t.text == "BTreeSet")
+    };
+    let feeds_sorted_drain = |i: usize| {
+        // Backward over the current statement (a `let b: BTreeMap<..> =`
+        // annotation precedes the drain)...
+        let back = toks[..i]
+            .iter()
+            .rev()
+            .take_while(|t| !t.is_punct(';') && !t.is_punct('{'))
+            .take(64)
+            .any(sorts);
+        // ...and forward through this statement and the next (the
+        // `let v: Vec<_> = map.keys().collect(); v.sort();` idiom).
+        let mut semis = 0usize;
+        let fwd = toks[i..]
+            .iter()
+            .take_while(|t| {
+                if t.is_punct(';') {
+                    semis += 1;
+                }
+                semis < 2
+            })
+            .take(64)
+            .any(sorts);
+        back || fwd
+    };
+
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !hashed.iter().any(|h| *h == t.text)
+            || lx.in_test_code(t.line)
+        {
+            continue;
+        }
+        // `name . iter (` and friends.
+        if toks.get(i + 1).is_some_and(|p| p.is_punct('.'))
+            && toks.get(i + 3).is_some_and(|p| p.is_punct('('))
+        {
+            if let Some(m) = toks.get(i + 2) {
+                if HASH_ITER_METHODS.contains(&m.text.as_str()) && !feeds_sorted_drain(i) {
+                    out.push(finding(
+                        path,
+                        t.line,
+                        HASH_ITERATION,
+                        format!(
+                            "`.{}()` iterates hashed collection `{}` in randomized order; use a \
+                             BTreeMap/slab, sort the drain, or justify with a bx-lint allow \
+                             annotation",
+                            m.text, t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for .. in &name {` / `for .. in &mut name {` / `for .. in name {`.
+        let body_opens = toks.get(i + 1).is_some_and(|p| p.is_punct('{'));
+        if body_opens {
+            let mut k = i;
+            // Skip a `self .` qualifier and a leading `&` / `&mut`.
+            if k >= 2 && toks[k - 1].is_punct('.') && toks[k - 2].is_ident("self") {
+                k -= 2;
+            }
+            if k >= 1 && toks[k - 1].is_ident("mut") {
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].is_punct('&') {
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].is_ident("in") {
+                out.push(finding(
+                    path,
+                    t.line,
+                    HASH_ITERATION,
+                    format!(
+                        "`for .. in` over hashed collection `{}` visits entries in randomized \
+                         order; use a BTreeMap/slab, sort the drain, or justify with a bx-lint \
+                         allow annotation",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -611,6 +770,48 @@ mod tests {
     fn indexing_skips_macros_attrs_and_types() {
         let lx = lex("#[derive(Debug)]\nstruct S { a: [u8; 64] }\nfn f() { let v = vec![0; 4]; }");
         assert!(panic_freedom("x.rs", &lx, true).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flags_methods_and_for_loops() {
+        let src = "struct S { index: HashMap<u32, usize> }\n\
+                   fn f(s: &S) {\n\
+                     for x in s.index.values() { use_it(x); }\n\
+                     let set: HashSet<u32> = HashSet::new();\n\
+                     for v in &set { use_it(v); }\n\
+                   }";
+        let f = hash_iteration("x.rs", &lex(src));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("values"));
+        assert!(f[1].message.contains("for .. in"));
+    }
+
+    #[test]
+    fn hash_iteration_allows_sorted_drains_and_lookups() {
+        let src = "fn f(map: HashMap<u32, u64>) {\n\
+                   let map = HashMap::new();\n\
+                   let _ = map.get(&1);\n\
+                   let mut v: Vec<_> = map.keys().collect(); v.sort();\n\
+                   let b: BTreeMap<_, _> = map.iter().collect();\n\
+                   }";
+        let f = hash_iteration("x.rs", &lex(src));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hash_iteration_handles_self_fields_and_qualified_paths() {
+        let src = "struct S { inflight: std::collections::HashMap<u16, u64> }\n\
+                   impl S { fn g(&self) { for (k, v) in &self.inflight { use_it(k, v); } } }";
+        let f = hash_iteration("x.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("inflight"));
+    }
+
+    #[test]
+    fn hash_iteration_exempts_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n struct S { m: HashMap<u32, u32> }\n \
+                   fn t(s: &S) { for x in s.m.keys() { use_it(x); } }\n}";
+        assert!(hash_iteration("x.rs", &lex(src)).is_empty());
     }
 
     #[test]

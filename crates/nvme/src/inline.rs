@@ -83,6 +83,71 @@ pub fn chunks_for_len_reassembly(len: usize) -> usize {
     len.div_ceil(REASSEMBLY_CHUNK_PAYLOAD)
 }
 
+/// Writes queue-local chunk `chunk_no` of `payload` into `out`, zero-padding
+/// the tail. Returns the number of payload bytes placed.
+///
+/// The allocation-free counterpart of [`encode_chunks`] for the driver's hot
+/// submit path: the caller owns one stack buffer and encodes each chunk into
+/// it just before pushing the SQ slot, instead of materializing the whole
+/// train as a `Vec`.
+///
+/// # Panics
+///
+/// Panics if `chunk_no` is not a valid chunk index for `payload`
+/// (i.e. `chunk_no >= chunks_for_len(payload.len())`).
+pub fn encode_chunk_into(
+    payload: &[u8],
+    chunk_no: usize,
+    out: &mut [u8; BYTEEXPRESS_CHUNK_SIZE],
+) -> usize {
+    let off = chunk_no * BYTEEXPRESS_CHUNK_SIZE;
+    assert!(
+        off < payload.len() || (payload.is_empty() && chunk_no == 0),
+        "chunk {chunk_no} out of range for {} payload bytes",
+        payload.len()
+    );
+    let take = (payload.len() - off).min(BYTEEXPRESS_CHUNK_SIZE);
+    out[..take].copy_from_slice(&payload[off..off + take]);
+    out[take..].fill(0);
+    take
+}
+
+/// Writes reassembly-mode chunk `chunk_no` of `payload` (header + up to 56
+/// payload bytes, zero-padded) into `out`. Returns the number of payload
+/// bytes placed. The allocation-free counterpart of
+/// [`encode_reassembly_chunks`].
+///
+/// # Panics
+///
+/// Panics if the payload needs more than `u16::MAX` chunks or `chunk_no` is
+/// out of range.
+pub fn encode_reassembly_chunk_into(
+    payload_id: u32,
+    payload: &[u8],
+    chunk_no: usize,
+    out: &mut [u8; BYTEEXPRESS_CHUNK_SIZE],
+) -> usize {
+    let total = chunks_for_len_reassembly(payload.len());
+    assert!(total <= u16::MAX as usize, "payload needs too many chunks");
+    let off = chunk_no * REASSEMBLY_CHUNK_PAYLOAD;
+    assert!(
+        off < payload.len() || (payload.is_empty() && chunk_no == 0),
+        "chunk {chunk_no} out of range for {} payload bytes",
+        payload.len()
+    );
+    let hdr = ChunkHeader {
+        payload_id,
+        chunk_no: chunk_no as u16,
+        total: total as u16,
+    };
+    out[..REASSEMBLY_HEADER_BYTES].copy_from_slice(&hdr.to_bytes());
+    let take = (payload.len() - off).min(REASSEMBLY_CHUNK_PAYLOAD);
+    out[REASSEMBLY_HEADER_BYTES..REASSEMBLY_HEADER_BYTES + take]
+        .copy_from_slice(&payload[off..off + take]);
+    out[REASSEMBLY_HEADER_BYTES + take..].fill(0);
+    take
+}
+
 /// Splits `payload` into 64-byte queue-local chunks, zero-padding the last.
 pub fn encode_chunks(payload: &[u8]) -> Vec<[u8; BYTEEXPRESS_CHUNK_SIZE]> {
     payload
@@ -285,5 +350,38 @@ mod tests {
     #[should_panic(expected = "too short")]
     fn decode_short_train_panics() {
         decode_chunks(&encode_chunks(&[0u8; 64]), 65);
+    }
+
+    #[test]
+    fn incremental_encoders_match_bulk_encoders() {
+        // The allocation-free per-chunk encoders must produce byte-identical
+        // SQ slot images to the Vec-returning bulk encoders — this is what
+        // keeps the driver rework wire-transparent.
+        for len in [1usize, 55, 56, 57, 63, 64, 65, 128, 300, 1000, 4096] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+
+            let bulk = encode_chunks(&payload);
+            let mut slot = [0xA5u8; BYTEEXPRESS_CHUNK_SIZE]; // dirty buffer
+            for (i, expect) in bulk.iter().enumerate() {
+                let placed = encode_chunk_into(&payload, i, &mut slot);
+                assert_eq!(&slot, expect, "queue-local chunk {i} at len {len}");
+                assert!(placed > 0 && placed <= BYTEEXPRESS_CHUNK_SIZE);
+            }
+
+            let bulk = encode_reassembly_chunks(0xBEEF, &payload);
+            let mut slot = [0x5Au8; BYTEEXPRESS_CHUNK_SIZE];
+            for (i, expect) in bulk.iter().enumerate() {
+                let placed = encode_reassembly_chunk_into(0xBEEF, &payload, i, &mut slot);
+                assert_eq!(&slot, expect, "reassembly chunk {i} at len {len}");
+                assert!(placed > 0 && placed <= REASSEMBLY_CHUNK_PAYLOAD);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn incremental_encoder_rejects_out_of_range_chunk() {
+        let mut slot = [0u8; BYTEEXPRESS_CHUNK_SIZE];
+        let _ = encode_chunk_into(&[0u8; 64], 1, &mut slot);
     }
 }

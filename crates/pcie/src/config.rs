@@ -1,6 +1,42 @@
 //! Link configuration: generation, width, payload limits and timing constants.
 
 use bx_hostsim::Nanos;
+use std::fmt;
+
+/// A structurally invalid [`LinkConfig`].
+///
+/// The config struct's fields are public (ablation studies build them by
+/// hand), so validity is enforced at the consumption boundary:
+/// [`LinkConfig::validate`] is called by the device builder before a link is
+/// wired up, turning a misconfigured link into a hard error instead of the
+/// silently clamped traffic numbers it used to produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkConfigError {
+    /// `max_payload_size` is not a power of two in 128..=4096.
+    BadMaxPayloadSize(usize),
+    /// `max_read_request_size` is not a power of two in 128..=4096.
+    BadMaxReadRequestSize(usize),
+    /// `lanes` is not one of the spec link widths (1, 2, 4, 8, 16, 32).
+    BadLaneCount(u32),
+}
+
+impl fmt::Display for LinkConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkConfigError::BadMaxPayloadSize(mps) => {
+                write!(f, "MPS must be a power of two in 128..=4096, got {mps}")
+            }
+            LinkConfigError::BadMaxReadRequestSize(mrrs) => {
+                write!(f, "MRRS must be a power of two in 128..=4096, got {mrrs}")
+            }
+            LinkConfigError::BadLaneCount(lanes) => {
+                write!(f, "lane count must be 1, 2, 4, 8, 16 or 32, got {lanes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkConfigError {}
 
 /// PCIe generation, determining per-lane raw signalling rate and line-code
 /// efficiency.
@@ -137,6 +173,29 @@ impl LinkConfig {
         self.max_read_request_size = mrrs;
         self
     }
+
+    /// Checks structural validity: spec lane widths, and MPS/MRRS each a
+    /// power of two in 128..=4096 (so a zero or otherwise nonsensical limit
+    /// can never reach the TLP segmenters, which reject 0 outright).
+    ///
+    /// # Errors
+    ///
+    /// The first violated constraint, as a [`LinkConfigError`].
+    pub fn validate(&self) -> Result<(), LinkConfigError> {
+        if !matches!(self.lanes, 1 | 2 | 4 | 8 | 16 | 32) {
+            return Err(LinkConfigError::BadLaneCount(self.lanes));
+        }
+        let in_range = |v: usize| v.is_power_of_two() && (128..=4096).contains(&v);
+        if !in_range(self.max_payload_size) {
+            return Err(LinkConfigError::BadMaxPayloadSize(self.max_payload_size));
+        }
+        if !in_range(self.max_read_request_size) {
+            return Err(LinkConfigError::BadMaxReadRequestSize(
+                self.max_read_request_size,
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for LinkConfig {
@@ -192,5 +251,53 @@ mod tests {
     #[should_panic(expected = "MPS must be a power of two")]
     fn bad_mps_panics() {
         let _ = LinkConfig::gen2_x8().with_max_payload_size(300);
+    }
+
+    #[test]
+    fn stock_configs_validate() {
+        for cfg in [
+            LinkConfig::gen2_x8(),
+            LinkConfig::gen4_x4(),
+            LinkConfig::gen5_x4(),
+            LinkConfig::default(),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_boundary_values() {
+        // 0: the misconfiguration the segmenters used to clamp silently.
+        let mut cfg = LinkConfig::gen2_x8();
+        cfg.max_payload_size = 0;
+        assert_eq!(cfg.validate(), Err(LinkConfigError::BadMaxPayloadSize(0)));
+
+        // 1: a power of two, but below the spec minimum of 128.
+        let mut cfg = LinkConfig::gen2_x8();
+        cfg.max_payload_size = 1;
+        assert_eq!(cfg.validate(), Err(LinkConfigError::BadMaxPayloadSize(1)));
+
+        // Non-power-of-two, in range.
+        let mut cfg = LinkConfig::gen2_x8();
+        cfg.max_read_request_size = 300;
+        assert_eq!(
+            cfg.validate(),
+            Err(LinkConfigError::BadMaxReadRequestSize(300))
+        );
+
+        // Boundaries of the legal range are legal.
+        let mut cfg = LinkConfig::gen2_x8();
+        cfg.max_payload_size = 128;
+        cfg.max_read_request_size = 4096;
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_lane_counts() {
+        let mut cfg = LinkConfig::gen2_x8();
+        cfg.lanes = 0;
+        assert_eq!(cfg.validate(), Err(LinkConfigError::BadLaneCount(0)));
+        cfg.lanes = 3;
+        assert_eq!(cfg.validate(), Err(LinkConfigError::BadLaneCount(3)));
     }
 }

@@ -36,7 +36,7 @@ pub mod energy;
 pub mod link;
 pub mod tlp;
 
-pub use config::{Generation, LinkConfig};
+pub use config::{Generation, LinkConfig, LinkConfigError};
 pub use counters::{ClassBytes, PcmCounters, TrafficClass, TrafficCounters};
 pub use energy::{EnergyModel, Picojoules};
 pub use link::PcieLink;

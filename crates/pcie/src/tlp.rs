@@ -63,8 +63,15 @@ impl TlpStream {
 ///
 /// A zero-length write (pure doorbell with no data would not exist — doorbells
 /// carry 4 bytes) yields an empty stream.
+///
+/// `mps` must be non-zero. An earlier version silently clamped 0 to 1 via
+/// `.max(1)`, which hid a misconfigured link behind maximally fragmented
+/// traffic numbers; a zero limit is now an API-contract violation, and
+/// [`crate::LinkConfig::validate`] rejects such configs before they reach
+/// the segmenters.
 pub fn segment_write(len: usize, mps: usize) -> TlpStream {
-    let count = len.div_ceil(mps.max(1));
+    assert!(mps > 0, "MPS of 0 cannot carry any payload");
+    let count = len.div_ceil(mps);
     TlpStream {
         kind: TlpKind::MemWrite,
         count,
@@ -73,8 +80,11 @@ pub fn segment_write(len: usize, mps: usize) -> TlpStream {
 }
 
 /// Segments a read of `len` bytes into request TLPs bounded by `mrrs`.
+///
+/// `mrrs` must be non-zero; see [`segment_write`].
 pub fn segment_read_requests(len: usize, mrrs: usize) -> TlpStream {
-    let count = len.div_ceil(mrrs.max(1));
+    assert!(mrrs > 0, "MRRS of 0 cannot request any data");
+    let count = len.div_ceil(mrrs);
     TlpStream {
         kind: TlpKind::MemReadReq,
         count,
@@ -84,8 +94,11 @@ pub fn segment_read_requests(len: usize, mrrs: usize) -> TlpStream {
 
 /// Segments the completion stream answering a read of `len` bytes into CplD
 /// TLPs bounded by `mps`.
+///
+/// `mps` must be non-zero; see [`segment_write`].
 pub fn segment_read_completions(len: usize, mps: usize) -> TlpStream {
-    let count = len.div_ceil(mps.max(1));
+    assert!(mps > 0, "MPS of 0 cannot carry any payload");
+    let count = len.div_ceil(mps);
     TlpStream {
         kind: TlpKind::CplData,
         count,
@@ -148,5 +161,34 @@ mod tests {
     fn non_multiple_lengths_round_up() {
         assert_eq!(segment_write(257, 256).count, 2);
         assert_eq!(segment_read_completions(4097, 256).count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPS of 0")]
+    fn zero_mps_write_is_rejected_not_clamped() {
+        let _ = segment_write(64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MRRS of 0")]
+    fn zero_mrrs_read_is_rejected_not_clamped() {
+        let _ = segment_read_requests(64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPS of 0")]
+    fn zero_mps_completion_is_rejected_not_clamped() {
+        let _ = segment_read_completions(64, 0);
+    }
+
+    #[test]
+    fn mps_of_one_is_one_tlp_per_byte() {
+        // Degenerate but legal at the segmenter level (LinkConfig::validate
+        // rejects it for real links): each payload byte rides its own TLP.
+        let s = segment_write(64, 1);
+        assert_eq!(s.count, 64);
+        assert_eq!(s.payload_bytes, 64);
+        assert_eq!(segment_read_completions(7, 1).count, 7);
+        assert_eq!(segment_read_requests(8, 1).count, 8);
     }
 }

@@ -230,6 +230,10 @@ pub struct Controller {
     /// [`Controller::power_cycle`] restores it. Every processing entry
     /// point returns immediately while set.
     powered_off: bool,
+    /// Reusable host→device payload staging buffer: gather paths take it,
+    /// fill it, and `recycle_payload` returns the largest buffer seen so
+    /// steady-state command processing performs no heap allocation.
+    scratch_payload: Vec<u8>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -280,6 +284,7 @@ impl Controller {
             execution: cfg.execution_model,
             deferred: EventQueue::new(),
             powered_off: false,
+            scratch_payload: Vec::new(),
         }
     }
 
@@ -977,13 +982,24 @@ impl Controller {
             None
         };
 
-        self.dispatch_and_complete(qi, &sqe, payload.as_deref())
+        let completed = self.dispatch_and_complete(qi, &sqe, payload.as_deref());
+        if let Some(buf) = payload {
+            self.recycle_payload(buf);
+        }
+        completed
     }
 
     /// Fetches a queue-local ByteExpress chunk train following the command.
+    ///
+    /// Streams each 64-byte chunk straight into the controller's reusable
+    /// staging buffer — no per-train `Vec<[u8; 64]>` is ever materialized,
+    /// so steady-state gathering is allocation-free once the buffer has
+    /// grown to the largest payload seen.
     fn gather_inline(&mut self, qi: usize, len: usize) -> Vec<u8> {
         let n = inline::chunks_for_len(len);
-        let mut chunks = Vec::with_capacity(n);
+        let mut payload = std::mem::take(&mut self.scratch_payload);
+        payload.clear();
+        payload.reserve(len);
         for _ in 0..n {
             // Queue-local: the *same* queue's next entry, no switching
             // mid-transaction. Chunk fetches pipeline, so the marginal
@@ -997,12 +1013,20 @@ impl Controller {
             self.bus
                 .clock
                 .advance(self.timing.per_chunk_fetch + self.timing.chunk_land);
-            chunks.push(img);
+            let take = (len - payload.len()).min(img.len());
+            payload.extend_from_slice(&img[..take]);
             self.stats.chunks_fetched += 1;
         }
-        let payload = inline::decode_chunks(&chunks, len);
         self.stats.inline_payload_bytes += payload.len() as u64;
         payload
+    }
+
+    /// Returns a gather buffer after its command dispatched; the largest
+    /// buffer seen is kept as the staging scratch for the next gather.
+    fn recycle_payload(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > self.scratch_payload.capacity() {
+            self.scratch_payload = buf;
+        }
     }
 
     /// Fetches one reassembly-mode chunk for a parked command; dispatches
@@ -1056,7 +1080,11 @@ impl Controller {
                 let mut payload = completed.data;
                 payload.truncate(len);
                 self.stats.inline_payload_bytes += payload.len() as u64;
-                self.dispatch_and_complete(qi, &pending.sqe, Some(&payload))
+                let completions = self.dispatch_and_complete(qi, &pending.sqe, Some(&payload));
+                // Hand the train buffer back to the engine's pool so the
+                // next payload reuses it instead of allocating.
+                self.reassembly.recycle(payload);
+                completions
             }
             (Ok(_), false) | (Err(_), false) => 0,
             // Last chunk but no completed payload: the train was malformed

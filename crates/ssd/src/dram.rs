@@ -6,7 +6,7 @@
 //! named regions, sized like the OpenSSD's 1 GB DRAM by default (scaled down
 //! for tests).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from device DRAM operations.
@@ -75,7 +75,9 @@ pub struct DramRegion {
 pub struct DeviceDram {
     bytes: Vec<u8>,
     next_free: usize,
-    regions: HashMap<String, DramRegion>,
+    /// Ordered by name so any future traversal (debug dumps, telemetry) is
+    /// deterministic; lookups here are cold-path firmware configuration.
+    regions: BTreeMap<String, DramRegion>,
 }
 
 impl DeviceDram {
@@ -84,7 +86,7 @@ impl DeviceDram {
         DeviceDram {
             bytes: vec![0; capacity],
             next_free: 0,
-            regions: HashMap::new(),
+            regions: BTreeMap::new(),
         }
     }
 

@@ -16,7 +16,7 @@ use crate::journal::{JournalOp, JournalStats, MapJournal};
 use crate::nand::{NandArray, NandError, Ppa};
 use bx_hostsim::Nanos;
 use bx_trace::{EventKind, TraceSink};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Bound on claim→program attempts for one logical write before the FTL
@@ -85,7 +85,10 @@ impl BlockInfo {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// `(die, block)` coordinate, ordered die-major so every ordered-map
+/// traversal (GC victim scan, checkpoint bad-list, wear spread) visits
+/// blocks in a stable, address-sorted order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct BlockId {
     die: usize,
     block: u32,
@@ -124,8 +127,11 @@ impl FtlStats {
 pub struct Ftl {
     /// LPN → PPA map.
     map: Vec<Option<Ppa>>,
-    /// Per-block bookkeeping.
-    blocks: HashMap<BlockId, BlockInfo>,
+    /// Per-block bookkeeping. Ordered map: GC victim selection iterates it,
+    /// and its tie-break (first minimum wins) must not depend on a
+    /// randomized hash order — the victim choice reaches NAND timing,
+    /// traces, and ultimately wire bytes.
+    blocks: BTreeMap<BlockId, BlockInfo>,
     /// Free (erased, unused) blocks per die.
     free_blocks: Vec<Vec<u32>>,
     /// Active (write frontier) block per die.
@@ -139,11 +145,12 @@ pub struct Ftl {
     exported_pages: u64,
     stats: FtlStats,
     /// Erase counts per (die, block) — the wear distribution.
-    erase_counts: HashMap<BlockId, u32>,
+    erase_counts: BTreeMap<BlockId, u32>,
     /// Grown-bad blocks: retired after a program failure, excluded from the
     /// free list and from GC victim selection forever. Pages programmed
-    /// before the failure stay readable until migrated off.
-    bad: HashSet<BlockId>,
+    /// before the failure stay readable until migrated off. Ordered set so
+    /// checkpoint bad-lists serialize in address order.
+    bad: BTreeSet<BlockId>,
     /// The write-ahead mapping journal: acks wait for its records, recovery
     /// replays them.
     journal: MapJournal,
@@ -185,7 +192,7 @@ impl Ftl {
             .collect();
         Ftl {
             map: vec![None; exported as usize],
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             free_blocks,
             active: vec![None; dies],
             die_cursor: 0,
@@ -194,8 +201,8 @@ impl Ftl {
             pages_per_block: cfg.pages_per_block,
             exported_pages: exported,
             stats: FtlStats::default(),
-            erase_counts: HashMap::new(),
-            bad: HashSet::new(),
+            erase_counts: BTreeMap::new(),
+            bad: BTreeSet::new(),
             journal: MapJournal::new(),
             trace: TraceSink::disabled(),
         }
@@ -517,7 +524,9 @@ impl Ftl {
     fn collect_garbage(&mut self, nand: &mut NandArray, mut now: Nanos) -> Result<Nanos, FtlError> {
         while self.total_free_blocks() < self.gc_threshold {
             // Greedy victim: fully-written block with the fewest valid pages,
-            // excluding active frontier blocks.
+            // excluding active frontier blocks. `blocks` is a BTreeMap, so
+            // `min_by_key` breaks valid-count ties toward the lowest
+            // (die, block) — the victim sequence is reproducible run-to-run.
             let victim = self
                 .blocks
                 .iter()
@@ -1153,7 +1162,7 @@ mod tests {
                 .write((i % 6) as u64, &page(i as u8), &mut nand, t)
                 .unwrap();
         }
-        let bad_before: HashSet<BlockId> = ftl.bad.iter().copied().collect();
+        let bad_before: BTreeSet<BlockId> = ftl.bad.iter().copied().collect();
         assert!(!bad_before.is_empty(), "fault rate should retire blocks");
         nand.power_cut(t);
         ftl.power_fail(t);

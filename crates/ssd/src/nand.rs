@@ -3,8 +3,10 @@
 //! Models the Cosmos+ OpenSSD's flash subsystem at the granularity the paper
 //! needs: channels × dies × blocks × pages, with per-die busy windows so
 //! programs/reads on different dies overlap, erase-before-program
-//! discipline, and a sparse data store so reads return exactly the bytes
-//! programmed (end-to-end integrity, not just timing).
+//! discipline, and a dense page store so reads return exactly the bytes
+//! programmed (end-to-end integrity, not just timing). The store is indexed
+//! by a deterministic die-major page index — never by hashed keys — so no
+//! randomized-hash iteration order can influence traces or timing.
 //!
 //! The controller can disable NAND I/O entirely (`NandConfig::disabled`) to
 //! reproduce the paper's transfer-latency-only experiments ("with NAND I/O
@@ -13,7 +15,6 @@
 use crate::bus::FaultHandle;
 use bx_hostsim::Nanos;
 use bx_trace::{EventKind, TraceSink};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Physical page address.
@@ -111,6 +112,16 @@ impl NandConfig {
         ppa.channel as usize * self.dies_per_channel as usize + ppa.die as usize
     }
 
+    /// Dense die-major global page index: pages of one block are contiguous,
+    /// blocks of one die are contiguous. Keys the page-data and page-state
+    /// arrays — a deterministic dense structure, unlike the hash maps an
+    /// earlier version used (and cheaper to address than hashing a `Ppa`).
+    fn page_index(&self, ppa: Ppa) -> usize {
+        (self.die_index(ppa) * self.blocks_per_die as usize + ppa.block as usize)
+            * self.pages_per_block as usize
+            + ppa.page as usize
+    }
+
     fn transfer_time(&self, bytes: usize) -> Nanos {
         Nanos::from_ns((bytes as f64 / self.channel_bytes_per_ns).ceil() as u64)
     }
@@ -162,14 +173,25 @@ enum PageState {
     Programmed,
 }
 
+/// Spare page buffers retained across erase cycles, capping steady-state
+/// allocation: GC erase → reprogram loops reuse the same page-sized buffers
+/// instead of freeing and reallocating them. 256 × 4 KB ≈ 1 MB worst case.
+const SPARE_PAGE_POOL: usize = 256;
+
 /// The NAND array: data store plus per-die timing state.
 #[derive(Debug)]
 pub struct NandArray {
     cfg: NandConfig,
-    /// Sparse page store (only programmed pages occupy memory).
-    data: HashMap<Ppa, Vec<u8>>,
-    /// Page program state, tracked per block as a vector of page states.
-    page_state: HashMap<(u16, u16, u32), Vec<PageState>>,
+    /// Dense page store keyed by [`NandConfig::page_index`], grown lazily to
+    /// the highest page touched. Dense indexing keeps every traversal (and
+    /// therefore every trace/wire consequence) deterministic — no
+    /// randomized-hash iteration order can leak out of the media model.
+    data: Vec<Option<Vec<u8>>>,
+    /// Page program state, dense by the same global page index; pages beyond
+    /// the vector's current length are implicitly `Erased`.
+    page_state: Vec<PageState>,
+    /// Page buffers recovered by `erase`, reused by later programs.
+    spare_pages: Vec<Vec<u8>>,
     /// Per-die "busy until" instants, enabling inter-die parallelism.
     die_busy_until: Vec<Nanos>,
     /// Per-page program-complete marks: programs whose completion instant may
@@ -209,8 +231,9 @@ impl NandArray {
         let dies = cfg.total_dies();
         NandArray {
             cfg,
-            data: HashMap::new(),
-            page_state: HashMap::new(),
+            data: Vec::new(),
+            page_state: Vec::new(),
+            spare_pages: Vec::new(),
             die_busy_until: vec![Nanos::ZERO; dies],
             pending_programs: Vec::new(),
             stats: NandStats::default(),
@@ -263,11 +286,13 @@ impl NandArray {
         }
     }
 
-    fn block_states(&mut self, ppa: Ppa) -> &mut Vec<PageState> {
-        let pages = self.cfg.pages_per_block as usize;
-        self.page_state
-            .entry((ppa.channel, ppa.die, ppa.block))
-            .or_insert_with(|| vec![PageState::Erased; pages])
+    /// The page-state slot for `ppa`, growing the dense array on first touch.
+    fn state_slot(&mut self, idx: usize) -> &mut PageState {
+        if idx >= self.page_state.len() {
+            self.page_state.resize(idx + 1, PageState::Erased);
+        }
+        // bx-lint: allow(panic-freedom, reason = "index resized into range above")
+        &mut self.page_state[idx]
     }
 
     /// Programs a page with `data`, starting no earlier than `now`.
@@ -291,9 +316,10 @@ impl NandArray {
                 want: self.cfg.page_size,
             });
         }
-        let state = self.block_states(ppa);
-        match state[ppa.page as usize] {
-            PageState::Erased => state[ppa.page as usize] = PageState::Programmed,
+        let idx = self.cfg.page_index(ppa);
+        let state = self.state_slot(idx);
+        match *state {
+            PageState::Erased => *state = PageState::Programmed,
             PageState::Programmed => return Err(NandError::ProgramWithoutErase(ppa)),
         }
         // Injected program failure: the program pulse still burns die time and
@@ -311,7 +337,24 @@ impl NandArray {
                 start + self.cfg.transfer_time(self.cfg.page_size) + self.cfg.program_latency;
             return Err(NandError::ProgramFailed(ppa));
         }
-        self.data.insert(ppa, data.to_vec());
+        // Land the bytes without allocating in steady state: reuse the slot's
+        // previous buffer or a spare recovered by an earlier erase.
+        if idx >= self.data.len() {
+            self.data.resize_with(idx + 1, || None);
+        }
+        // bx-lint: allow(panic-freedom, reason = "index resized into range above")
+        match &mut self.data[idx] {
+            Some(buf) => {
+                buf.clear();
+                buf.extend_from_slice(data);
+            }
+            slot => {
+                let mut buf = self.spare_pages.pop().unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(data);
+                *slot = Some(buf);
+            }
+        }
         self.stats.programs += 1;
 
         let die = self.cfg.die_index(ppa);
@@ -336,10 +379,11 @@ impl NandArray {
         if !self.cfg.enabled {
             return Ok((vec![0; self.cfg.page_size], now));
         }
+        let idx = self.cfg.page_index(ppa);
         let data = self
             .data
-            .get(&ppa)
-            .cloned()
+            .get(idx)
+            .and_then(|slot| slot.clone())
             .ok_or(NandError::ReadUnwritten(ppa))?;
         self.stats.reads += 1;
         let die = self.cfg.die_index(ppa);
@@ -387,19 +431,23 @@ impl NandArray {
             return Ok(now);
         }
         let pages = self.cfg.pages_per_block;
-        for page in 0..pages {
-            let ppa = Ppa {
-                channel,
-                die,
-                block,
-                page,
-            };
-            self.data.remove(&ppa);
+        // Pages of a block are contiguous in the dense index, so the erase is
+        // one linear sweep: recover data buffers into the spare pool and reset
+        // page states. Slots beyond the arrays' current length were never
+        // touched and are already (implicitly) erased.
+        let base = self.cfg.page_index(probe);
+        for idx in base..base + pages as usize {
+            if let Some(slot) = self.data.get_mut(idx) {
+                if let Some(buf) = slot.take() {
+                    if self.spare_pages.len() < SPARE_PAGE_POOL {
+                        self.spare_pages.push(buf);
+                    }
+                }
+            }
+            if let Some(state) = self.page_state.get_mut(idx) {
+                *state = PageState::Erased;
+            }
         }
-        self.page_state.insert(
-            (channel, die, block),
-            vec![PageState::Erased; pages as usize],
-        );
         self.stats.erases += 1;
         let die_idx = self.cfg.die_index(probe);
         let start = self.die_busy_until[die_idx].max(now);
@@ -418,7 +466,9 @@ impl NandArray {
     /// finished before any power cut destroyed it). Recovery uses this to
     /// validate journal records against the media.
     pub fn has_data(&self, ppa: Ppa) -> bool {
-        self.data.contains_key(&ppa)
+        self.data
+            .get(self.cfg.page_index(ppa))
+            .is_some_and(|slot| slot.is_some())
     }
 
     /// The completion instant of the latest still-in-flight program, or
@@ -438,10 +488,17 @@ impl NandArray {
     /// list from this. Erases are modeled atomic at issue: a cut mid-erase
     /// leaves the block erased, never half-erased.
     pub fn is_block_erased(&self, channel: u16, die: u16, block: u32) -> bool {
-        match self.page_state.get(&(channel, die, block)) {
-            None => true,
-            Some(states) => states.iter().all(|&s| s == PageState::Erased),
-        }
+        let base = self.cfg.page_index(Ppa {
+            channel,
+            die,
+            block,
+            page: 0,
+        });
+        (base..base + self.cfg.pages_per_block as usize).all(|idx| {
+            self.page_state
+                .get(idx)
+                .is_none_or(|&s| s == PageState::Erased)
+        })
     }
 
     /// A whole-system power cut at instant `at`: every program whose pulse
@@ -452,8 +509,14 @@ impl NandArray {
     pub fn power_cut(&mut self, at: Nanos) -> usize {
         let mut torn = 0;
         for &(ppa, done) in &self.pending_programs {
-            if done > at && self.data.remove(&ppa).is_some() {
-                torn += 1;
+            if done <= at {
+                continue;
+            }
+            let idx = self.cfg.page_index(ppa);
+            if let Some(slot) = self.data.get_mut(idx) {
+                if slot.take().is_some() {
+                    torn += 1;
+                }
             }
         }
         self.pending_programs.clear();
@@ -663,6 +726,27 @@ mod tests {
             .unwrap();
         n.power_cut(t.saturating_sub(Nanos::from_ns(1)));
         assert!(!n.is_block_erased(0, 0, 6));
+    }
+
+    #[test]
+    fn erase_recycles_page_buffers() {
+        let mut n = array();
+        let mut t = Nanos::ZERO;
+        // GC-like loop: program, erase, reprogram the same block. After the
+        // first cycle the erase-recovered buffers are reused, so the spare
+        // pool never grows past one block's worth of pages.
+        for round in 0..3u8 {
+            for page in 0..4 {
+                t = n
+                    .program(ppa(0, 0, 0, page), &vec![round; 4096], t)
+                    .unwrap();
+            }
+            let (back, _) = n.read(ppa(0, 0, 0, 3), t).unwrap();
+            assert_eq!(back, vec![round; 4096]);
+            t = n.erase(0, 0, 0, t).unwrap();
+        }
+        assert!(n.spare_pages.len() <= 4);
+        assert!(n.spare_pages.iter().all(|b| b.capacity() >= 4096));
     }
 
     #[test]

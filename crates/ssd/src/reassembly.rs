@@ -12,10 +12,22 @@
 //! budget: each in-flight payload costs a fixed metadata record plus one bit
 //! per chunk, and admission fails when the budget is exhausted (the
 //! controller then falls back to queue-local fetching).
+//!
+//! ## Determinism and allocation discipline
+//!
+//! In-flight state lives in a fixed-capacity **slab** of reusable slots
+//! (bitmaps and landing buffers keep their capacity across trains), indexed
+//! by a `BTreeMap` from payload id to slot. The ordered index is
+//! load-bearing: [`ReassemblyEngine::evict_stalled`] walks it so evicted
+//! payload ids — and therefore the CQE failures and trace events the
+//! controller emits for them — always come out in ascending payload-id
+//! order. An earlier version iterated a `HashMap` here, whose per-process
+//! random iteration order leaked straight into CQE and trace order (the
+//! regression is pinned by `eviction_order_is_sorted_and_stable`).
 
 use bx_hostsim::Nanos;
 use bx_nvme::inline::{ChunkHeader, REASSEMBLY_CHUNK_PAYLOAD};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from chunk admission.
@@ -98,8 +110,16 @@ impl std::error::Error for ReassemblyError {}
 /// Fixed SRAM cost per tracked payload: id + buffer pointer + counters.
 const RECORD_BYTES: usize = 16;
 
-#[derive(Debug)]
-struct InFlight {
+/// Cap on pooled landing buffers kept for reuse; beyond this, returned
+/// buffers are dropped (the pool only needs to cover steady-state
+/// concurrency, not a worst-case burst).
+const SPARE_BUFFER_POOL: usize = 64;
+
+/// One slab slot. Slots are recycled through a free list; `bitmap` and
+/// `buffer` keep their capacity across occupancies so the steady-state
+/// accept path performs no heap allocation.
+#[derive(Debug, Default)]
+struct Slot {
     total: u16,
     received: u16,
     bitmap: Vec<u64>,
@@ -110,17 +130,7 @@ struct InFlight {
     first_seen: Nanos,
 }
 
-impl InFlight {
-    fn new(total: u16, first_seen: Nanos) -> Self {
-        InFlight {
-            total,
-            received: 0,
-            bitmap: vec![0; (total as usize).div_ceil(64)],
-            buffer: vec![0; total as usize * REASSEMBLY_CHUNK_PAYLOAD],
-            first_seen,
-        }
-    }
-
+impl Slot {
     fn sram_bytes(total: u16) -> usize {
         RECORD_BYTES + (total as usize).div_ceil(8)
     }
@@ -145,20 +155,29 @@ impl InFlight {
     }
 }
 
-/// A completed payload returned by [`ReassemblyEngine::accept`].
+/// A completed payload returned by [`ReassemblyEngine::accept_at`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompletedPayload {
     /// The payload identifier.
     pub payload_id: u32,
     /// Reassembled bytes (padded to whole chunks; the command's length field
-    /// tells the firmware how much is real).
+    /// tells the firmware how much is real). Hand the buffer back via
+    /// [`ReassemblyEngine::recycle`] to keep the hot path allocation-free.
     pub data: Vec<u8>,
 }
 
 /// Tracks in-flight multi-chunk payloads under an SRAM budget.
+///
+/// In-flight entries live in a slab of reusable [`Slot`]s; the id → slot
+/// index is a `BTreeMap` so every bulk walk (stall eviction) observes
+/// ascending payload-id order. See the module docs for why that ordering is
+/// part of the engine's contract.
 #[derive(Debug)]
 pub struct ReassemblyEngine {
-    inflight: HashMap<u32, InFlight>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    index: BTreeMap<u32, usize>,
+    spare_buffers: Vec<Vec<u8>>,
     sram_budget: usize,
     sram_used: usize,
     completed: u64,
@@ -170,7 +189,10 @@ impl ReassemblyEngine {
     /// Creates an engine with `sram_budget` bytes for tracking metadata.
     pub fn new(sram_budget: usize) -> Self {
         ReassemblyEngine {
-            inflight: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: BTreeMap::new(),
+            spare_buffers: Vec::new(),
             sram_budget,
             sram_used: 0,
             completed: 0,
@@ -186,7 +208,7 @@ impl ReassemblyEngine {
 
     /// Number of payloads currently in flight.
     pub fn inflight_count(&self) -> usize {
-        self.inflight.len()
+        self.index.len()
     }
 
     /// Payloads fully reassembled so far.
@@ -206,24 +228,63 @@ impl ReassemblyEngine {
         self.evicted
     }
 
-    /// Accepts one chunk with no arrival timestamp (the stall clock starts
-    /// at time zero). Equivalent to `accept_at(hdr, data, Nanos::ZERO)` —
-    /// callers that use [`ReassemblyEngine::evict_stalled`] should prefer
-    /// [`ReassemblyEngine::accept_at`].
-    ///
-    /// # Errors
-    ///
-    /// See [`ReassemblyError`].
-    pub fn accept(
-        &mut self,
-        hdr: ChunkHeader,
-        data: &[u8],
-    ) -> Result<Option<CompletedPayload>, ReassemblyError> {
-        self.accept_at(hdr, data, Nanos::ZERO)
+    /// Takes a slot off the free list (or grows the slab) and initialises it
+    /// for a new train. Reuses pooled buffer capacity where possible.
+    fn alloc_slot(&mut self, total: u16, now: Nanos) -> usize {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot::default());
+                self.slots.len() - 1
+            }
+        };
+        // bx-lint: allow(panic-freedom, reason = "idx comes from the free list or was just pushed; both are < slots.len()")
+        let slot = &mut self.slots[idx];
+        slot.total = total;
+        slot.received = 0;
+        slot.bitmap.clear();
+        slot.bitmap.resize((total as usize).div_ceil(64), 0);
+        if slot.buffer.capacity() == 0 {
+            if let Some(spare) = self.spare_buffers.pop() {
+                slot.buffer = spare;
+            }
+        }
+        slot.buffer.clear();
+        slot.buffer
+            .resize(total as usize * REASSEMBLY_CHUNK_PAYLOAD, 0);
+        slot.first_seen = now;
+        idx
+    }
+
+    /// Detaches `payload_id` from the index, refunds its SRAM and returns
+    /// the freed slot's index (already pushed onto the free list).
+    fn release(&mut self, payload_id: u32) -> Option<usize> {
+        let idx = self.index.remove(&payload_id)?;
+        // bx-lint: allow(panic-freedom, reason = "index only ever stores live slab indices")
+        let total = self.slots[idx].total;
+        self.sram_used -= Slot::sram_bytes(total);
+        self.free.push(idx);
+        Some(idx)
+    }
+
+    /// Returns a completed payload's buffer to the reuse pool so the
+    /// steady-state reassembly path stays allocation-free. Optional — an
+    /// unreturned buffer only costs a fresh allocation on some later train.
+    pub fn recycle(&mut self, mut buffer: Vec<u8>) {
+        if self.spare_buffers.len() < SPARE_BUFFER_POOL && buffer.capacity() > 0 {
+            buffer.clear();
+            self.spare_buffers.push(buffer);
+        }
     }
 
     /// Accepts one chunk arriving at `now`. Returns the completed payload
     /// once its final chunk arrives, in any order.
+    ///
+    /// `now` is the stall clock: the first chunk's arrival time is what
+    /// [`ReassemblyEngine::evict_stalled`] ages against. (A former `accept`
+    /// convenience that pinned the clock to `Nanos::ZERO` made every train
+    /// instantly evictable once `now > deadline`; it has been removed —
+    /// callers must say when the chunk arrived.)
     ///
     /// # Errors
     ///
@@ -247,25 +308,29 @@ impl ReassemblyEngine {
                 total: hdr.total,
             });
         }
-        if !self.inflight.contains_key(&hdr.payload_id) {
-            let needed = InFlight::sram_bytes(hdr.total);
-            let remaining = self.sram_budget - self.sram_used;
-            if needed > remaining {
-                return Err(ReassemblyError::SramExhausted { needed, remaining });
+        let idx = match self.index.get(&hdr.payload_id) {
+            Some(&idx) => idx,
+            None => {
+                let needed = Slot::sram_bytes(hdr.total);
+                let remaining = self.sram_budget - self.sram_used;
+                if needed > remaining {
+                    return Err(ReassemblyError::SramExhausted { needed, remaining });
+                }
+                self.sram_used += needed;
+                let idx = self.alloc_slot(hdr.total, now);
+                self.index.insert(hdr.payload_id, idx);
+                self.peak_inflight = self.peak_inflight.max(self.index.len());
+                idx
             }
-            self.sram_used += needed;
-            self.peak_inflight = self.peak_inflight.max(self.inflight.len() + 1);
-        }
-        let entry = self
-            .inflight
-            .entry(hdr.payload_id)
-            .or_insert_with(|| InFlight::new(hdr.total, now));
-        if entry.total != hdr.total {
+        };
+        // bx-lint: allow(panic-freedom, reason = "idx came from the index map or alloc_slot; both are < slots.len()")
+        let slot = &mut self.slots[idx];
+        if slot.total != hdr.total {
             return Err(ReassemblyError::InconsistentTotal {
                 payload_id: hdr.payload_id,
             });
         }
-        if !entry.mark(hdr.chunk_no) {
+        if !slot.mark(hdr.chunk_no) {
             return Err(ReassemblyError::DuplicateChunk {
                 payload_id: hdr.payload_id,
                 chunk_no: hdr.chunk_no,
@@ -274,17 +339,17 @@ impl ReassemblyEngine {
         // Direct placement at the chunk's DRAM offset.
         let off = hdr.chunk_no as usize * REASSEMBLY_CHUNK_PAYLOAD;
         let take = data.len().min(REASSEMBLY_CHUNK_PAYLOAD);
-        entry.buffer[off..off + take].copy_from_slice(&data[..take]);
+        // bx-lint: allow(panic-freedom, reason = "buffer is sized total*56 at insert and chunk_no < total")
+        slot.buffer[off..off + take].copy_from_slice(&data[..take]);
 
-        if entry.received == entry.total {
-            if let Some(entry) = self.inflight.remove(&hdr.payload_id) {
-                self.sram_used -= InFlight::sram_bytes(entry.total);
-                self.completed += 1;
-                return Ok(Some(CompletedPayload {
-                    payload_id: hdr.payload_id,
-                    data: entry.buffer,
-                }));
-            }
+        if slot.received == slot.total {
+            let data = std::mem::take(&mut slot.buffer);
+            self.release(hdr.payload_id);
+            self.completed += 1;
+            return Ok(Some(CompletedPayload {
+                payload_id: hdr.payload_id,
+                data,
+            }));
         }
         Ok(None)
     }
@@ -295,23 +360,30 @@ impl ReassemblyEngine {
     /// the controller can fail the owning commands instead of leaking SRAM
     /// until reset.
     ///
+    /// Evicted ids are returned in **ascending payload-id order** (the index
+    /// is a `BTreeMap`), so downstream CQE failures and trace events are
+    /// deterministic across runs — pinned by
+    /// `eviction_order_is_sorted_and_stable`.
+    ///
     /// The deadline boundary is EXCLUSIVE: a payload aged exactly `deadline`
     /// survives; eviction requires age strictly greater. This must agree
     /// with the parked-command check in the controller's
     /// `evict_stalled_inline` — both sides are pinned by
     /// `stall_eviction_boundary_is_exclusive` tests.
     pub fn evict_stalled(&mut self, now: Nanos, deadline: Nanos) -> Vec<u32> {
+        let slots = &self.slots;
         let expired: Vec<u32> = self
-            .inflight
+            .index
             .iter()
-            .filter(|(_, e)| now.saturating_sub(e.first_seen) > deadline)
+            .filter(|(_, &idx)| {
+                // bx-lint: allow(panic-freedom, reason = "index only ever stores live slab indices")
+                now.saturating_sub(slots[idx].first_seen) > deadline
+            })
             .map(|(&id, _)| id)
             .collect();
         for id in &expired {
-            if let Some(entry) = self.inflight.remove(id) {
-                self.sram_used -= InFlight::sram_bytes(entry.total);
-                self.evicted += 1;
-            }
+            self.release(*id);
+            self.evicted += 1;
         }
         expired
     }
@@ -321,8 +393,10 @@ impl ReassemblyEngine {
     /// data after restart. Returns how many in-flight payloads were dropped
     /// (they are *not* counted as stall evictions).
     pub fn power_cut(&mut self) -> usize {
-        let dropped = self.inflight.len();
-        self.inflight.clear();
+        let dropped = self.index.len();
+        for (_, idx) in std::mem::take(&mut self.index) {
+            self.free.push(idx);
+        }
         self.sram_used = 0;
         dropped
     }
@@ -335,6 +409,17 @@ mod tests {
 
     fn payload(len: usize) -> Vec<u8> {
         (0..len).map(|i| (i % 253) as u8).collect()
+    }
+
+    /// `accept_at` with the stall clock pinned to time zero — the old
+    /// `accept` shorthand, kept local to the tests that don't exercise
+    /// eviction.
+    fn accept(
+        eng: &mut ReassemblyEngine,
+        hdr: ChunkHeader,
+        data: &[u8],
+    ) -> Result<Option<CompletedPayload>, ReassemblyError> {
+        eng.accept_at(hdr, data, Nanos::ZERO)
     }
 
     #[test]
@@ -362,6 +447,94 @@ mod tests {
     }
 
     #[test]
+    fn stall_clock_pinned_to_first_chunk() {
+        // Pins the accept_at semantics that replaced the removed `accept`
+        // footgun: the *first* chunk's arrival time drives eviction; later
+        // chunks do not refresh the stall clock.
+        let mut eng = ReassemblyEngine::new(1024);
+        let t0 = Nanos::from_us(5);
+        eng.accept_at(
+            ChunkHeader {
+                payload_id: 4,
+                chunk_no: 0,
+                total: 3,
+            },
+            &[0; 56],
+            t0,
+        )
+        .unwrap();
+        // A second chunk arrives much later — progress, but the stall clock
+        // still dates from t0.
+        eng.accept_at(
+            ChunkHeader {
+                payload_id: 4,
+                chunk_no: 1,
+                total: 3,
+            },
+            &[0; 56],
+            Nanos::from_us(400),
+        )
+        .unwrap();
+        let deadline = Nanos::from_us(100);
+        let evicted = eng.evict_stalled(Nanos::from_us(401), deadline);
+        assert_eq!(evicted, vec![4], "age counts from the first chunk");
+    }
+
+    #[test]
+    fn eviction_order_is_sorted_and_stable() {
+        // Regression for the headline bug: `evict_stalled` used to collect
+        // expired ids from a HashMap walk, so the order the controller
+        // failed stalled commands (CQEs, traces) was per-process random.
+        // Evict ≥8 stalled trains, inserted in shuffled order, repeatedly:
+        // the order must be ascending payload id every time.
+        let ids = [41u32, 7, 99, 3, 58, 12, 85, 26, 64, 2];
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        for _run in 0..4 {
+            let mut eng = ReassemblyEngine::new(4096);
+            for (k, &id) in ids.iter().enumerate() {
+                eng.accept_at(
+                    ChunkHeader {
+                        payload_id: id,
+                        chunk_no: 0,
+                        total: 2,
+                    },
+                    &[0; 56],
+                    Nanos::from_us(k as u64),
+                )
+                .unwrap();
+            }
+            let evicted = eng.evict_stalled(Nanos::from_us(1000), Nanos::from_us(50));
+            assert_eq!(evicted, sorted, "eviction order is ascending payload id");
+            assert_eq!(eng.evicted_count(), ids.len() as u64);
+            assert_eq!(eng.sram_used(), 0);
+        }
+    }
+
+    #[test]
+    fn slab_slots_and_buffers_are_reused() {
+        let mut eng = ReassemblyEngine::new(4096);
+        let p = payload(200);
+        for round in 0..5u32 {
+            let chunks = encode_reassembly_chunks(round, &p);
+            let mut done = None;
+            for c in &chunks {
+                let (h, d) = split_reassembly_chunk(c);
+                done = eng.accept_at(h, d, Nanos::from_us(round as u64)).unwrap();
+            }
+            let done = done.expect("completes");
+            assert_eq!(&done.data[..200], &p[..]);
+            eng.recycle(done.data);
+        }
+        assert_eq!(eng.completed_count(), 5);
+        assert_eq!(
+            eng.slots.len(),
+            1,
+            "sequential trains reuse one slab slot, not one per train"
+        );
+    }
+
+    #[test]
     fn in_order_reassembly() {
         let mut eng = ReassemblyEngine::new(1024);
         let p = payload(200);
@@ -369,7 +542,7 @@ mod tests {
         let mut done = None;
         for c in &chunks {
             let (h, d) = split_reassembly_chunk(c);
-            done = eng.accept(h, d).unwrap();
+            done = accept(&mut eng, h, d).unwrap();
         }
         let done = done.expect("payload completes on last chunk");
         assert_eq!(&done.data[..200], &p[..]);
@@ -385,7 +558,7 @@ mod tests {
         let mut done = None;
         for c in chunks.iter().rev() {
             let (h, d) = split_reassembly_chunk(c);
-            done = eng.accept(h, d).unwrap();
+            done = accept(&mut eng, h, d).unwrap();
         }
         assert_eq!(&done.unwrap().data[..300], &p[..]);
     }
@@ -404,7 +577,7 @@ mod tests {
             for chunks in [&ca, &cb] {
                 if let Some(c) = chunks.get(i) {
                     let (h, d) = split_reassembly_chunk(c);
-                    if let Some(done) = eng.accept(h, d).unwrap() {
+                    if let Some(done) = accept(&mut eng, h, d).unwrap() {
                         finished.push(done);
                     }
                 }
@@ -422,9 +595,9 @@ mod tests {
         let mut eng = ReassemblyEngine::new(1024);
         let chunks = encode_reassembly_chunks(5, &payload(200));
         let (h, d) = split_reassembly_chunk(&chunks[0]);
-        eng.accept(h, d).unwrap();
+        accept(&mut eng, h, d).unwrap();
         assert_eq!(
-            eng.accept(h, d).unwrap_err(),
+            accept(&mut eng, h, d).unwrap_err(),
             ReassemblyError::DuplicateChunk {
                 payload_id: 5,
                 chunk_no: 0
@@ -441,7 +614,7 @@ mod tests {
             total: 3,
         };
         assert!(matches!(
-            eng.accept(h, &[0; 56]).unwrap_err(),
+            accept(&mut eng, h, &[0; 56]).unwrap_err(),
             ReassemblyError::ChunkOutOfRange { .. }
         ));
     }
@@ -449,7 +622,8 @@ mod tests {
     #[test]
     fn inconsistent_total_rejected() {
         let mut eng = ReassemblyEngine::new(1024);
-        eng.accept(
+        accept(
+            &mut eng,
             ChunkHeader {
                 payload_id: 9,
                 chunk_no: 0,
@@ -459,7 +633,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            eng.accept(
+            accept(
+                &mut eng,
                 ChunkHeader {
                     payload_id: 9,
                     chunk_no: 1,
@@ -476,7 +651,8 @@ mod tests {
     fn sram_budget_enforced() {
         // Budget fits exactly one small payload record (16 + 1 bitmap byte).
         let mut eng = ReassemblyEngine::new(20);
-        eng.accept(
+        accept(
+            &mut eng,
             ChunkHeader {
                 payload_id: 1,
                 chunk_no: 0,
@@ -485,19 +661,20 @@ mod tests {
             &[0; 56],
         )
         .unwrap();
-        let err = eng
-            .accept(
-                ChunkHeader {
-                    payload_id: 2,
-                    chunk_no: 0,
-                    total: 2,
-                },
-                &[0; 56],
-            )
-            .unwrap_err();
+        let err = accept(
+            &mut eng,
+            ChunkHeader {
+                payload_id: 2,
+                chunk_no: 0,
+                total: 2,
+            },
+            &[0; 56],
+        )
+        .unwrap_err();
         assert!(matches!(err, ReassemblyError::SramExhausted { .. }));
         // Finishing payload 1 releases budget for payload 2.
-        eng.accept(
+        accept(
+            &mut eng,
             ChunkHeader {
                 payload_id: 1,
                 chunk_no: 1,
@@ -507,7 +684,8 @@ mod tests {
         )
         .unwrap()
         .expect("complete");
-        eng.accept(
+        accept(
+            &mut eng,
             ChunkHeader {
                 payload_id: 2,
                 chunk_no: 0,
@@ -592,16 +770,16 @@ mod tests {
     #[test]
     fn zero_length_train_rejected_up_front() {
         let mut eng = ReassemblyEngine::new(1024);
-        let err = eng
-            .accept(
-                ChunkHeader {
-                    payload_id: 13,
-                    chunk_no: 0,
-                    total: 0,
-                },
-                &[0; 56],
-            )
-            .unwrap_err();
+        let err = accept(
+            &mut eng,
+            ChunkHeader {
+                payload_id: 13,
+                chunk_no: 0,
+                total: 0,
+            },
+            &[0; 56],
+        )
+        .unwrap_err();
         assert_eq!(err, ReassemblyError::ZeroLengthTrain { payload_id: 13 });
         // Rejected before admission: no SRAM charged, nothing to stall out.
         assert_eq!(eng.inflight_count(), 0);
@@ -630,16 +808,16 @@ mod tests {
         assert_eq!(eng.evicted_count(), 0, "power loss is not a stall eviction");
         // A torn train's id can be reused cleanly after restart; the old
         // chunk is gone, so the train starts from scratch.
-        let done = eng
-            .accept(
-                ChunkHeader {
-                    payload_id: 1,
-                    chunk_no: 1,
-                    total: 2,
-                },
-                &[0; 56],
-            )
-            .unwrap();
+        let done = accept(
+            &mut eng,
+            ChunkHeader {
+                payload_id: 1,
+                chunk_no: 1,
+                total: 2,
+            },
+            &[0; 56],
+        )
+        .unwrap();
         assert!(done.is_none(), "no pre-cut chunk may contribute");
         assert_eq!(eng.inflight_count(), 1);
     }
@@ -647,16 +825,16 @@ mod tests {
     #[test]
     fn single_chunk_payload_completes_immediately() {
         let mut eng = ReassemblyEngine::new(1024);
-        let done = eng
-            .accept(
-                ChunkHeader {
-                    payload_id: 3,
-                    chunk_no: 0,
-                    total: 1,
-                },
-                &[9; 56],
-            )
-            .unwrap();
+        let done = accept(
+            &mut eng,
+            ChunkHeader {
+                payload_id: 3,
+                chunk_no: 0,
+                total: 1,
+            },
+            &[9; 56],
+        )
+        .unwrap();
         assert!(done.is_some());
     }
 }
