@@ -1,0 +1,234 @@
+//! reactor — the many-client async reactor demonstration and self-check,
+//! emitted as `BENCH_reactor.json` and gated in CI via `bx-report --diff`.
+//!
+//! Three windows:
+//!
+//! * **async window** — N clients spread across 4 shards, each awaiting a
+//!   stream of small ByteExpress writes through [`Reactor::run`]'s command
+//!   futures. Measures virtual-time IOPS with every client's commands in
+//!   flight together — concurrency the synchronous `execute` API cannot
+//!   express.
+//! * **sync QD1 baseline** — the same command count through the synchronous
+//!   `execute` loop on one queue of an identical platform. The async/sync
+//!   IOPS ratio is the headline: it must exceed 1.5x (the hard floor) for
+//!   the reactor to be earning its keep.
+//! * **byte-interface window** — MmioByte writes through the reactor on
+//!   every shard concurrently: the per-queue completion routing this PR
+//!   fixed, exercised through the dispatcher. Zero orphans, zero spurious.
+//!
+//! `cargo run -p bx-bench --release --bin reactor [-- ops] [--json]`
+
+use bx_bench::{bench_args, section, JsonReport};
+use bx_driver::reactor::{Reactor, ReactorConfig};
+use bx_driver::{NvmeDriver, RetryPolicy, TransferMethod};
+use bx_nvme::{IoOpcode, PassthruCmd};
+use bx_pcie::LinkConfig;
+use bx_ssd::{BlockFirmware, Controller, ControllerConfig, ExecutionModel, NandConfig, SystemBus};
+use serde::Value;
+use std::future::Future;
+use std::pin::Pin;
+use std::time::Instant;
+
+/// Shards for the async windows (the acceptance floor is 4).
+const SHARDS: usize = 4;
+/// Concurrent clients per shard.
+const CLIENTS_PER_SHARD: usize = 8;
+/// Small-payload size (the paper's sweet spot).
+const PAYLOAD: usize = 64;
+
+type Task<T> = Pin<Box<dyn Future<Output = T>>>;
+
+fn write_cmd(lba: u64, data: Vec<u8>) -> PassthruCmd {
+    let mut cmd = PassthruCmd::to_device(IoOpcode::Write, 1, data);
+    cmd.cdw10_15[0] = lba as u32;
+    cmd
+}
+
+fn window_value(ops: u64, virt_us: f64, iops: f64, wall_ms: f64) -> Value {
+    Value::object([
+        ("ops", Value::U64(ops)),
+        ("virtual_us", Value::F64(virt_us)),
+        ("virtual_iops", Value::F64(iops)),
+        ("wall_ms", Value::F64(wall_ms)),
+    ])
+}
+
+/// N clients across SHARDS shards, each a future awaiting sequential
+/// ByteExpress writes. Returns (ops, virtual_us, virtual_iops, wall_ms,
+/// failures).
+fn async_window(total_ops: usize, method: TransferMethod) -> (u64, f64, f64, f64, usize) {
+    let mut reactor = Reactor::new(ReactorConfig {
+        shards: SHARDS,
+        nand_io: true,
+        execution_model: ExecutionModel::Pipelined,
+        retry_policy: Some(RetryPolicy::default()),
+        ..ReactorConfig::default()
+    });
+    let clients = SHARDS * CLIENTS_PER_SHARD;
+    let per_client = total_ops.div_ceil(clients).max(1);
+    let mut tasks: Vec<Task<Result<u64, String>>> = Vec::new();
+    for shard in 0..SHARDS {
+        for client in 0..CLIENTS_PER_SHARD {
+            let handle = reactor.handle(shard);
+            tasks.push(Box::pin(async move {
+                let client_id = (shard * CLIENTS_PER_SHARD + client) as u64;
+                let mut done = 0u64;
+                for i in 0..per_client as u64 {
+                    let lba = (client_id * per_client as u64 + i) * 8;
+                    let data = vec![(client_id as u8) ^ (i as u8); PAYLOAD];
+                    let c = handle
+                        .submit(write_cmd(lba, data), method)
+                        .await
+                        .map_err(|e| format!("client {client_id}: {e:?}"))?;
+                    if !c.status.is_success() {
+                        return Err(format!("client {client_id}: status {:?}", c.status));
+                    }
+                    if c.latency().as_ns() == 0 {
+                        return Err(format!("client {client_id}: zero latency"));
+                    }
+                    done += 1;
+                }
+                Ok(done)
+            }));
+        }
+    }
+    let t0 = Instant::now();
+    let results = reactor.run(tasks);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut failures = 0usize;
+    let mut ops = 0u64;
+    for r in &results {
+        match r {
+            Ok(n) => ops += n,
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let stats = reactor.stats();
+    if stats.orphaned != 0 {
+        eprintln!(
+            "FAIL: {} completion(s) drained with no owning waiter",
+            stats.orphaned
+        );
+        failures += 1;
+    }
+    let rec = reactor.recovery_stats();
+    if rec.timeouts != 0 || rec.spurious_completions != 0 {
+        eprintln!(
+            "FAIL: recovery must stay quiet (timeouts={}, spurious={})",
+            rec.timeouts, rec.spurious_completions
+        );
+        failures += 1;
+    }
+    if reactor.inflight() != 0 {
+        eprintln!(
+            "FAIL: {} command(s) still in flight after run",
+            reactor.inflight()
+        );
+        failures += 1;
+    }
+    let virt = reactor.bus().clock.now();
+    let virt_us = virt.as_ns() as f64 / 1e3;
+    let iops = ops as f64 / (virt.as_ns() as f64 / 1e9).max(f64::MIN_POSITIVE);
+    (ops, virt_us, iops, wall_ms, failures)
+}
+
+/// The same command count through the synchronous QD1 `execute` loop on an
+/// identical single-queue platform.
+fn sync_qd1_window(total_ops: usize) -> (u64, f64, f64, f64, usize) {
+    let bus = SystemBus::new(LinkConfig::gen2_x8(), 64 << 20, 2);
+    let cfg = ControllerConfig {
+        nand: NandConfig::small(),
+        execution_model: ExecutionModel::Pipelined,
+        ..ControllerConfig::default()
+    };
+    let mut ctrl = Controller::new(bus.clone(), cfg, |dram| {
+        Box::new(BlockFirmware::new(dram, true))
+    });
+    let mut driver = NvmeDriver::new(bus.clone());
+    let qid = driver.create_io_queue(&mut ctrl, 256).expect("queue");
+    let mut failures = 0usize;
+    let t0 = Instant::now();
+    for i in 0..total_ops as u64 {
+        let data = vec![i as u8; PAYLOAD];
+        match driver.execute(
+            qid,
+            &mut ctrl,
+            &write_cmd(i * 8, data),
+            TransferMethod::ByteExpress,
+        ) {
+            Ok(c) if c.status.is_success() => {}
+            other => {
+                eprintln!("FAIL: sync write {i}: {other:?}");
+                failures += 1;
+            }
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let virt = bus.clock.now();
+    let virt_us = virt.as_ns() as f64 / 1e3;
+    let iops = total_ops as f64 / (virt.as_ns() as f64 / 1e9).max(f64::MIN_POSITIVE);
+    (total_ops as u64, virt_us, iops, wall_ms, failures)
+}
+
+fn main() {
+    let args = bench_args();
+    let n = args.ops.unwrap_or(2_000).max(SHARDS * CLIENTS_PER_SHARD);
+    let mut report = JsonReport::new("reactor");
+    let mut failures = 0usize;
+
+    section(&format!(
+        "async window ({n} ByteExpress writes, {SHARDS} shards x {CLIENTS_PER_SHARD} clients)"
+    ));
+    let (a_ops, a_virt, a_iops, a_wall, a_fail) = async_window(n, TransferMethod::ByteExpress);
+    println!(
+        "  {a_ops} commands in {a_virt:.1} us virtual = {a_iops:.0} IOPS ({a_wall:.2} ms wall)"
+    );
+    failures += a_fail;
+    report.push("async_window", window_value(a_ops, a_virt, a_iops, a_wall));
+
+    section(&format!(
+        "sync QD1 baseline ({n} ByteExpress writes, 1 queue)"
+    ));
+    let (s_ops, s_virt, s_iops, s_wall, s_fail) = sync_qd1_window(n);
+    println!(
+        "  {s_ops} commands in {s_virt:.1} us virtual = {s_iops:.0} IOPS ({s_wall:.2} ms wall)"
+    );
+    failures += s_fail;
+    report.push("sync_qd1", window_value(s_ops, s_virt, s_iops, s_wall));
+
+    let speedup = a_iops / s_iops.max(f64::MIN_POSITIVE);
+    println!("\n  async/sync virtual-time speedup: {speedup:.2}x");
+    if speedup < 1.5 {
+        eprintln!("FAIL: async window must beat sync QD1 by >= 1.5x, got {speedup:.2}x");
+        failures += 1;
+    }
+    report.push("speedup_vs_sync", Value::F64(speedup));
+
+    section(&format!(
+        "byte-interface window ({n} MmioByte writes through the dispatcher)"
+    ));
+    let (m_ops, m_virt, m_iops, m_wall, m_fail) = async_window(n, TransferMethod::MmioByte);
+    println!(
+        "  {m_ops} commands in {m_virt:.1} us virtual = {m_iops:.0} IOPS ({m_wall:.2} ms wall)"
+    );
+    failures += m_fail;
+    report.push("mmio_window", window_value(m_ops, m_virt, m_iops, m_wall));
+
+    report.push("failures", Value::U64(failures as u64));
+    if failures == 0 {
+        println!(
+            "\nOK: {} concurrent clients on {SHARDS} shards, {speedup:.2}x over sync QD1",
+            SHARDS * CLIENTS_PER_SHARD
+        );
+    }
+    // The JSON document is always the final stdout line (CI tails it).
+    report.finish(args.json);
+    if failures > 0 {
+        eprintln!("reactor validation FAILED with {failures} error(s)");
+        std::process::exit(1);
+    }
+}

@@ -24,11 +24,9 @@ use std::path::Path;
 
 /// One traced burst; returns (acked command keys, events) for validation.
 fn traced_burst(dev: &mut Device, n: usize, method: TransferMethod) -> Vec<CmdKey> {
-    let qid_raw = if method == TransferMethod::MmioByte {
-        0 // byte-interface spans use queue id 0 by convention
-    } else {
-        dev.queues()[0].0
-    };
+    // Byte-interface spans carry the submitting queue's real id, same as
+    // every ring-path method (the window echoes it on the completion).
+    let qid_raw = dev.queues()[0].0;
     let mut gen = MixGraph::with_defaults();
     let mut acked = Vec::with_capacity(n);
     for i in 0..n {

@@ -54,7 +54,7 @@ pub use stats::{LatencySamples, Summary};
 // The pieces users routinely touch, re-exported at the top level.
 pub use bx_driver::{
     BatchSubmission, CmdContext, Completion, DriverError, DriverTiming, FlushPolicy, InlineMode,
-    NvmeDriver, RecoveryStats, RetryPolicy, TransferMethod,
+    NvmeDriver, Reactor, ReactorConfig, RecoveryStats, RetryPolicy, ShardHandle, TransferMethod,
 };
 pub use bx_hostsim::{EventQueue, FaultConfig, FaultCounters, Nanos, PhysAddr, PAGE_SIZE};
 pub use bx_nvme::{IoOpcode, PassthruCmd, QueueId, Status, SubmissionEntry};

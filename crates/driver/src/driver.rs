@@ -419,6 +419,16 @@ impl NvmeDriver {
         self.recovery
     }
 
+    /// Number of commands currently tracked in flight on `qid` (submitted
+    /// but not yet consumed by a poll). The reactor uses this to tell a
+    /// quiescent queue from one still waiting on the device.
+    pub fn inflight_len(&self, qid: QueueId) -> usize {
+        self.queues
+            .get(&qid.0)
+            .map(|qp| qp.inflight.len())
+            .unwrap_or(0)
+    }
+
     /// Whether `qid` is currently degraded from ByteExpress to PRP.
     pub fn is_degraded(&self, qid: QueueId) -> bool {
         self.queues
@@ -747,11 +757,13 @@ impl NvmeDriver {
                         self.submit_bandslim(qid, sqe, &cmd.data, embed_first)?;
                     }
                     TransferMethod::MmioByte => {
-                        // No SQ slot on the byte-interface path; spans use
-                        // queue id 0 by convention (mirrored by the
-                        // controller's buffer-monitor hooks).
-                        self.trace_sqe_insert(0, cid, TransferMethod::MmioByte, cmd);
-                        self.submit_mmio_byte(sqe, &cmd.data)?;
+                        // No SQ slot on the byte-interface path, but the
+                        // command is still owned by this queue pair: spans
+                        // carry the real qid, and the BAR-window submission
+                        // is stamped with it so the device can echo it on
+                        // the status word (completion routing).
+                        self.trace_sqe_insert(qid.0, cid, TransferMethod::MmioByte, cmd);
+                        self.submit_mmio_byte(qid, sqe, &cmd.data)?;
                     }
                     // bx-lint: allow(panic-freedom, reason = "resolve() above maps Hybrid to a concrete method; this arm is a driver bug, not a reachable state")
                     TransferMethod::Hybrid { .. } => unreachable!("resolved above"),
@@ -1043,7 +1055,12 @@ impl NvmeDriver {
     /// BAR-mapped device buffer as cacheline stores, then flushes the
     /// write-combining buffer. No SQ slot, no doorbell, no SQE fetch — and
     /// no NVMe completion either (the host polls a status word).
-    fn submit_mmio_byte(&mut self, sqe: SubmissionEntry, data: &[u8]) -> Result<(), DriverError> {
+    fn submit_mmio_byte(
+        &mut self,
+        qid: QueueId,
+        sqe: SubmissionEntry,
+        data: &[u8],
+    ) -> Result<(), DriverError> {
         let total = SQE_BYTES + data.len();
         // Traffic: one posted MMIO write per 64-byte cacheline.
         let lines = total.div_ceil(64);
@@ -1070,6 +1087,7 @@ impl NvmeDriver {
             .borrow_mut()
             .submissions
             .push_back(bx_ssd::MmioSubmission {
+                qid: qid.0,
                 sqe,
                 payload: data.to_vec(),
             });
@@ -1192,9 +1210,15 @@ impl NvmeDriver {
     }
 
     /// Flushes `qid` if its oldest staged command has exceeded the flush
-    /// policy's max-delay bound (called from the poll path, where virtual
-    /// time advances while submissions sit staged).
-    fn flush_sq_if_due(&mut self, qid: QueueId) -> Result<(), DriverError> {
+    /// policy's max-delay bound. Called from the poll path (where virtual
+    /// time advances while submissions sit staged) and from the reactor's
+    /// `poll_submit`, which lets the installed [`FlushPolicy`] decide
+    /// whether a doorbell is due without forcing one per call.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownQueue`] for a bad queue id.
+    pub fn flush_sq_if_due(&mut self, qid: QueueId) -> Result<(), DriverError> {
         if let Some(policy) = self.flush_policy {
             let now = self.bus.clock.now();
             let due = {
@@ -1322,24 +1346,50 @@ impl NvmeDriver {
         let mut spurious = 0u64;
         // Byte-interface completions are polled from the BAR status area
         // (one synchronous MMIO read per poll sweep when any are pending).
+        // Only status words stamped with THIS queue's id are consumed — the
+        // window is shared by every queue, and cids are only unique per
+        // queue, so a poll on queue B must never steal (and mis-time)
+        // completions belonging to queue A. Foreign entries stay queued, in
+        // order, for their own queue's poll.
         let mmio: Vec<bx_ssd::MmioCompletion> = {
             let mut window = bus.mmio_window.borrow_mut();
-            window.completions.drain(..).collect()
+            if window.completions.iter().any(|c| c.qid == qid.0) {
+                let mut mine = Vec::with_capacity(window.completions.len());
+                window.completions.retain(|c| {
+                    if c.qid == qid.0 {
+                        mine.push(*c);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                mine
+            } else {
+                Vec::new()
+            }
         };
         let qp = self.queue_mut(qid)?;
         if !mmio.is_empty() {
             let t = bus.link.borrow_mut().host_mmio_read(TrafficClass::Mmio, 8);
             bus.clock.advance(t);
             for c in mmio {
-                let submitted_at = qp
-                    .inflight
-                    .remove(c.cid)
+                let inflight = qp.inflight.remove(c.cid);
+                if inflight.is_none() && policy.is_some() {
+                    // Same accounting as the CQE ring path below: a status
+                    // word for an untracked cid is late or duplicate (e.g.
+                    // the original attempt completing after a timeout reap
+                    // and resubmission). Count it instead of silently
+                    // falsifying its submission time.
+                    spurious += 1;
+                }
+                let submitted_at = inflight
                     .map(|i| i.submitted_at)
                     .unwrap_or_else(|| bus.clock.now());
-                bus.trace
-                    .emit_cmd(CmdKey::new(0, c.cid), || EventKind::CompletionConsumed {
+                bus.trace.emit_cmd(CmdKey::new(qid.0, c.cid), || {
+                    EventKind::CompletionConsumed {
                         status: c.status.to_wire(),
-                    });
+                    }
+                });
                 out.push(Completion {
                     cid: c.cid,
                     status: c.status,

@@ -30,11 +30,15 @@
 pub mod batch;
 pub mod driver;
 pub mod method;
+pub mod reactor;
 pub mod recovery;
 pub mod timing;
 
 pub use batch::{BatchSubmission, FlushPolicy};
 pub use driver::{Completion, DriverError, DriverStats, NvmeDriver, SubmittedCmd};
 pub use method::{InlineMode, TransferMethod};
+pub use reactor::{
+    CommandFuture, Drive, Reactor, ReactorConfig, ReactorStats, ShardHandle, ShardStats, SimDrive,
+};
 pub use recovery::{is_idempotent, CmdContext, RecoveryStats, RetryPolicy};
 pub use timing::DriverTiming;

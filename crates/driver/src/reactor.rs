@@ -1,0 +1,802 @@
+//! The completion-driven async reactor (ROADMAP item 1).
+//!
+//! The synchronous API (`execute` → `poll_completions`) expresses one
+//! command per caller at a time; realistic many-client concurrency on top of
+//! the pipelined controller needs commands from *many* logical clients in
+//! flight together, each resolving independently when its completion
+//! arrives. This module provides that as an io_uring-style reactor, shaped
+//! after ringbahn's `Drive` trait and xaio's `send_one`/`send_many`/`flush`
+//! sender contract:
+//!
+//! * [`Drive`] — the submission/flush contract a backend implements:
+//!   `poll_prepare` stages a command (backpressure surfaces as
+//!   `Poll::Pending`, *not* an error), `poll_submit` lets the installed
+//!   [`FlushPolicy`] decide whether a doorbell is due, `poll_flush` forces
+//!   the staged tail out. [`SimDrive`] implements it over [`NvmeDriver`].
+//! * **Shards** — thread-per-core style ownership: each shard owns its own
+//!   `NvmeDriver` (its own queues, cid spaces, inflight tables, flush
+//!   state), so no locking is needed across shards. The shared [`SystemBus`]
+//!   stays single-threaded behind per-shard handles — the simulation's
+//!   virtual clock is global, and `Rc<RefCell<_>>` sharing models the
+//!   per-core handles without pretending the clock itself scales.
+//! * [`CommandFuture`] — one in-flight command; resolves when the
+//!   dispatcher routes its completion (ring CQE or byte-interface status
+//!   word alike) back to the shard's waker-keyed waiter table.
+//! * The **dispatcher** ([`Reactor::turn`]) — flushes every shard's staged
+//!   doorbells, runs the controller, then drains each queue *on its owning
+//!   shard* and wakes exactly the futures whose completions arrived. The
+//!   per-queue drain is what makes this correct: completions are routed by
+//!   the `(qid, cid)` the device echoes, never by poll order.
+//!
+//! The executor ([`Reactor::run`]) is deliberately minimal and std-only: a
+//! single-threaded poll loop over `Arc`-flagged tasks, with virtual-time
+//! idle advancement standing in for an OS timer wheel — when no task is
+//! runnable and no completion is ready but commands are in flight, the
+//! reactor advances the clock so the device (or the timeout reaper) can
+//! make progress.
+
+use crate::batch::FlushPolicy;
+use crate::driver::{Completion, DriverError, DriverStats, NvmeDriver, SubmittedCmd};
+use crate::method::TransferMethod;
+use crate::recovery::{RecoveryStats, RetryPolicy};
+use bx_hostsim::Nanos;
+use bx_nvme::{PassthruCmd, QueueId};
+use bx_pcie::LinkConfig;
+use bx_ssd::{BlockFirmware, Controller, ControllerConfig, ExecutionModel, NandConfig, SystemBus};
+use bx_trace::{EventKind, TraceSink};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// The submission-side contract between command futures and a queue
+/// backend, after ringbahn's `Drive`.
+///
+/// All three methods are poll-shaped so a backend may exert backpressure
+/// (`poll_prepare` returning [`Poll::Pending`] when the SQ is full) or
+/// defer doorbells (`poll_submit` letting a flush policy batch across
+/// callers). The simulator implementation ([`SimDrive`]) never returns
+/// `Pending` from the flush methods — the MMIO doorbell write is
+/// synchronous — but the contract leaves room for backends where it is not.
+pub trait Drive {
+    /// Stages `cmd` into `qid`'s submission queue and begins tracking it in
+    /// flight. Returns `Pending` (not an error) when the queue has no room;
+    /// the caller re-polls after completions drain.
+    fn poll_prepare(
+        &mut self,
+        cx: &mut Context<'_>,
+        qid: QueueId,
+        cmd: &PassthruCmd,
+        method: TransferMethod,
+    ) -> Poll<Result<SubmittedCmd, DriverError>>;
+
+    /// Gives the backend's flush policy a chance to ring a due doorbell
+    /// (max-delay bound exceeded); does nothing when no flush is due.
+    fn poll_submit(&mut self, cx: &mut Context<'_>, qid: QueueId) -> Poll<Result<(), DriverError>>;
+
+    /// Forces any staged-but-unrung tail out to the device. Returns whether
+    /// a doorbell was actually rung.
+    fn poll_flush(&mut self, cx: &mut Context<'_>, qid: QueueId)
+        -> Poll<Result<bool, DriverError>>;
+
+    /// Appends every ready completion on `qid` — ring CQEs and
+    /// byte-interface status words alike — into `out`.
+    fn drain_completions(
+        &mut self,
+        qid: QueueId,
+        out: &mut Vec<Completion>,
+    ) -> Result<(), DriverError>;
+
+    /// Commands submitted on `qid` whose completions have not yet drained.
+    fn inflight(&self, qid: QueueId) -> usize;
+
+    /// The concrete simulator drive, when this is one — lets the reactor
+    /// surface driver/recovery counters without closing the trait to mock
+    /// backends (which keep the default `None`).
+    fn as_sim(&self) -> Option<&SimDrive> {
+        None
+    }
+}
+
+/// [`Drive`] implemented over the in-simulator [`NvmeDriver`].
+///
+/// A thin adapter: `poll_prepare` maps [`DriverError::QueueFull`] to
+/// `Pending` (the reactor wakes capacity waiters after every drain, when SQ
+/// slots have been released by consumed CQEs), and the flush methods map to
+/// the driver's doorbell-coalescing entry points.
+#[derive(Debug)]
+pub struct SimDrive {
+    driver: NvmeDriver,
+}
+
+impl SimDrive {
+    /// Wraps an [`NvmeDriver`] (with its queues already created).
+    pub fn new(driver: NvmeDriver) -> Self {
+        SimDrive { driver }
+    }
+
+    /// The wrapped driver, for stats and configuration.
+    pub fn driver(&self) -> &NvmeDriver {
+        &self.driver
+    }
+
+    /// Mutable access to the wrapped driver.
+    pub fn driver_mut(&mut self) -> &mut NvmeDriver {
+        &mut self.driver
+    }
+}
+
+impl Drive for SimDrive {
+    fn poll_prepare(
+        &mut self,
+        _cx: &mut Context<'_>,
+        qid: QueueId,
+        cmd: &PassthruCmd,
+        method: TransferMethod,
+    ) -> Poll<Result<SubmittedCmd, DriverError>> {
+        match self.driver.submit(qid, cmd, method) {
+            Ok(sub) => Poll::Ready(Ok(sub)),
+            // Backpressure, not failure: the waker is parked by the caller
+            // (the shard's capacity list) and re-polled after a drain frees
+            // SQ slots.
+            Err(DriverError::QueueFull { .. }) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_submit(
+        &mut self,
+        _cx: &mut Context<'_>,
+        qid: QueueId,
+    ) -> Poll<Result<(), DriverError>> {
+        Poll::Ready(self.driver.flush_sq_if_due(qid))
+    }
+
+    fn poll_flush(
+        &mut self,
+        _cx: &mut Context<'_>,
+        qid: QueueId,
+    ) -> Poll<Result<bool, DriverError>> {
+        Poll::Ready(self.driver.flush_sq(qid))
+    }
+
+    fn drain_completions(
+        &mut self,
+        qid: QueueId,
+        out: &mut Vec<Completion>,
+    ) -> Result<(), DriverError> {
+        self.driver.poll_completions_into(qid, out)
+    }
+
+    fn inflight(&self, qid: QueueId) -> usize {
+        self.driver.inflight_len(qid)
+    }
+
+    fn as_sim(&self) -> Option<&SimDrive> {
+        Some(self)
+    }
+}
+
+/// One parked completion waiter: the waker to call and, once the
+/// dispatcher has routed it, the completion itself.
+#[derive(Debug, Default)]
+struct Waiter {
+    waker: Option<Waker>,
+    done: Option<Completion>,
+}
+
+/// Per-shard counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Commands submitted through this shard.
+    pub submitted: u64,
+    /// Completions dispatched to this shard's waiters.
+    pub completed: u64,
+    /// Completions drained on this shard for a `(qid, cid)` no waiter was
+    /// registered under (a routing bug or a reaped-then-late completion).
+    pub orphaned: u64,
+}
+
+/// The state one shard owns exclusively: its drive (driver, queues, cid
+/// spaces, inflight tables), its waiter table, and its backpressure list.
+/// Nothing here is ever touched from another shard — the dispatcher drains
+/// each queue through the shard that owns it.
+struct Shard {
+    index: u16,
+    drive: Box<dyn Drive>,
+    queues: Vec<QueueId>,
+    /// Round-robin cursor for spreading `ShardHandle::submit` across the
+    /// shard's queues.
+    next_queue: usize,
+    /// Waker-keyed inflight table: `(qid, cid)` → parked future.
+    waiters: BTreeMap<(u16, u16), Waiter>,
+    /// Futures parked on SQ backpressure, woken after every drain.
+    capacity: Vec<Waker>,
+    stats: ShardStats,
+    /// Scratch buffer for drains (reused; the drain path allocates only
+    /// for completions carrying response data).
+    drained: Vec<Completion>,
+}
+
+impl Shard {
+    fn pick_queue(&mut self) -> QueueId {
+        // bx-lint: allow(panic-freedom, reason = "Reactor::new always creates at least one queue per shard")
+        let qid = self.queues[self.next_queue % self.queues.len()];
+        self.next_queue = (self.next_queue + 1) % self.queues.len();
+        qid
+    }
+}
+
+/// Reactor construction parameters.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Number of shards (logical cores). Each gets its own driver.
+    pub shards: usize,
+    /// I/O queue pairs per shard.
+    pub queues_per_shard: usize,
+    /// Depth of each queue pair.
+    pub queue_depth: u16,
+    /// PCIe link the platform models.
+    pub link: LinkConfig,
+    /// Host memory capacity in bytes.
+    pub mem_capacity: usize,
+    /// Whether commands touch simulated NAND (false = transfer-path only).
+    pub nand_io: bool,
+    /// Controller execution model; [`ExecutionModel::Pipelined`] is what
+    /// makes multi-shard overlap visible in virtual time.
+    pub execution_model: ExecutionModel,
+    /// Doorbell-coalescing policy installed on every shard's driver
+    /// (`None` = ring per submission).
+    pub flush_policy: Option<FlushPolicy>,
+    /// Timeout/retry policy installed on every shard's driver. With one
+    /// installed, a command whose completion never arrives resolves as a
+    /// synthetic `CommandAborted` completion instead of hanging the task.
+    pub retry_policy: Option<RetryPolicy>,
+    /// Record a flight-recorder trace of the run.
+    pub trace: bool,
+    /// Virtual-time step for [`Reactor::turn`]'s idle advancement (used
+    /// only when nothing is runnable and nothing is ready but commands are
+    /// in flight — e.g. a fault swallowed a doorbell and only the timeout
+    /// reaper can make progress).
+    pub idle_step: Nanos,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            shards: 4,
+            queues_per_shard: 1,
+            queue_depth: 256,
+            link: LinkConfig::gen2_x8(),
+            mem_capacity: 64 << 20,
+            nand_io: false,
+            execution_model: ExecutionModel::Pipelined,
+            flush_policy: Some(FlushPolicy::default()),
+            retry_policy: None,
+            trace: false,
+            idle_step: Nanos::from_us(10),
+        }
+    }
+}
+
+/// Aggregated reactor counters (see also [`Reactor::recovery_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Dispatcher sweeps executed.
+    pub turns: u64,
+    /// Idle virtual-time advances (no runnable task, no ready completion,
+    /// commands in flight).
+    pub idle_advances: u64,
+    /// Commands submitted across all shards.
+    pub submitted: u64,
+    /// Completions dispatched to waiters across all shards.
+    pub completed: u64,
+    /// Drained completions that matched no waiter.
+    pub orphaned: u64,
+}
+
+/// The reactor: a simulated platform (bus + controller) plus its shards.
+///
+/// Construction builds the whole stack — one [`SystemBus`], one
+/// [`Controller`], and per shard one [`NvmeDriver`] with its own queue
+/// pairs — so a bench or test needs only a [`ReactorConfig`] and a set of
+/// client futures.
+pub struct Reactor {
+    bus: SystemBus,
+    ctrl: Rc<RefCell<Controller>>,
+    shards: Vec<Rc<RefCell<Shard>>>,
+    idle_step: Nanos,
+    turns: u64,
+    idle_advances: u64,
+}
+
+impl Reactor {
+    /// Builds the full simulated stack per `cfg`.
+    pub fn new(cfg: ReactorConfig) -> Self {
+        let shards_n = cfg.shards.max(1);
+        let queues_per_shard = cfg.queues_per_shard.max(1);
+        // Doorbell array must span every I/O qid the controller will hand
+        // out (1-based) plus the admin pair's slot 0.
+        let doorbells = shards_n * queues_per_shard + 1;
+        let mut bus = SystemBus::new(cfg.link, cfg.mem_capacity, doorbells);
+        if cfg.trace {
+            bus.enable_trace();
+        }
+        let ctrl_cfg = ControllerConfig {
+            nand: if cfg.nand_io {
+                NandConfig::small()
+            } else {
+                NandConfig::disabled()
+            },
+            execution_model: cfg.execution_model,
+            ..ControllerConfig::default()
+        };
+        let nand_io = cfg.nand_io;
+        let mut ctrl = Controller::new(bus.clone(), ctrl_cfg, move |dram| {
+            Box::new(BlockFirmware::new(dram, nand_io))
+        });
+        let mut shards = Vec::with_capacity(shards_n);
+        for index in 0..shards_n {
+            let mut driver = NvmeDriver::new(bus.clone());
+            driver.set_flush_policy(cfg.flush_policy);
+            driver.set_retry_policy(cfg.retry_policy);
+            let mut queues = Vec::with_capacity(queues_per_shard);
+            for _ in 0..queues_per_shard {
+                let qid = driver
+                    .create_io_queue(&mut ctrl, cfg.queue_depth)
+                    // bx-lint: allow(panic-freedom, reason = "queue creation at construction time fails only on host-memory exhaustion, a config error")
+                    .expect("reactor queue creation");
+                queues.push(qid);
+            }
+            shards.push(Rc::new(RefCell::new(Shard {
+                index: index as u16,
+                drive: Box::new(SimDrive::new(driver)),
+                queues,
+                next_queue: 0,
+                waiters: BTreeMap::new(),
+                capacity: Vec::new(),
+                stats: ShardStats::default(),
+                drained: Vec::new(),
+            })));
+        }
+        Reactor {
+            bus,
+            ctrl: Rc::new(RefCell::new(ctrl)),
+            shards,
+            idle_step: cfg.idle_step,
+            turns: 0,
+            idle_advances: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A submission handle bound to one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn handle(&self, index: usize) -> ShardHandle {
+        ShardHandle {
+            shard: Rc::clone(&self.shards[index]),
+        }
+    }
+
+    /// The platform bus (traffic counters, clock, trace sink).
+    pub fn bus(&self) -> &SystemBus {
+        &self.bus
+    }
+
+    /// The shared controller handle.
+    pub fn controller(&self) -> Rc<RefCell<Controller>> {
+        Rc::clone(&self.ctrl)
+    }
+
+    /// The trace sink (enable via [`ReactorConfig::trace`]).
+    pub fn trace(&self) -> TraceSink {
+        self.bus.trace.clone()
+    }
+
+    /// Aggregated counters across shards.
+    pub fn stats(&self) -> ReactorStats {
+        let mut s = ReactorStats {
+            turns: self.turns,
+            idle_advances: self.idle_advances,
+            ..ReactorStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.borrow();
+            s.submitted += shard.stats.submitted;
+            s.completed += shard.stats.completed;
+            s.orphaned += shard.stats.orphaned;
+        }
+        s
+    }
+
+    /// Summed recovery counters across every shard's driver.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut acc = RecoveryStats::default();
+        for shard in &self.shards {
+            let shard = shard.borrow();
+            let r = shard.drive.as_sim().map(|s| s.driver().recovery_stats());
+            if let Some(r) = r {
+                acc.timeouts += r.timeouts;
+                acc.retries += r.retries;
+                acc.retries_exhausted += r.retries_exhausted;
+                acc.bx_failures += r.bx_failures;
+                acc.fallbacks += r.fallbacks;
+                acc.probes += r.probes;
+                acc.repromotions += r.repromotions;
+                acc.spurious_completions += r.spurious_completions;
+            }
+        }
+        acc
+    }
+
+    /// Summed driver activity counters across shards.
+    pub fn driver_stats(&self) -> DriverStats {
+        let mut acc = DriverStats::default();
+        for shard in &self.shards {
+            let shard = shard.borrow();
+            if let Some(s) = shard.drive.as_sim().map(|s| s.driver().stats()) {
+                acc.submissions += s.submissions;
+                acc.doorbells += s.doorbells;
+                acc.chunks_written += s.chunks_written;
+                acc.frags_issued += s.frags_issued;
+                acc.pages_mapped += s.pages_mapped;
+                acc.sgl_fallbacks += s.sgl_fallbacks;
+                acc.batch_flushes += s.batch_flushes;
+                acc.batched_cmds += s.batched_cmds;
+            }
+        }
+        acc
+    }
+
+    /// Total commands in flight across every shard and queue.
+    pub fn inflight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.borrow();
+                shard
+                    .queues
+                    .iter()
+                    .map(|&q| shard.drive.inflight(q))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// One dispatcher sweep: flush every shard's staged doorbells, run the
+    /// controller, then drain each queue on its owning shard and wake the
+    /// futures whose completions arrived. Returns the number of completions
+    /// dispatched.
+    ///
+    /// This is the completion-routing core: each shard drains *only its
+    /// own* queues, and each drained completion is matched against that
+    /// shard's waiter table by the `(qid, cid)` the device echoed — ring
+    /// CQEs and byte-interface status words take the same route.
+    pub fn turn(&mut self) -> usize {
+        self.turns += 1;
+        let mut noop_cx = Context::from_waker(Waker::noop());
+        for shard in &self.shards {
+            let mut shard = shard.borrow_mut();
+            let queues = shard.queues.clone();
+            for qid in queues {
+                // Force the staged tail out: the executor only calls turn()
+                // when no task is runnable, so anything staged has no other
+                // doorbell coming.
+                let _ = shard.drive.poll_flush(&mut noop_cx, qid);
+            }
+        }
+        self.ctrl.borrow_mut().process_available();
+        let mut dispatched = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.borrow_mut();
+            let shard = &mut *shard;
+            let queues = shard.queues.clone();
+            let mut shard_dispatched = 0u16;
+            for qid in queues {
+                shard.drained.clear();
+                if shard
+                    .drive
+                    .drain_completions(qid, &mut shard.drained)
+                    .is_err()
+                {
+                    continue;
+                }
+                for done in shard.drained.drain(..) {
+                    match shard.waiters.get_mut(&(qid.0, done.cid)) {
+                        Some(waiter) => {
+                            waiter.done = Some(done);
+                            if let Some(w) = waiter.waker.take() {
+                                w.wake();
+                            }
+                            shard.stats.completed += 1;
+                            dispatched += 1;
+                            shard_dispatched = shard_dispatched.saturating_add(1);
+                        }
+                        None => {
+                            // No future owns this completion: a late status
+                            // word for a reaped command, or a routing bug.
+                            // The drain already counted the spurious case;
+                            // record the orphan so tests can pin zero.
+                            shard.stats.orphaned += 1;
+                        }
+                    }
+                }
+            }
+            if shard_dispatched > 0 {
+                let index = shard.index;
+                self.bus.trace.emit(None, || EventKind::ReactorDispatch {
+                    shard: index,
+                    completions: shard_dispatched,
+                });
+            }
+            // Consumed CQEs released SQ slots — everything parked on
+            // backpressure gets one more try.
+            for w in shard.capacity.drain(..) {
+                w.wake();
+            }
+        }
+        dispatched
+    }
+
+    /// Runs `tasks` to completion on the single-threaded executor,
+    /// returning their outputs in task order.
+    ///
+    /// The loop polls every woken task, then calls [`Reactor::turn`]; when
+    /// neither makes progress but commands are in flight, virtual time
+    /// advances by [`ReactorConfig::idle_step`] so the device (or, with a
+    /// [`RetryPolicy`] installed, the timeout reaper) can break the stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task set deadlocks: some task is pending while no
+    /// command is in flight and no completion can ever arrive (e.g. a
+    /// future awaiting something the reactor does not drive).
+    pub fn run<T>(&mut self, tasks: Vec<Pin<Box<dyn Future<Output = T>>>>) -> Vec<T> {
+        struct Slot<T> {
+            future: Pin<Box<dyn Future<Output = T>>>,
+            flag: Arc<WakeFlag>,
+            output: Option<T>,
+        }
+        let mut slots: Vec<Slot<T>> = tasks
+            .into_iter()
+            .map(|future| Slot {
+                future,
+                flag: Arc::new(WakeFlag::new(true)),
+                output: None,
+            })
+            .collect();
+        let mut remaining = slots.len();
+        while remaining > 0 {
+            let mut polled = false;
+            for slot in slots.iter_mut().filter(|s| s.output.is_none()) {
+                if !slot.flag.take() {
+                    continue;
+                }
+                polled = true;
+                let waker = Waker::from(Arc::clone(&slot.flag));
+                let mut cx = Context::from_waker(&waker);
+                if let Poll::Ready(out) = slot.future.as_mut().poll(&mut cx) {
+                    slot.output = Some(out);
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+            let dispatched = self.turn();
+            let woken = slots.iter().any(|s| s.output.is_none() && s.flag.is_set());
+            if !polled && dispatched == 0 && !woken {
+                if self.inflight() > 0 {
+                    // Nothing runnable, nothing ready, commands in flight:
+                    // the device needs time (or the reaper needs the
+                    // deadline to lapse). Step the clock.
+                    self.idle_advances += 1;
+                    let step = self.idle_step;
+                    self.bus
+                        .trace
+                        .emit(None, || EventKind::ReactorIdleAdvance { step });
+                    self.bus.clock.advance(step);
+                } else {
+                    // bx-lint: allow(panic-freedom, reason = "a pending task with zero commands in flight can never be woken — failing loudly beats spinning forever")
+                    panic!(
+                        "reactor deadlock: {remaining} task(s) pending with no command in flight"
+                    );
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                // bx-lint: allow(panic-freedom, reason = "the loop above exits only when every slot's output is filled")
+                s.output.expect("task completed")
+            })
+            .collect()
+    }
+}
+
+/// A wake flag implementing [`std::task::Wake`]: waking a task marks it
+/// runnable for the executor's next pass.
+struct WakeFlag(AtomicBool);
+
+impl WakeFlag {
+    fn new(set: bool) -> Self {
+        WakeFlag(AtomicBool::new(set))
+    }
+    fn take(&self) -> bool {
+        self.0.swap(false, Ordering::Relaxed)
+    }
+    fn is_set(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Wake for WakeFlag {
+    fn wake(self: Arc<Self>) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A cloneable submission handle bound to one shard.
+///
+/// Handles are how client futures reach the reactor: each client holds the
+/// handle of the shard it runs on (thread-per-core pinning) and builds
+/// [`CommandFuture`]s from it. Handles are `!Send` by construction
+/// (`Rc`), matching the no-cross-shard-locking ownership rule.
+#[derive(Clone)]
+pub struct ShardHandle {
+    shard: Rc<RefCell<Shard>>,
+}
+
+impl ShardHandle {
+    /// A future submitting `cmd` via `method` on the shard's next queue
+    /// (round-robin), resolving when its completion is dispatched.
+    pub fn submit(&self, cmd: PassthruCmd, method: TransferMethod) -> CommandFuture {
+        let qid = self.shard.borrow_mut().pick_queue();
+        self.submit_on(qid, cmd, method)
+    }
+
+    /// Like [`ShardHandle::submit`] on an explicit queue of this shard.
+    pub fn submit_on(
+        &self,
+        qid: QueueId,
+        cmd: PassthruCmd,
+        method: TransferMethod,
+    ) -> CommandFuture {
+        CommandFuture {
+            shard: Rc::clone(&self.shard),
+            qid,
+            cmd: Some(cmd),
+            method,
+            state: FutureState::Unsubmitted,
+        }
+    }
+
+    /// The queues this shard owns.
+    pub fn queues(&self) -> Vec<QueueId> {
+        self.shard.borrow().queues.clone()
+    }
+
+    /// This shard's counters.
+    pub fn stats(&self) -> ShardStats {
+        self.shard.borrow().stats
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FutureState {
+    /// Not yet staged (or staged attempt hit backpressure).
+    Unsubmitted,
+    /// Staged and in flight; waiting for the dispatcher.
+    Waiting { cid: u16 },
+    /// Resolved (terminal; polling again is a contract violation).
+    Done,
+}
+
+/// One asynchronous command: submits on first poll (parking on SQ
+/// backpressure if needed) and resolves with its [`Completion`] when the
+/// reactor dispatches it.
+pub struct CommandFuture {
+    shard: Rc<RefCell<Shard>>,
+    qid: QueueId,
+    cmd: Option<PassthruCmd>,
+    method: TransferMethod,
+    state: FutureState,
+}
+
+impl Future for CommandFuture {
+    type Output = Result<Completion, DriverError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = Pin::into_inner(self);
+        let mut shard = this.shard.borrow_mut();
+        let shard = &mut *shard;
+        match this.state {
+            FutureState::Unsubmitted => {
+                let Some(cmd) = this.cmd.as_ref() else {
+                    return Poll::Ready(Err(DriverError::Unsupported(
+                        "CommandFuture polled after completion",
+                    )));
+                };
+                match shard.drive.poll_prepare(cx, this.qid, cmd, this.method) {
+                    Poll::Pending => {
+                        // SQ full: park on the shard's capacity list; the
+                        // dispatcher wakes it after the next drain.
+                        shard.capacity.push(cx.waker().clone());
+                        Poll::Pending
+                    }
+                    Poll::Ready(Err(e)) => {
+                        this.state = FutureState::Done;
+                        Poll::Ready(Err(e))
+                    }
+                    Poll::Ready(Ok(sub)) => {
+                        this.cmd = None;
+                        this.state = FutureState::Waiting { cid: sub.cid };
+                        shard.stats.submitted += 1;
+                        shard.waiters.insert(
+                            (this.qid.0, sub.cid),
+                            Waiter {
+                                waker: Some(cx.waker().clone()),
+                                done: None,
+                            },
+                        );
+                        // Let the flush policy ring a due doorbell now
+                        // rather than waiting for the executor to go idle.
+                        let _ = shard.drive.poll_submit(cx, this.qid);
+                        Poll::Pending
+                    }
+                }
+            }
+            FutureState::Waiting { cid } => {
+                let key = (this.qid.0, cid);
+                let Some(waiter) = shard.waiters.get_mut(&key) else {
+                    this.state = FutureState::Done;
+                    return Poll::Ready(Err(DriverError::Unsupported(
+                        "reactor waiter entry vanished",
+                    )));
+                };
+                match waiter.done.take() {
+                    Some(done) => {
+                        shard.waiters.remove(&key);
+                        this.state = FutureState::Done;
+                        Poll::Ready(Ok(done))
+                    }
+                    None => {
+                        waiter.waker = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                }
+            }
+            FutureState::Done => Poll::Ready(Err(DriverError::Unsupported(
+                "CommandFuture polled after completion",
+            ))),
+        }
+    }
+}
+
+impl Drop for CommandFuture {
+    fn drop(&mut self) {
+        // A future dropped mid-flight must not leave a stale waiter: the
+        // dispatcher would park its completion forever as consumed-but-
+        // unclaimed. The command itself still completes (it is already in
+        // the queue); its completion is simply counted as orphaned.
+        if let FutureState::Waiting { cid } = self.state {
+            if let Ok(mut shard) = self.shard.try_borrow_mut() {
+                shard.waiters.remove(&(self.qid.0, cid));
+            }
+        }
+    }
+}

@@ -934,6 +934,35 @@ mod tests {
     }
 
     #[test]
+    fn trace_exhaustiveness_covers_reactor_events() {
+        // Regression for the async reactor: its dispatch/idle events are
+        // ordinary EventKind variants, so a handler that predates them
+        // (e.g. a Display impl with no `ReactorDispatch` arm) must be
+        // flagged — the lint is generic over variants, and this pins that
+        // the reactor kinds get no special treatment.
+        let src = "\
+            pub enum EventKind { Tlp { tlps: u64 }, ReactorDispatch { shard: u16, completions: u16 }, ReactorIdleAdvance { step: Nanos } }\n\
+            impl EventKind {\n\
+              pub fn layer(&self) -> &str { match self { Tlp { .. } => \"l\", ReactorDispatch { .. } | ReactorIdleAdvance { .. } => \"reactor\" } }\n\
+              pub fn name(&self) -> &str { match self { Tlp { .. } => \"t\", ReactorDispatch { .. } => \"rd\", ReactorIdleAdvance { .. } => \"ri\" } }\n\
+              pub fn args(&self) { match self { Tlp { .. } => {}, ReactorDispatch { .. } => {} } }\n\
+            }\n\
+            impl Display for EventKind { fn fmt(&self) { match self { Tlp { .. } => {}, ReactorIdleAdvance { .. } => {} } } }";
+        let f = trace_exhaustiveness("e.rs", &lex(src));
+        assert!(
+            f.iter().any(
+                |f| f.message.contains("`ReactorIdleAdvance`") && f.message.contains("fn args")
+            ),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("`ReactorDispatch`") && f.message.contains("fn fmt")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
     fn enum_variant_extraction_skips_payload_fields() {
         let toks = lex("enum E { A { field: u8, other: u16 }, B(u32, u64), C }").tokens;
         assert_eq!(

@@ -24,6 +24,12 @@ pub type FaultHandle = Rc<RefCell<FaultInjector>>;
 /// writes, bypassing the submission queue entirely.
 #[derive(Debug, Clone)]
 pub struct MmioSubmission {
+    /// The I/O queue pair that logically owns this command. The byte
+    /// interface bypasses the submission queue, but the host still issues
+    /// the command *on behalf of* a queue pair (cids are allocated per
+    /// queue), so the device must echo the id back on the completion for
+    /// the host to route it to the right submitter.
+    pub qid: u16,
     /// The command image the host wrote into the window.
     pub sqe: SubmissionEntry,
     /// The payload bytes following it.
@@ -35,6 +41,12 @@ pub struct MmioSubmission {
 /// it breaks the NVMe completion model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MmioCompletion {
+    /// The submitting queue pair's id, echoed from the [`MmioSubmission`].
+    /// Cids are only unique *per queue*, and the status area is shared by
+    /// every queue on the device — without the qid the host cannot tell
+    /// whose command finished, and a poll on one queue would consume (and
+    /// mis-time) completions belonging to another.
+    pub qid: u16,
     /// Command identifier.
     pub cid: u16,
     /// Completion status.

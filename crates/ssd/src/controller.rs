@@ -192,8 +192,11 @@ enum DeferredCompletion {
         outcome: CommandOutcome,
     },
     /// A byte-interface (MMIO window) command: posts a status word, not a
-    /// CQE.
+    /// CQE. Carries the submitting queue's id so the status word (and its
+    /// trace events) route back to the owner — cids alone are ambiguous
+    /// across queues.
     Mmio {
+        qid: u16,
         cid: u16,
         status: Status,
         result: u32,
@@ -650,12 +653,14 @@ impl Controller {
                 1
             }
             DeferredCompletion::Mmio {
+                qid,
                 cid,
                 status,
                 result,
             } => {
                 self.bus.mmio_window.borrow_mut().completions.push_back(
                     crate::bus::MmioCompletion {
+                        qid,
                         cid,
                         status,
                         result,
@@ -663,7 +668,7 @@ impl Controller {
                 );
                 self.bus
                     .trace
-                    .emit_cmd(CmdKey::new(0, cid), || EventKind::CqePost {
+                    .emit_cmd(CmdKey::new(qid, cid), || EventKind::CqePost {
                         status: status.to_wire(),
                     });
                 self.stats.commands_completed += 1;
@@ -725,9 +730,10 @@ impl Controller {
             return None;
         }
         self.bus.clock.advance(self.timing.mmio_detect);
-        // The byte-interface path has no SQ; spans use queue id 0 by
-        // convention (mirrored by the driver's MMIO submit hook).
-        let key = CmdKey::new(0, sub.sqe.cid());
+        // The byte-interface path has no SQ, but the command is still owned
+        // by the submitting queue pair — spans carry its real id, matching
+        // the driver's submit hook and the qid echoed on the status word.
+        let key = CmdKey::new(sub.qid, sub.sqe.cid());
         self.bus.trace.emit_cmd(key, || EventKind::SqeFetch {
             opcode: sub.sqe.opcode_raw(),
         });
@@ -751,6 +757,7 @@ impl Controller {
             self.deferred.push(
                 until,
                 DeferredCompletion::Mmio {
+                    qid: sub.qid,
                     cid: sub.sqe.cid(),
                     status: outcome.status,
                     result: outcome.result,
@@ -764,6 +771,7 @@ impl Controller {
             .borrow_mut()
             .completions
             .push_back(crate::bus::MmioCompletion {
+                qid: sub.qid,
                 cid: sub.sqe.cid(),
                 status: outcome.status,
                 result: outcome.result,

@@ -152,6 +152,16 @@ pub enum EventKind {
     /// PPA because the target page never finished programming.
     JournalReplay { replayed: u32, torn_mappings: u32 },
 
+    // ---- reactor --------------------------------------------------------
+    /// The reactor's completion dispatcher routed a sweep of completions
+    /// (ring CQEs and byte-interface status words alike) to the waiters of
+    /// one shard's queue.
+    ReactorDispatch { shard: u16, completions: u16 },
+    /// The reactor found no runnable task and no ready completion while
+    /// commands were still in flight, and advanced virtual time to let the
+    /// device (or the timeout reaper) make progress.
+    ReactorIdleAdvance { step: Nanos },
+
     // ---- telemetry ------------------------------------------------------
     /// An instantaneous utilization sample taken at a processing edge.
     /// `gauge` names the series; `scope` disambiguates instances (a queue
@@ -191,6 +201,7 @@ impl EventKind {
             NandOp { .. } | GcCycle { .. } => "nand",
             PowerCut { .. } => "controller",
             JournalReplay { .. } => "nand",
+            ReactorDispatch { .. } | ReactorIdleAdvance { .. } => "reactor",
             GaugeSample { .. } => "gauge",
         }
     }
@@ -222,6 +233,8 @@ impl EventKind {
             GcCycle { .. } => "gc_cycle",
             PowerCut { .. } => "power_cut",
             JournalReplay { .. } => "journal_replay",
+            ReactorDispatch { .. } => "reactor_dispatch",
+            ReactorIdleAdvance { .. } => "reactor_idle_advance",
             GaugeSample { .. } => "gauge_sample",
         }
     }
@@ -315,6 +328,11 @@ impl EventKind {
                 ("replayed", replayed.to_value()),
                 ("torn_mappings", torn_mappings.to_value()),
             ]),
+            ReactorDispatch { shard, completions } => Value::object([
+                ("shard", shard.to_value()),
+                ("completions", completions.to_value()),
+            ]),
+            ReactorIdleAdvance { step } => Value::object([("step_ns", step.as_ns().to_value())]),
             GaugeSample {
                 gauge,
                 scope,
@@ -396,6 +414,11 @@ impl fmt::Display for EventKind {
                 replayed,
                 torn_mappings,
             } => write!(f, "journal-replay {replayed} records torn={torn_mappings}"),
+            ReactorDispatch { shard, completions } => write!(
+                f,
+                "reactor-dispatch shard={shard} completions={completions}"
+            ),
+            ReactorIdleAdvance { step } => write!(f, "reactor-idle-advance step={step}"),
             GaugeSample {
                 gauge,
                 scope,
