@@ -63,7 +63,8 @@ fn async_window(total_ops: usize, method: TransferMethod) -> (u64, f64, f64, f64
         execution_model: ExecutionModel::Pipelined,
         retry_policy: Some(RetryPolicy::default()),
         ..ReactorConfig::default()
-    });
+    })
+    .expect("reactor construction: config is static and valid");
     let clients = SHARDS * CLIENTS_PER_SHARD;
     let per_client = total_ops.div_ceil(clients).max(1);
     let mut tasks: Vec<Task<Result<u64, String>>> = Vec::new();

@@ -968,6 +968,7 @@ impl NvmeDriver {
 
         // The critical section the paper leans on: command and chunks are
         // placed contiguously while holding the SQ lock.
+        // bx-lint: allow(blocking-in-poll, reason = "models the kernel SQ lock; uncontended by construction in the single-threaded sim, never held across a yield")
         let _guard = qp.lock.lock();
         let slot = qp.sq.push_slot();
         bus.mem
@@ -1152,6 +1153,7 @@ impl NvmeDriver {
         if !qp.sq.can_push(1) {
             return Err(DriverError::QueueFull { needed: 1, free: 0 });
         }
+        // bx-lint: allow(blocking-in-poll, reason = "models the kernel SQ lock; uncontended by construction in the single-threaded sim, never held across a yield")
         let _guard = qp.lock.lock();
         let slot = qp.sq.push_slot();
         bus.mem

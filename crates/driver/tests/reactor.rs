@@ -35,7 +35,8 @@ fn multi_shard_clients_round_trip() {
         execution_model: ExecutionModel::Pipelined,
         retry_policy: Some(RetryPolicy::default()),
         ..ReactorConfig::default()
-    });
+    })
+    .expect("reactor construction");
     const CLIENTS_PER_SHARD: usize = 4;
     const WRITES_PER_CLIENT: u64 = 8;
     let mut tasks: Vec<Task<Result<(), String>>> = Vec::new();
@@ -99,7 +100,8 @@ fn backpressure_parks_and_releases() {
         // One doorbell per submission: the SQ genuinely fills.
         flush_policy: None,
         ..ReactorConfig::default()
-    });
+    })
+    .expect("reactor construction");
     // Queue depth 8 leaves 7 usable slots; ByteExpress trains take extra
     // slots, so 32 concurrent single-slot PRP writes overcommit heavily.
     let mut tasks: Vec<Task<Result<Completion, DriverError>>> = Vec::new();
@@ -130,7 +132,8 @@ fn mmio_byte_routes_through_dispatcher() {
         shards: 3,
         retry_policy: Some(RetryPolicy::default()),
         ..ReactorConfig::default()
-    });
+    })
+    .expect("reactor construction");
     let mut tasks: Vec<Task<Result<Completion, DriverError>>> = Vec::new();
     for shard in 0..reactor.shard_count() {
         for i in 0..6u64 {
@@ -172,7 +175,8 @@ fn lost_doorbell_surfaces_as_aborted_completion() {
         retry_policy: Some(RetryPolicy::default()),
         flush_policy: None,
         ..ReactorConfig::default()
-    });
+    })
+    .expect("reactor construction");
     reactor.bus().install_faults(FaultConfig {
         drop_doorbell: 1.0,
         ..FaultConfig::disabled()
@@ -212,7 +216,8 @@ fn runs_are_deterministic() {
             execution_model: ExecutionModel::Pipelined,
             flush_policy: Some(FlushPolicy::default()),
             ..ReactorConfig::default()
-        });
+        })
+        .expect("reactor construction");
         let mut tasks: Vec<Task<Result<Completion, DriverError>>> = Vec::new();
         for shard in 0..reactor.shard_count() {
             for i in 0..10u64 {
@@ -256,7 +261,8 @@ fn dispatch_events_are_traced() {
         shards: 2,
         trace: true,
         ..ReactorConfig::default()
-    });
+    })
+    .expect("reactor construction");
     let mut tasks: Vec<Task<Result<Completion, DriverError>>> = Vec::new();
     for shard in 0..2 {
         let handle = reactor.handle(shard);

@@ -221,6 +221,7 @@ impl LsmKvFirmware {
             if *count > 0 {
                 page[..4].copy_from_slice(&count.to_le_bytes());
                 pages.push(std::mem::replace(page, vec![0u8; PAGE_SIZE]));
+                // bx-lint: allow(transitive-panic, reason = "count > 0 implies first was set when the first entry was appended to this page")
                 page_index.push(first.take().expect("page has entries"));
                 *off = 4;
                 *count = 0;

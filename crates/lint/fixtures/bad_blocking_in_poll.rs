@@ -1,0 +1,21 @@
+//! Bad fixture: a poll-shaped function blocks the executor thread through a
+//! helper that takes a mutex. Expected findings: `blocking-in-poll` at
+//! `CommandFuture::poll`, chain `CommandFuture::poll -> wait_for_slot`.
+
+use std::sync::Mutex;
+use std::task::Poll;
+
+pub struct CommandFuture {
+    slots: Mutex<u32>,
+}
+
+impl CommandFuture {
+    pub fn poll(&self) -> Poll<u32> {
+        Poll::Ready(wait_for_slot(&self.slots))
+    }
+}
+
+fn wait_for_slot(slots: &Mutex<u32>) -> u32 {
+    // The blocking sink: parks the executor thread on lock contention.
+    *slots.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -1,0 +1,23 @@
+//! Bad fixture: a `RefCell` borrow guard is still live when the poll
+//! function returns `Poll::Pending` — a re-entrant wake-up that polls again
+//! would hit a double-borrow panic. Expected findings:
+//! `borrow-across-pending` at the `Poll::Pending` site.
+
+use std::cell::RefCell;
+use std::task::Poll;
+
+pub struct SharedState {
+    pending: RefCell<u32>,
+}
+
+impl SharedState {
+    pub fn poll_ready(&self) -> Poll<u32> {
+        let guard = self.pending.borrow_mut();
+        if *guard == 0 {
+            Poll::Ready(0)
+        } else {
+            // `guard` is live here: the borrow spans the suspension point.
+            Poll::Pending
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Bad fixture: the hot submission path reaches an abort source two calls
+//! deep — invisible to the token-level rule's file-local view. Expected
+//! findings: `transitive-panic` at the root, with the full call chain
+//! `NvmeDriver::submit_inline -> encode_payload -> slot_of` printed.
+
+pub struct NvmeDriver {
+    depth: usize,
+}
+
+impl NvmeDriver {
+    pub fn submit_inline(&self, payload: &[u64]) -> u64 {
+        encode_payload(payload, self.depth)
+    }
+}
+
+fn encode_payload(payload: &[u64], depth: usize) -> u64 {
+    slot_of(payload, depth)
+}
+
+fn slot_of(payload: &[u64], depth: usize) -> u64 {
+    // The abort source: a helper three frames from the entry point.
+    payload.get(depth).copied().unwrap()
+}

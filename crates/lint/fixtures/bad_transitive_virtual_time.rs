@@ -1,0 +1,25 @@
+//! Bad fixture: the controller's processing loop reaches a wall-clock read
+//! through a timing helper — a chain the file-local token rule cannot see
+//! across real crate boundaries. Expected findings:
+//! `transitive-virtual-time` at `Controller::process_batch`, chain
+//! `Controller::process_batch -> stamp_arrival -> now_nanos`.
+
+pub struct Controller {
+    last_arrival: u64,
+}
+
+impl Controller {
+    pub fn process_batch(&mut self, count: u32) -> u32 {
+        self.last_arrival = stamp_arrival();
+        count
+    }
+}
+
+fn stamp_arrival() -> u64 {
+    now_nanos()
+}
+
+fn now_nanos() -> u64 {
+    // The wall-clock sink, two frames below the hot root.
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,23 @@
+//! Good twin of `bad_blocking_in_poll.rs`: the poll function signals
+//! backpressure with `Poll::Pending` instead of blocking, and the helper it
+//! calls is a pure capacity check. Expected findings: none.
+
+use std::task::Poll;
+
+pub struct CommandFuture {
+    free_slots: u32,
+}
+
+impl CommandFuture {
+    pub fn poll(&self) -> Poll<u32> {
+        if has_capacity(self.free_slots) {
+            Poll::Ready(self.free_slots)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+fn has_capacity(free_slots: u32) -> bool {
+    free_slots > 0
+}

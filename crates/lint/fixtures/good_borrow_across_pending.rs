@@ -1,0 +1,36 @@
+//! Good twin of `bad_borrow_across_pending.rs`: the borrow guard is
+//! released — by scope exit and by explicit `drop` — before either
+//! `Poll::Pending` site, so a re-entrant poll can re-borrow safely.
+//! Expected findings: none.
+
+use std::cell::RefCell;
+use std::task::Poll;
+
+pub struct SharedState {
+    pending: RefCell<u32>,
+}
+
+impl SharedState {
+    pub fn poll_ready(&self) -> Poll<u32> {
+        let remaining = {
+            let guard = self.pending.borrow();
+            *guard
+        };
+        if remaining == 0 {
+            Poll::Ready(0)
+        } else {
+            Poll::Pending
+        }
+    }
+
+    pub fn poll_drain(&self) -> Poll<u32> {
+        let guard = self.pending.borrow_mut();
+        let remaining = *guard;
+        drop(guard);
+        if remaining == 0 {
+            Poll::Ready(0)
+        } else {
+            Poll::Pending
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Good twin of `bad_transitive_panic.rs`: the same call shape, but the
+//! deep helper propagates `Option` instead of unwrapping, so no abort
+//! source is reachable from the hot root. Expected findings: none.
+
+pub struct NvmeDriver {
+    depth: usize,
+}
+
+impl NvmeDriver {
+    pub fn submit_inline(&self, payload: &[u64]) -> Option<u64> {
+        encode_payload(payload, self.depth)
+    }
+}
+
+fn encode_payload(payload: &[u64], depth: usize) -> Option<u64> {
+    slot_of(payload, depth)
+}
+
+fn slot_of(payload: &[u64], depth: usize) -> Option<u64> {
+    payload.get(depth).copied()
+}

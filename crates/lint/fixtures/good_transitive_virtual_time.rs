@@ -1,0 +1,18 @@
+//! Good twin of `bad_transitive_virtual_time.rs`: the arrival timestamp is
+//! passed in as virtual `Nanos` by the caller, so no chain from the hot
+//! root touches a wall clock. Expected findings: none.
+
+pub struct Controller {
+    last_arrival: u64,
+}
+
+impl Controller {
+    pub fn process_batch(&mut self, now: u64, count: u32) -> u32 {
+        self.last_arrival = stamp_arrival(now);
+        count
+    }
+}
+
+fn stamp_arrival(now: u64) -> u64 {
+    now
+}

@@ -6,7 +6,7 @@
 //! not abort, a flight recorder that must never silently drop an event
 //! kind, and a strict no-`unsafe` posture. bx-lint walks every workspace
 //! source with a hand-rolled token scanner (no `syn` — the vendored offline
-//! build stays dependency-free) and enforces six rules:
+//! build stays dependency-free) and enforces the token rules:
 //!
 //! | rule                  | invariant guarded                                   |
 //! |-----------------------|-----------------------------------------------------|
@@ -15,7 +15,22 @@
 //! | `panic-freedom`       | no `.unwrap()`/`.expect()`/`panic!`-family (and, in ring/bitmap files, no non-literal indexing) in non-test hot-path code |
 //! | `trace-exhaustiveness`| every `EventKind` variant is handled by all trace handlers, with no wildcard arms |
 //! | `unsafe-confinement`  | `unsafe` only in allowlisted files; every crate root carries `#![forbid(unsafe_code)]` |
-//! | `hash-iteration`      | no iteration over `HashMap`/`HashSet` in replay-relevant crates unless it feeds a sorted drain — randomized order must never reach wire, trace, or CQE order |
+//! | `hash-iteration`      | no iteration over `HashMap`/`HashSet` anywhere in the workspace unless it feeds a sorted drain — randomized order must never reach wire, trace, or CQE order |
+//! | `borrow-across-pending` | no `RefCell` borrow guard live at a `Poll::Pending` yield site |
+//!
+//! and, since PR 10, the **interprocedural** rules over a workspace call
+//! graph ([`graph`] + [`reach`]):
+//!
+//! | rule                      | invariant guarded                               |
+//! |---------------------------|-------------------------------------------------|
+//! | `transitive-virtual-time` | no hot-path entry point reaches a wall-clock read through any call chain |
+//! | `transitive-panic`        | no hot-path entry point reaches an abort source through any call chain |
+//! | `blocking-in-poll`        | nothing reachable from a poll fn blocks the executor thread |
+//!
+//! Machine-readable output is SARIF 2.1.0 ([`sarif`]); `--baseline
+//! lint_baseline.json` gates CI on *new* findings only, so conservative
+//! transitive findings can be accepted explicitly without rotting into
+//! blanket suppressions.
 //!
 //! The escape hatch is an explicit, reasoned annotation on (or directly
 //! above) the offending line:
@@ -36,8 +51,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod lexer;
+pub mod reach;
 pub mod rules;
+pub mod sarif;
 
 use lexer::{lex, Lexed};
 use std::collections::BTreeMap;
@@ -55,6 +73,23 @@ pub struct Finding {
     pub rule: &'static str,
     /// What is wrong and how to fix or justify it.
     pub message: String,
+    /// Explicit stable baseline key for findings whose message embeds
+    /// drifting detail (transitive chains embed sink line numbers); token
+    /// findings leave this `None` and fingerprint by message.
+    pub key: Option<String>,
+}
+
+impl Finding {
+    /// The stable identity used by the baseline and SARIF
+    /// `partialFingerprints`: the explicit key when set, else
+    /// `rule|file|message` (token-rule messages are line-free by
+    /// construction, so this survives unrelated edits shifting lines).
+    pub fn fingerprint(&self) -> String {
+        match &self.key {
+            Some(k) => k.clone(),
+            None => format!("{}|{}|{}", self.rule, self.file, self.message),
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -115,7 +150,24 @@ impl Config {
         Config {
             sim_crates: s(&["hostsim", "driver", "nvme", "pcie", "ssd", "trace"]),
             hot_crates: s(&["driver", "nvme", "ssd"]),
-            hash_checked_crates: s(&["ssd", "driver"]),
+            // Replay determinism is a workspace-wide property: a randomized
+            // drain order anywhere upstream of wire bytes, trace events, or
+            // report output breaks the fixed-seed evidence chain, so every
+            // crate is hash-checked (widened from ssd+driver in PR 10).
+            hash_checked_crates: s(&[
+                "bench",
+                "core",
+                "csd",
+                "driver",
+                "hostsim",
+                "kvssd",
+                "lint",
+                "nvme",
+                "pcie",
+                "ssd",
+                "trace",
+                "workloads",
+            ]),
             index_checked_files: s(&[
                 "crates/nvme/src/queue.rs",
                 "crates/ssd/src/reassembly.rs",
@@ -198,6 +250,7 @@ pub fn lint_file(rel: &str, lx: &Lexed, cfg: &Config) -> Vec<Finding> {
             line: bad.line,
             rule: rules::ANNOTATION,
             message: bad.why.clone(),
+            key: None,
         });
     }
 
@@ -220,6 +273,12 @@ pub fn lint_file(rel: &str, lx: &Lexed, cfg: &Config) -> Vec<Finding> {
         && is_library_source(rel)
     {
         raw.extend(rules::hash_iteration(rel, lx));
+    }
+
+    // borrow-across-pending: every library source — poll-shaped functions
+    // can appear wherever futures are hand-rolled.
+    if is_library_source(rel) {
+        raw.extend(rules::borrow_across_pending(rel, lx));
     }
 
     // unsafe-confinement: every file; crate roots additionally need the
@@ -289,6 +348,21 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Analyzer wall time in milliseconds (scan + graph + reachability).
+    /// bx-lint is a build tool, not a sim crate — reading the host clock
+    /// here is fine and is what CI records to catch analysis-speed
+    /// regressions.
+    pub wall_ms: u64,
+}
+
+/// A baseline comparison: which findings are genuinely new and how many
+/// were absorbed by the committed baseline.
+#[derive(Debug)]
+pub struct Gate {
+    /// Findings not covered by the baseline — these fail CI.
+    pub new: Vec<Finding>,
+    /// Count of findings matched (and consumed) by baseline entries.
+    pub baselined: usize,
 }
 
 impl Report {
@@ -302,10 +376,31 @@ impl Report {
         map
     }
 
+    /// Splits findings into new-vs-baselined against `baseline`. Each
+    /// baseline entry absorbs up to its recorded count of findings with the
+    /// same stable fingerprint; the excess (and anything unknown to the
+    /// baseline) is new.
+    pub fn gate(&self, baseline: &sarif::Baseline) -> Gate {
+        let mut budget = baseline.counts.clone();
+        let mut new = Vec::new();
+        let mut baselined = 0usize;
+        for f in &self.findings {
+            match budget.get_mut(&f.fingerprint()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    baselined += 1;
+                }
+                _ => new.push(f.clone()),
+            }
+        }
+        Gate { new, baselined }
+    }
+
     /// The machine-readable summary line, matching the bench-bin convention:
     /// a single JSON document with `bin` and `results` (where `failures`
-    /// gates CI).
-    pub fn json_line(&self) -> String {
+    /// gates CI). Without a baseline every finding is a failure; with one,
+    /// only the gate's new findings fail.
+    pub fn json_line(&self, gate: Option<&Gate>) -> String {
         let mut rules_json = String::new();
         for (i, (rule, count)) in self.by_rule().into_iter().enumerate() {
             if i > 0 {
@@ -313,11 +408,18 @@ impl Report {
             }
             rules_json.push_str(&format!("\"{rule}\":{count}"));
         }
+        let (failures, new_findings, baselined) = match gate {
+            Some(g) => (g.new.len(), g.new.len(), g.baselined),
+            None => (self.findings.len(), self.findings.len(), 0),
+        };
         format!(
-            "{{\"bin\":\"bx-lint\",\"results\":{{\"files_scanned\":{},\"findings\":{},\"failures\":{},\"by_rule\":{{{}}}}}}}",
+            "{{\"bin\":\"bx-lint\",\"results\":{{\"files_scanned\":{},\"findings\":{},\"failures\":{},\"new_findings\":{},\"baselined\":{},\"wall_ms\":{},\"by_rule\":{{{}}}}}}}",
             self.files_scanned,
             self.findings.len(),
-            self.findings.len(),
+            failures,
+            new_findings,
+            baselined,
+            self.wall_ms,
             rules_json
         )
     }
@@ -328,10 +430,14 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     lint_workspace_with(root, &Config::workspace())
 }
 
-/// Lints the workspace at `root` under an explicit config.
+/// Lints the workspace at `root` under an explicit config: the per-file
+/// token pass over every source, then the interprocedural pass (call-graph
+/// build + transitive reachability rules) over library sources.
 pub fn lint_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let started = std::time::Instant::now();
     let files = collect_sources(root)?;
     let mut findings = Vec::new();
+    let mut lexed: Vec<(String, Lexed)> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -341,19 +447,53 @@ pub fn lint_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Report>
         let src = std::fs::read_to_string(path)?;
         let lx = lex(&src);
         findings.extend(lint_file(&rel, &lx, cfg));
+        lexed.push((rel, lx));
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.extend(interprocedural_pass(&lexed));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(Report {
         findings,
         files_scanned: files.len(),
+        wall_ms: started.elapsed().as_millis() as u64,
     })
+}
+
+/// Builds the workspace call graph over library sources and runs the three
+/// transitive rules, suppressing any finding whose root `fn` line carries an
+/// allow annotation for the rule (whole-root exemption; sink-side
+/// suppression already happened during extraction).
+pub fn build_call_graph(lexed: &[(String, Lexed)]) -> graph::CallGraph {
+    graph::CallGraph::build(
+        lexed
+            .iter()
+            .filter(|(rel, _)| is_library_source(rel))
+            .map(|(rel, lx)| (rel.as_str(), lx)),
+    )
+}
+
+fn interprocedural_pass(lexed: &[(String, Lexed)]) -> Vec<Finding> {
+    let g = build_call_graph(lexed);
+    let mut out = Vec::new();
+    out.extend(reach::transitive_virtual_time(&g));
+    out.extend(reach::transitive_panic(&g));
+    out.extend(reach::blocking_in_poll(&g));
+    out.retain(|f| {
+        lexed
+            .iter()
+            .find(|(rel, _)| *rel == f.file)
+            .is_none_or(|(_, lx)| !reach::root_allowed(lx, f))
+    });
+    out
 }
 
 /// Lints a single standalone fixture file, applying every rule as if the
 /// file were sim-crate + hot-crate + index-checked + unsafe-checked source.
 /// Wire-layout and trace-exhaustiveness additionally apply when the file
-/// name contains `wire` / `trace` (fixture files opt in by name).
+/// name contains `wire` / `trace` (fixture files opt in by name); the
+/// transitive rules run over a single-file call graph, so fixtures can seed
+/// multi-hop chains within one file.
 pub fn lint_fixture(path: &Path) -> std::io::Result<Report> {
+    let started = std::time::Instant::now();
     let src = std::fs::read_to_string(path)?;
     let lx = lex(&src);
     let rel = path.to_string_lossy().replace('\\', "/");
@@ -369,12 +509,26 @@ pub fn lint_fixture(path: &Path) -> std::io::Result<Report> {
             line: bad.line,
             rule: rules::ANNOTATION,
             message: bad.why.clone(),
+            key: None,
         });
     }
     findings.extend(rules::virtual_time_purity(&rel, &lx));
     findings.extend(rules::panic_freedom(&rel, &lx, true));
     findings.extend(rules::hash_iteration(&rel, &lx));
+    findings.extend(rules::borrow_across_pending(&rel, &lx));
     findings.extend(rules::unsafe_confinement(&rel, &lx, false));
+    {
+        // Single-file interprocedural pass: fixture paths don't contain
+        // `/src/`, so build the graph directly rather than via the
+        // library-source filter.
+        let g = graph::CallGraph::build([(rel.as_str(), &lx)]);
+        let mut reach_findings = Vec::new();
+        reach_findings.extend(reach::transitive_virtual_time(&g));
+        reach_findings.extend(reach::transitive_panic(&g));
+        reach_findings.extend(reach::blocking_in_poll(&g));
+        reach_findings.retain(|f| !reach::root_allowed(&lx, f));
+        findings.extend(reach_findings);
+    }
     if name.contains("wire") {
         let spec = WireSpec {
             file: rel.clone(),
@@ -394,10 +548,11 @@ pub fn lint_fixture(path: &Path) -> std::io::Result<Report> {
         findings.extend(rules::trace_exporters_present(&rel, &lx));
     }
     findings.retain(|f| f.rule == rules::ANNOTATION || !lx.is_allowed(f.rule, f.line));
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(Report {
         findings,
         files_scanned: 1,
+        wall_ms: started.elapsed().as_millis() as u64,
     })
 }
 
@@ -427,15 +582,49 @@ mod tests {
                 line: 3,
                 rule: rules::PANIC_FREEDOM,
                 message: "m".into(),
+                key: None,
             }],
             files_scanned: 2,
+            wall_ms: 7,
         };
-        let line = report.json_line();
+        let line = report.json_line(None);
         assert!(line.starts_with("{\"bin\":\"bx-lint\""), "{line}");
         assert!(line.contains("\"findings\":1"));
         assert!(line.contains("\"failures\":1"));
+        assert!(line.contains("\"new_findings\":1"));
+        assert!(line.contains("\"baselined\":0"));
+        assert!(line.contains("\"wall_ms\":7"));
         assert!(line.contains("\"panic-freedom\":1"));
         assert!(line.contains("\"wire-layout\":0"));
+        assert!(line.contains("\"transitive-panic\":0"));
+        assert!(line.contains("\"blocking-in-poll\":0"));
+    }
+
+    #[test]
+    fn gate_consumes_baseline_counts_and_flags_excess() {
+        let f = |line: u32| Finding {
+            file: "x.rs".into(),
+            line,
+            rule: rules::PANIC_FREEDOM,
+            message: "m".into(),
+            key: None,
+        };
+        let report = Report {
+            findings: vec![f(1), f(2), f(3)],
+            files_scanned: 1,
+            wall_ms: 0,
+        };
+        // Baseline accepts two of the identical-fingerprint findings.
+        let baseline = sarif::Baseline::from_findings(&[f(1), f(2)]);
+        let gate = report.gate(&baseline);
+        assert_eq!(gate.baselined, 2);
+        assert_eq!(gate.new.len(), 1);
+        let line = report.json_line(Some(&gate));
+        assert!(line.contains("\"failures\":1"), "{line}");
+        assert!(line.contains("\"baselined\":2"), "{line}");
+        // An empty baseline gates nothing.
+        let gate = report.gate(&sarif::Baseline::default());
+        assert_eq!(gate.new.len(), 3);
     }
 
     #[test]

@@ -2,18 +2,23 @@
 //!
 //! ```text
 //! bx-lint --workspace [--root <path>] [--json]   lint the whole workspace
+//!         [--baseline lint_baseline.json]        fail only on NEW findings
+//!         [--update-baseline]                    rewrite the baseline file
+//!         [--sarif report.sarif]                 write a SARIF 2.1.0 log
+//!         [--dump-graph graph.json]              dump the call graph
 //! bx-lint --fixture <file.rs> [--json]           lint one fixture file
 //! bx-lint --self-test [--json]                   run the bundled fixtures
 //! ```
 //!
-//! Exit code 0 means no findings (or, for `--self-test`, that every bad
-//! fixture failed and every good fixture passed); 1 means findings; 2 means
+//! Exit code 0 means no findings — or, with `--baseline`, no findings
+//! beyond the committed baseline (and, for `--self-test`, that every bad
+//! fixture failed and every good fixture passed); 1 means failures; 2 means
 //! usage or I/O error. With `--json` the final stdout line is a single JSON
 //! document in the bench-bin convention (`results.failures` gates CI).
 
 #![forbid(unsafe_code)]
 
-use bx_lint::{lint_fixture, lint_workspace, Report};
+use bx_lint::{lint_fixture, lint_workspace, sarif, Gate, Report};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -23,6 +28,10 @@ struct Args {
     self_test: bool,
     root: Option<PathBuf>,
     json: bool,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    sarif_out: Option<PathBuf>,
+    dump_graph: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +41,10 @@ fn parse_args() -> Result<Args, String> {
         self_test: false,
         root: None,
         json: false,
+        baseline: None,
+        update_baseline: false,
+        sarif_out: None,
+        dump_graph: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -39,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
             "--workspace" => args.workspace = true,
             "--self-test" => args.self_test = true,
             "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
             "--fixture" => {
                 let p = it.next().ok_or("--fixture requires a path")?;
                 args.fixture = Some(PathBuf::from(p));
@@ -46,6 +60,18 @@ fn parse_args() -> Result<Args, String> {
             "--root" => {
                 let p = it.next().ok_or("--root requires a path")?;
                 args.root = Some(PathBuf::from(p));
+            }
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline requires a path")?;
+                args.baseline = Some(PathBuf::from(p));
+            }
+            "--sarif" => {
+                let p = it.next().ok_or("--sarif requires a path")?;
+                args.sarif_out = Some(PathBuf::from(p));
+            }
+            "--dump-graph" => {
+                let p = it.next().ok_or("--dump-graph requires a path")?;
+                args.dump_graph = Some(PathBuf::from(p));
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -57,6 +83,12 @@ fn parse_args() -> Result<Args, String> {
         != 1
     {
         return Err("pass exactly one of --workspace, --fixture <path>, --self-test".into());
+    }
+    if args.update_baseline && args.baseline.is_none() {
+        return Err("--update-baseline requires --baseline <path>".into());
+    }
+    if (args.baseline.is_some() || args.dump_graph.is_some()) && !args.workspace {
+        return Err("--baseline/--dump-graph only apply to --workspace".into());
     }
     Ok(args)
 }
@@ -72,26 +104,53 @@ fn workspace_root(args: &Args) -> PathBuf {
     })
 }
 
-fn emit(report: &Report, json: bool) -> ExitCode {
-    for f in &report.findings {
-        eprintln!("{f}");
+fn emit(report: &Report, gate: Option<&Gate>, json: bool) -> ExitCode {
+    match gate {
+        Some(g) => {
+            for f in &g.new {
+                eprintln!("{f}");
+            }
+            if g.new.is_empty() {
+                eprintln!(
+                    "bx-lint: clean vs baseline ({} files scanned, {} baselined finding(s))",
+                    report.files_scanned, g.baselined
+                );
+            } else {
+                eprintln!(
+                    "bx-lint: {} NEW finding(s) beyond baseline ({} baselined) across {} file(s)",
+                    g.new.len(),
+                    g.baselined,
+                    report.files_scanned
+                );
+            }
+        }
+        None => {
+            for f in &report.findings {
+                eprintln!("{f}");
+            }
+            if report.findings.is_empty() {
+                eprintln!("bx-lint: clean ({} files scanned)", report.files_scanned);
+            } else {
+                eprintln!(
+                    "bx-lint: {} finding(s) across {} file(s)",
+                    report.findings.len(),
+                    report.files_scanned
+                );
+            }
+        }
     }
-    if report.findings.is_empty() {
-        eprintln!("bx-lint: clean ({} files scanned)", report.files_scanned);
-    } else {
-        eprintln!(
-            "bx-lint: {} finding(s) across {} file(s)",
-            report.findings.len(),
-            report.files_scanned
-        );
-    }
+    eprintln!("bx-lint: analysis took {} ms", report.wall_ms);
     if json {
-        println!("{}", report.json_line());
+        println!("{}", report.json_line(gate));
     }
-    if report.findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    let failed = match gate {
+        Some(g) => !g.new.is_empty(),
+        None => !report.findings.is_empty(),
+    };
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -157,6 +216,63 @@ fn self_test(json: bool) -> ExitCode {
     }
 }
 
+fn run_workspace(args: &Args) -> Result<ExitCode, String> {
+    let root = workspace_root(args);
+    let report = lint_workspace(&root).map_err(|e| e.to_string())?;
+
+    if let Some(path) = &args.dump_graph {
+        // Re-lex library sources for the dump; cost is dwarfed by the lint
+        // pass itself and keeps the public lint API result-only.
+        let files = bx_lint::collect_sources(&root).map_err(|e| e.to_string())?;
+        let mut lexed = Vec::new();
+        for p in &files {
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+            lexed.push((rel, bx_lint::lexer::lex(&src)));
+        }
+        let g = bx_lint::build_call_graph(&lexed);
+        std::fs::write(path, g.to_json()).map_err(|e| e.to_string())?;
+        eprintln!(
+            "bx-lint: call graph ({} items) written to {}",
+            g.items.len(),
+            path.display()
+        );
+    }
+
+    if let Some(path) = &args.sarif_out {
+        std::fs::write(path, sarif::to_sarif(&report)).map_err(|e| e.to_string())?;
+        eprintln!("bx-lint: SARIF report written to {}", path.display());
+    }
+
+    if args.update_baseline {
+        let path = args.baseline.as_ref().expect("checked in parse_args");
+        let baseline = sarif::Baseline::from_findings(&report.findings);
+        std::fs::write(path, baseline.emit()).map_err(|e| e.to_string())?;
+        eprintln!(
+            "bx-lint: baseline with {} fingerprint(s) written to {}",
+            baseline.counts.len(),
+            path.display()
+        );
+        return Ok(emit(&report, Some(&report.gate(&baseline)), args.json));
+    }
+
+    let gate = match &args.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+            let baseline = sarif::Baseline::parse(&text)
+                .map_err(|e| format!("bad baseline {}: {e}", path.display()))?;
+            Some(report.gate(&baseline))
+        }
+        None => None,
+    };
+    Ok(emit(&report, gate.as_ref(), args.json))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -168,13 +284,18 @@ fn main() -> ExitCode {
     if args.self_test {
         return self_test(args.json);
     }
-    let report = if let Some(fixture) = &args.fixture {
-        lint_fixture(fixture)
-    } else {
-        lint_workspace(&workspace_root(&args))
-    };
-    match report {
-        Ok(r) => emit(&r, args.json),
+    if args.workspace {
+        return match run_workspace(&args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("bx-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let fixture = args.fixture.as_ref().expect("parse_args enforces a mode");
+    match lint_fixture(fixture) {
+        Ok(r) => emit(&r, None, args.json),
         Err(e) => {
             eprintln!("bx-lint: {e}");
             ExitCode::from(2)

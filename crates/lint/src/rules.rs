@@ -23,9 +23,20 @@ pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
 pub const HASH_ITERATION: &str = "hash-iteration";
 /// Malformed `bx-lint:` annotations are themselves findings under this name.
 pub const ANNOTATION: &str = "annotation";
+/// Transitive [`VIRTUAL_TIME`]: a hot-path root reaches a wall-clock read
+/// through the call graph (see `crate::reach`).
+pub const TRANSITIVE_VIRTUAL_TIME: &str = "transitive-virtual-time";
+/// Transitive [`PANIC_FREEDOM`]: a hot-path root reaches an abort source
+/// through the call graph.
+pub const TRANSITIVE_PANIC: &str = "transitive-panic";
+/// No blocking operation (sleep, busy-wait, blocking lock) reachable from a
+/// poll-shaped function — `Poll::Pending` is the only legal backpressure.
+pub const BLOCKING_IN_POLL: &str = "blocking-in-poll";
+/// No `RefCell` borrow guard live at a `return Poll::Pending` site.
+pub const BORROW_ACROSS_PENDING: &str = "borrow-across-pending";
 
 /// All enforceable rule names (used by `--self-test` and the JSON summary).
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 11] = [
     WIRE_LAYOUT,
     VIRTUAL_TIME,
     PANIC_FREEDOM,
@@ -33,7 +44,38 @@ pub const ALL_RULES: [&str; 7] = [
     UNSAFE_CONFINEMENT,
     HASH_ITERATION,
     ANNOTATION,
+    TRANSITIVE_VIRTUAL_TIME,
+    TRANSITIVE_PANIC,
+    BLOCKING_IN_POLL,
+    BORROW_ACROSS_PENDING,
 ];
+
+/// One-line rule summaries for the SARIF tool descriptor.
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        WIRE_LAYOUT => "on-ring types pin their encoded size and register a codec pair",
+        VIRTUAL_TIME => "no wall-clock APIs in simulation crates",
+        PANIC_FREEDOM => "no abort sources in non-test hot-path library code",
+        TRACE_EXHAUSTIVE => "every EventKind variant handled by all trace handlers",
+        UNSAFE_CONFINEMENT => "`unsafe` only in allowlisted files",
+        HASH_ITERATION => "no randomized-order hash iteration in replay-relevant code",
+        ANNOTATION => "bx-lint allow annotations must be well-formed with a reason",
+        TRANSITIVE_VIRTUAL_TIME => {
+            "no hot-path entry point may reach a wall-clock read through any call chain"
+        }
+        TRANSITIVE_PANIC => {
+            "no hot-path entry point may reach an abort source through any call chain"
+        }
+        BLOCKING_IN_POLL => {
+            "no blocking operation reachable from a poll function; Poll::Pending is the only \
+             legal backpressure"
+        }
+        BORROW_ACROSS_PENDING => {
+            "no RefCell borrow guard may be live at a `return Poll::Pending` site"
+        }
+        _ => "unknown rule",
+    }
+}
 
 fn finding(path: &str, line: u32, rule: &'static str, message: String) -> Finding {
     Finding {
@@ -41,6 +83,7 @@ fn finding(path: &str, line: u32, rule: &'static str, message: String) -> Findin
         line,
         rule,
         message,
+        key: None,
     }
 }
 
@@ -703,6 +746,200 @@ fn enum_variants(toks: &[Tok], name: &str) -> Option<Vec<String>> {
     Some(variants)
 }
 
+// ---------------------------------------------------------------------------
+// borrow-across-pending
+// ---------------------------------------------------------------------------
+
+/// A `RefCell` borrow guard live at a `Poll::Pending` site.
+///
+/// The reactor's shared state lives behind `Rc<RefCell<..>>`; a future's
+/// `poll` borrows it, does its work, and returns. If a borrow guard is still
+/// live when the function yields `Poll::Pending`, the guard drops only as
+/// the frame unwinds — correct on today's single-threaded executor, but a
+/// re-entrant wake (a waker invoked synchronously from inside `poll`, a
+/// nested `poll` during dispatch) hits `already borrowed: BorrowMutError` at
+/// runtime. This is exactly the bug class rustc cannot check through
+/// `RefCell`, so the lint enforces the discipline token-wise: inside any
+/// function whose signature mentions `Poll`, every binding initialized from
+/// a `borrow()`/`borrow_mut()`/`try_borrow*()` call is tracked as a guard
+/// (killed at scope exit or by an explicit `drop(name)`), and any
+/// expression-position `Poll::Pending` with a guard still live is a finding.
+/// Match-pattern uses of `Poll::Pending` (`Poll::Pending => ..`,
+/// `Poll::Pending | ..`, `let Poll::Pending = ..`) are not yield sites and
+/// are skipped.
+pub fn borrow_across_pending(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let toks = &lx.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)) {
+            i += 1;
+            continue;
+        }
+        // Signature: fn name .. { — poll-shaped iff `Poll` appears before
+        // the body opens.
+        let mut j = i + 2;
+        let mut poll_shaped = false;
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            if toks[j].is_ident("Poll") {
+                poll_shaped = true;
+            }
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].is_punct(';') {
+            i = j + 1;
+            continue;
+        }
+        if !poll_shaped || lx.in_test_code(toks[i].line) {
+            i = j; // descend normally; nested fns get their own check
+            continue;
+        }
+        let body_end = check_poll_body(path, toks, j, &mut out);
+        i = body_end;
+    }
+    out
+}
+
+struct Guard {
+    name: String,
+    line: u32,
+    depth: i32,
+}
+
+/// Walks one poll-fn body starting at its opening brace; returns the index
+/// just past the matching close. Appends findings to `out`.
+fn check_poll_body(path: &str, toks: &[Tok], open: usize, out: &mut Vec<Finding>) -> usize {
+    let mut depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+            j += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            guards.retain(|g| g.depth < depth);
+            depth -= 1;
+            j += 1;
+            if depth == 0 {
+                return j;
+            }
+            continue;
+        }
+        // `let [pattern] = <rhs containing .borrow*() call> ;` — every ident
+        // bound in the pattern becomes a guard (tuple/enum patterns like
+        // `Ok(mut g)` bind their inner idents).
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            let mut names: Vec<(String, u32)> = Vec::new();
+            // Stop collecting binding names at a type annotation's `:` (a
+            // lone colon — `::` path separators inside patterns pass).
+            let mut collecting = true;
+            while k < toks.len() && !toks[k].is_punct('=') && !toks[k].is_punct(';') {
+                let p = &toks[k];
+                if p.is_punct(':')
+                    && !toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && !(k >= 1 && toks[k - 1].is_punct(':'))
+                {
+                    collecting = false;
+                }
+                if collecting
+                    && p.kind == TokKind::Ident
+                    && !matches!(p.text.as_str(), "mut" | "ref" | "Ok" | "Some" | "Err" | "_")
+                {
+                    names.push((p.text.clone(), p.line));
+                }
+                k += 1;
+            }
+            if k < toks.len() && toks[k].is_punct('=') {
+                // RHS to the statement's `;` at this brace depth.
+                let mut d = 0i32;
+                let mut m = k + 1;
+                let mut borrows = false;
+                while m < toks.len() {
+                    let r = &toks[m];
+                    // An `if let`/`while let`/`let-else` body brace at depth
+                    // 0 terminates the initializer expression like `;` does.
+                    if r.is_punct('{') && d == 0 {
+                        break;
+                    }
+                    if r.is_punct('(') || r.is_punct('[') || r.is_punct('{') {
+                        d += 1;
+                    } else if r.is_punct(')') || r.is_punct(']') || r.is_punct('}') {
+                        d -= 1;
+                    } else if r.is_punct(';') && d <= 0 {
+                        break;
+                    } else if r.kind == TokKind::Ident
+                        && matches!(
+                            r.text.as_str(),
+                            "borrow" | "borrow_mut" | "try_borrow" | "try_borrow_mut"
+                        )
+                        && m >= 1
+                        && toks[m - 1].is_punct('.')
+                        && toks.get(m + 1).is_some_and(|t| t.is_punct('('))
+                    {
+                        borrows = true;
+                    }
+                    m += 1;
+                }
+                if borrows {
+                    for (name, line) in names {
+                        guards.push(Guard { name, line, depth });
+                    }
+                }
+                j = m;
+                continue;
+            }
+        }
+        // `drop ( name )` releases the guard early — the sanctioned idiom.
+        if t.is_ident("drop") && toks.get(j + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(arg) = toks.get(j + 2) {
+                if arg.kind == TokKind::Ident && toks.get(j + 3).is_some_and(|t| t.is_punct(')')) {
+                    guards.retain(|g| g.name != arg.text);
+                }
+            }
+        }
+        // Re-binding `let guard = &mut *guard;`-style shadows are handled by
+        // the `let` arm above (same name re-registered); a plain assignment
+        // does not create or destroy guards.
+
+        // `Poll :: Pending` in expression position.
+        if t.is_ident("Poll")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 3).is_some_and(|t| t.is_ident("Pending"))
+        {
+            let after = toks.get(j + 4);
+            let is_pattern = after.is_some_and(|t| t.is_punct('|'))
+                || (after.is_some_and(|t| t.is_punct('='))
+                    && toks.get(j + 5).is_some_and(|t| t.is_punct('>')))
+                || (j >= 1 && toks[j - 1].is_punct('|'))
+                || (j >= 1 && toks[j - 1].is_ident("let"));
+            if !is_pattern {
+                if let Some(g) = guards.last() {
+                    out.push(finding(
+                        path,
+                        toks[j].line,
+                        BORROW_ACROSS_PENDING,
+                        format!(
+                            "`Poll::Pending` returned while RefCell guard `{}` (bound at line \
+                             {}) is still live; `drop({})` before yielding, or justify with a \
+                             bx-lint allow annotation",
+                            g.name, g.line, g.name
+                        ),
+                    ));
+                }
+            }
+            j += 4;
+            continue;
+        }
+        j += 1;
+    }
+    j
+}
+
 /// `(line, body tokens)` of the first `fn <name>` in the stream.
 fn fn_body<'t>(toks: &'t [Tok], name: &str) -> Option<(u32, &'t [Tok])> {
     let pos = toks
@@ -969,6 +1206,65 @@ mod tests {
             enum_variants(&toks, "E"),
             Some(vec!["A".into(), "B".into(), "C".into()])
         );
+    }
+
+    #[test]
+    fn borrow_across_pending_flags_live_guard() {
+        let src = "fn poll(&mut self, cx: &mut Context) -> Poll<u8> {\n\
+                     let mut shard = self.shard.borrow_mut();\n\
+                     if shard.full() { return Poll::Pending; }\n\
+                     Poll::Ready(1)\n\
+                   }";
+        let f = borrow_across_pending("x.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("`shard`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn borrow_across_pending_allows_dropped_guard_and_scope_exit() {
+        let src = "fn poll(&mut self) -> Poll<u8> {\n\
+                     let g = self.shard.borrow_mut();\n\
+                     let full = g.full();\n\
+                     drop(g);\n\
+                     if full { return Poll::Pending; }\n\
+                     { let h = self.shard.borrow(); h.touch(); }\n\
+                     Poll::Pending\n\
+                   }";
+        let f = borrow_across_pending("x.rs", &lex(src));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn borrow_across_pending_ignores_pattern_positions_and_non_poll_fns() {
+        let src = "fn poll(&mut self) -> Poll<u8> {\n\
+                     let g = self.shard.borrow_mut();\n\
+                     match inner() { Poll::Pending => {}, Poll::Pending | Poll::Ready(_) => {} }\n\
+                     if let Poll::Pending = inner() { g.touch(); }\n\
+                     Poll::Ready(0)\n\
+                   }\n\
+                   fn not_poll(&mut self) {\n\
+                     let g = self.shard.borrow_mut();\n\
+                     let _ = Poll::Pending;\n\
+                   }";
+        // `let _ = Poll::Pending` in not_poll is outside any poll-shaped fn
+        // (its signature has no `Poll`)... except the body mentions Poll, but
+        // the *signature* does not, so the fn is not analyzed.
+        let f = borrow_across_pending("x.rs", &lex(src));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn borrow_across_pending_tracks_tuple_pattern_guards() {
+        let src = "fn poll(&mut self) -> Poll<u8> {\n\
+                     if let Ok(mut g) = self.shard.try_borrow_mut() {\n\
+                       if g.full() { return Poll::Pending; }\n\
+                     }\n\
+                     Poll::Ready(0)\n\
+                   }";
+        let f = borrow_across_pending("x.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`g`"), "{}", f[0].message);
     }
 
     #[test]

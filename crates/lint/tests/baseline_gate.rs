@@ -1,0 +1,120 @@
+//! Baseline-gate acceptance suite: a finding recorded in the committed
+//! baseline must pass the gate, a new finding must fail it, and the
+//! baseline file format must survive an emit/parse round trip.
+
+use bx_lint::sarif::Baseline;
+use bx_lint::{rules, Finding, Report};
+
+fn finding(rule: &'static str, file: &str, line: u32, message: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        message: message.to_string(),
+        key: None,
+    }
+}
+
+fn report(findings: Vec<Finding>) -> Report {
+    Report {
+        findings,
+        files_scanned: 1,
+        wall_ms: 0,
+    }
+}
+
+#[test]
+fn old_finding_is_absorbed_new_finding_fails() {
+    let old = finding(rules::PANIC_FREEDOM, "crates/a/src/x.rs", 10, "unwrap");
+    let baseline = Baseline::from_findings(std::slice::from_ref(&old));
+
+    // Same tree relinted: the old finding alone gates clean.
+    let gate = report(vec![old.clone()]).gate(&baseline);
+    assert!(gate.new.is_empty(), "{:?}", gate.new);
+    assert_eq!(gate.baselined, 1);
+
+    // A change introduces a second, different finding: only IT is new.
+    let fresh = finding(
+        rules::HASH_ITERATION,
+        "crates/a/src/y.rs",
+        3,
+        "HashMap iter",
+    );
+    let gate = report(vec![old, fresh.clone()]).gate(&baseline);
+    assert_eq!(gate.baselined, 1);
+    assert_eq!(gate.new.len(), 1);
+    assert_eq!(gate.new[0].fingerprint(), fresh.fingerprint());
+}
+
+#[test]
+fn duplicate_fingerprints_are_budgeted_by_count() {
+    // Two identical findings baselined; a third instance of the same
+    // fingerprint exceeds the recorded count and is new.
+    let f = finding(rules::PANIC_FREEDOM, "crates/a/src/x.rs", 10, "unwrap");
+    let baseline = Baseline::from_findings(&[f.clone(), f.clone()]);
+    let gate = report(vec![f.clone(), f.clone(), f]).gate(&baseline);
+    assert_eq!(gate.baselined, 2);
+    assert_eq!(gate.new.len(), 1, "excess over the count must fail");
+}
+
+#[test]
+fn transitive_keys_survive_line_drift() {
+    // Transitive findings fingerprint by explicit key — root/sink
+    // identity — so the same chain reported from a shifted line still
+    // matches the baseline.
+    let mut a = finding(
+        rules::TRANSITIVE_PANIC,
+        "crates/a/src/x.rs",
+        10,
+        "hot path `D::submit` can reach `.unwrap()` via D::submit -> h (x.rs:42)",
+    );
+    a.key = Some("transitive-panic|D::submit|m::h|`.unwrap()`".to_string());
+    let baseline = Baseline::from_findings(std::slice::from_ref(&a));
+
+    let mut drifted = a.clone();
+    drifted.line = 17;
+    drifted.message = drifted.message.replace("x.rs:42", "x.rs:55");
+    let gate = report(vec![drifted]).gate(&baseline);
+    assert!(
+        gate.new.is_empty(),
+        "keyed finding must survive line/message drift: {:?}",
+        gate.new
+    );
+}
+
+#[test]
+fn baseline_round_trips_through_emit_and_parse() {
+    let findings = vec![
+        finding(rules::PANIC_FREEDOM, "crates/a/src/x.rs", 10, "unwrap"),
+        finding(rules::PANIC_FREEDOM, "crates/a/src/x.rs", 10, "unwrap"),
+        finding(
+            rules::HASH_ITERATION,
+            "crates/b/src/y.rs",
+            4,
+            "iter over HashMap",
+        ),
+    ];
+    let b = Baseline::from_findings(&findings);
+    let reparsed = Baseline::parse(&b.emit()).expect("emitted baseline parses");
+    assert_eq!(b.counts, reparsed.counts);
+    assert_eq!(
+        reparsed.counts.get(&findings[0].fingerprint()).copied(),
+        Some(2)
+    );
+}
+
+#[test]
+fn empty_baseline_fails_every_finding() {
+    let baseline = Baseline::parse(r#"{"version":1,"findings":[]}"#).unwrap();
+    let f = finding(rules::PANIC_FREEDOM, "crates/a/src/x.rs", 10, "unwrap");
+    let gate = report(vec![f]).gate(&baseline);
+    assert_eq!(gate.new.len(), 1);
+    assert_eq!(gate.baselined, 0);
+}
+
+#[test]
+fn malformed_baseline_is_a_hard_error() {
+    assert!(Baseline::parse("not json").is_err());
+    assert!(Baseline::parse(r#"{"version":2,"findings":[]}"#).is_err());
+    assert!(Baseline::parse(r#"{"findings":[]}"#).is_err());
+}

@@ -103,8 +103,89 @@ fn bad_annotation_fixture_fails_annotation() {
 }
 
 #[test]
+fn bad_transitive_panic_fixture_prints_the_full_chain() {
+    let report = lint_fixture(&fixture("bad_transitive_panic.rs")).unwrap();
+    let tp: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::TRANSITIVE_PANIC)
+        .collect();
+    assert_eq!(tp.len(), 1, "{tp:?}");
+    // The diagnostic fires at the root and prints the whole call chain
+    // down to the sink.
+    let msg = &tp[0].message;
+    assert!(msg.contains("NvmeDriver::submit_inline"), "{msg}");
+    assert!(msg.contains("encode_payload"), "{msg}");
+    assert!(msg.contains("slot_of"), "{msg}");
+    assert!(msg.contains("->"), "chain arrows missing: {msg}");
+    assert!(
+        tp[0].key.is_some(),
+        "transitive findings carry a stable key"
+    );
+}
+
+#[test]
+fn bad_transitive_virtual_time_fixture_fires_at_the_root() {
+    let report = lint_fixture(&fixture("bad_transitive_virtual_time.rs")).unwrap();
+    let tv: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::TRANSITIVE_VIRTUAL_TIME)
+        .collect();
+    assert_eq!(tv.len(), 1, "{tv:?}");
+    let msg = &tv[0].message;
+    assert!(msg.contains("Controller::process_batch"), "{msg}");
+    assert!(msg.contains("stamp_arrival"), "{msg}");
+    assert!(msg.contains("now_nanos"), "{msg}");
+    // The finding anchors at the root's declaration, not the sink line.
+    let root_line = tv[0].line;
+    let sink_findings: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::VIRTUAL_TIME)
+        .collect();
+    assert!(
+        sink_findings.iter().all(|f| f.line != root_line),
+        "transitive finding must anchor at the root, not the sink"
+    );
+}
+
+#[test]
+fn bad_blocking_in_poll_fixture_fails_blocking_in_poll() {
+    let report = lint_fixture(&fixture("bad_blocking_in_poll.rs")).unwrap();
+    let bp: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::BLOCKING_IN_POLL)
+        .collect();
+    assert_eq!(bp.len(), 1, "{bp:?}");
+    let msg = &bp[0].message;
+    assert!(msg.contains("CommandFuture::poll"), "{msg}");
+    assert!(msg.contains("wait_for_slot"), "{msg}");
+}
+
+#[test]
+fn bad_borrow_across_pending_fixture_fails_borrow_rule() {
+    let report = lint_fixture(&fixture("bad_borrow_across_pending.rs")).unwrap();
+    let ba: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::BORROW_ACROSS_PENDING)
+        .collect();
+    assert_eq!(ba.len(), 1, "{ba:?}");
+    assert!(ba[0].message.contains("guard"), "{}", ba[0].message);
+}
+
+#[test]
 fn good_fixtures_are_clean() {
-    for name in ["good_clean.rs", "good_wire_layout.rs"] {
+    for name in [
+        "good_clean.rs",
+        "good_wire_layout.rs",
+        "good_transitive_panic.rs",
+        "good_transitive_virtual_time.rs",
+        "good_blocking_in_poll.rs",
+        "good_borrow_across_pending.rs",
+    ] {
         let report = lint_fixture(&fixture(name)).unwrap();
         assert!(
             report.findings.is_empty(),

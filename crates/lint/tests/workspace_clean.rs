@@ -57,10 +57,47 @@ fn workspace_scan_covers_the_registry() {
 #[test]
 fn json_summary_reports_zero_failures_on_clean_tree() {
     let report = lint_workspace(&repo_root()).unwrap();
-    let line = report.json_line();
+    let line = report.json_line(None);
     assert!(line.contains("\"failures\":0"), "{line}");
     assert!(line.contains("\"bin\":\"bx-lint\""), "{line}");
     for rule in rules::ALL_RULES {
         assert!(line.contains(&format!("\"{rule}\":0")), "{line}");
+    }
+}
+
+#[test]
+fn committed_baseline_matches_the_tree() {
+    // CI runs `bx-lint --workspace --baseline lint_baseline.json`; this test
+    // keeps that gate honest from `cargo test` too: the committed baseline
+    // must absorb every current finding, and nothing may be new.
+    let root = repo_root();
+    let raw = std::fs::read_to_string(root.join("lint_baseline.json"))
+        .expect("lint_baseline.json is committed at the repo root");
+    let baseline = bx_lint::sarif::Baseline::parse(&raw).expect("baseline parses");
+    let report = lint_workspace(&root).unwrap();
+    let gate = report.gate(&baseline);
+    assert!(
+        gate.new.is_empty(),
+        "{} finding(s) not in lint_baseline.json:\n{}",
+        gate.new.len(),
+        gate.new
+            .iter()
+            .map(|f| format!("{f} [{}]", f.fingerprint()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_sarif_round_trips_through_own_parser() {
+    let report = lint_workspace(&repo_root()).unwrap();
+    let doc = bx_lint::sarif::to_sarif(&report);
+    let parsed = bx_lint::sarif::parse_sarif(&doc).expect("emitted SARIF parses");
+    assert_eq!(parsed.len(), report.findings.len());
+    for (a, b) in parsed.iter().zip(report.findings.iter()) {
+        assert_eq!(a.rule, b.rule);
+        assert_eq!(a.file, b.file);
+        assert_eq!(a.line, b.line);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

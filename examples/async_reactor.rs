@@ -38,7 +38,8 @@ fn main() {
         execution_model: ExecutionModel::Pipelined,
         retry_policy: Some(RetryPolicy::default()),
         ..ReactorConfig::default()
-    });
+    })
+    .expect("reactor construction: config is static and valid");
 
     type Task = Pin<Box<dyn Future<Output = Result<u64, DriverError>>>>;
     let mut tasks: Vec<Task> = Vec::new();
